@@ -1,0 +1,38 @@
+"""Ablation — storage-node kernel concurrency.
+
+The paper fixes storage nodes at 2 cores with (empirically) one kernel
+executing at a time.  This bench varies the kernel executor width and
+shows the AS-vs-TS crossover moving right as storage nodes get beefier
+— the contention problem softens but never disappears while the
+kernel rate × slots stays below what client parallelism achieves.
+"""
+
+from repro.cluster.config import MB
+from repro.core import Scheme, WorkloadSpec, run_scheme
+
+
+def _crossover(kernel_slots: int) -> int:
+    """Smallest n where TS beats AS (65 = never within the sweep)."""
+    for n in (1, 2, 4, 8, 16, 32, 64):
+        spec = WorkloadSpec(kernel="gaussian2d", n_requests=n,
+                            request_bytes=128 * MB,
+                            kernel_slots=kernel_slots,
+                            storage_cores=max(2, kernel_slots))
+        ts = run_scheme(Scheme.TS, spec).makespan
+        as_ = run_scheme(Scheme.AS, spec).makespan
+        if ts < as_:
+            return n
+    return 65
+
+
+def bench_crossover_vs_kernel_slots(record):
+    def sweep():
+        return {slots: _crossover(slots) for slots in (1, 2, 4, 8)}
+
+    crossings = record.once(sweep)
+    record.table(
+        "Crossover request count vs storage kernel slots (Gaussian, 128 MB)",
+        ["kernel slots", "TS first wins at n"],
+        [[slots, n if n < 65 else "never (≤64)"] for slots, n in crossings.items()],
+    )
+    record.values(paper_point="1 slot -> crossover 4")

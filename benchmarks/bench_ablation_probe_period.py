@@ -1,0 +1,31 @@
+"""Ablation — Contention Estimator probe period.
+
+The CE "periodically probes the system state".  Too slow and DOSAS
+reacts late to bursts; the probe itself is cheap, so the paper leaves
+the period unspecified.  This bench sweeps it under a dynamic arrival
+pattern.
+"""
+
+from repro.cluster.config import MB
+from repro.core import Scheme, WorkloadSpec, run_scheme
+
+
+def bench_probe_period_sweep(record):
+    periods = (0.05, 0.25, 1.0, 4.0)
+
+    def sweep():
+        out = []
+        for period in periods:
+            r = run_scheme(Scheme.DOSAS, WorkloadSpec(
+                kernel="gaussian2d", n_requests=12, request_bytes=256 * MB,
+                arrival_spacing=0.4, probe_period=period,
+            ))
+            out.append((period, r.makespan, r.interrupted))
+        return out
+
+    rows = record.once(sweep)
+    record.table(
+        "DOSAS makespan vs CE probe period (staggered 12 x 256 MB burst)",
+        ["probe period (s)", "makespan (s)", "migrations"],
+        rows,
+    )

@@ -1,0 +1,86 @@
+"""Ablation — solver choice for the 0/1 offload problem.
+
+The paper enumerates all 2^k assignments (Eq. 9–11) and remarks that a
+"general constraint programming solver" could be used instead.  This
+bench compares the four implemented solvers on quality (objective
+value) and cost (wall time, assignments examined) as k grows, showing:
+
+- exhaustive is exact but exponential (k ≤ 20);
+- branch-and-bound and the O(k²) threshold solver are exact at any k;
+- greedy (which ignores the z coupling) loses measurable quality.
+"""
+
+import numpy as np
+
+from repro.core.model import CostModel, SchedulingInstance
+from repro.core.scheduler import make_scheduler
+from repro.kernels.costs import MB, make_paper_model
+
+BW = 118 * MB
+
+
+def _instance(k, seed=0):
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(32, 1025, size=k) * MB
+    kern = make_paper_model("gaussian2d")
+    model = CostModel(kernel=kern, storage_capability=kern.rate,
+                      compute_capability=kern.rate, bandwidth=BW)
+    return SchedulingInstance.from_sizes(model, [float(s) for s in sizes])
+
+
+def bench_solver_quality_small_k(record):
+    """Quality at k=12 where all four solvers run."""
+    inst = _instance(12)
+
+    def run_all():
+        return {
+            name: make_scheduler(name).solve(inst)
+            for name in ("exhaustive", "threshold", "branch_and_bound", "greedy")
+        }
+
+    decisions = record.once(run_all)
+    best = decisions["exhaustive"].value
+    record.table(
+        "Solver quality at k=12 (heterogeneous sizes)",
+        ["solver", "objective (s)", "vs optimal", "evaluations"],
+        [[name, d.value, d.value / best, d.evaluations]
+         for name, d in decisions.items()],
+    )
+
+
+def bench_solver_greedy_gap_sweep(record):
+    """Greedy's optimality gap over many random instances."""
+    def gaps():
+        out = []
+        for seed in range(50):
+            inst = _instance(8, seed=seed)
+            g = make_scheduler("greedy").solve(inst).value
+            e = make_scheduler("threshold").solve(inst).value
+            out.append(g / e)
+        return out
+
+    ratios = record.once(gaps)
+    record.values(greedy_mean_gap=float(np.mean(ratios)),
+                  greedy_worst_gap=float(np.max(ratios)))
+
+
+def bench_exhaustive_scaling(benchmark):
+    """Wall time of the paper's matrix enumeration at k=16."""
+    inst = _instance(16)
+    solver = make_scheduler("exhaustive")
+    benchmark(solver.solve, inst)
+
+
+def bench_threshold_scaling_k256(benchmark):
+    """The exact threshold solver at a queue depth no enumeration
+    could touch (k=256)."""
+    inst = _instance(256)
+    solver = make_scheduler("threshold")
+    benchmark(solver.solve, inst)
+
+
+def bench_branch_and_bound_k64(benchmark):
+    """B&B at the paper's maximum queue depth."""
+    inst = _instance(64)
+    solver = make_scheduler("branch_and_bound")
+    benchmark(solver.solve, inst)

@@ -1,0 +1,41 @@
+"""Extension — the analytic what-if advisor vs the simulator.
+
+``Advisor`` predicts all three schemes from Eq. 1–7 without
+simulating.  This bench quantifies its fidelity across the paper's
+grid and times a prediction (microseconds) against a simulation
+(milliseconds) — the value proposition for capacity planning.
+"""
+
+from repro.cluster.config import MB
+from repro.core import Advisor, Scheme, WorkloadSpec, run_scheme
+
+
+def bench_advisor_fidelity(record):
+    advisor = Advisor()
+
+    def sweep():
+        rows = []
+        for n in (1, 2, 4, 8, 16, 32, 64):
+            errors = advisor.predict_error("gaussian2d", n, 128 * MB)
+            rows.append((n, errors["ts"], errors["as"], errors["dosas"]))
+        return rows
+
+    rows = record.once(sweep)
+    record.table(
+        "Advisor relative error vs simulation (Gaussian, 128 MB)",
+        ["n", "TS error", "AS error", "DOSAS error"],
+        rows,
+    )
+    record.values(max_error=max(max(r[1:]) for r in rows))
+
+
+def bench_advisor_prediction_speed(benchmark):
+    advisor = Advisor()
+    sizes = [128.0 * MB] * 16
+    benchmark(advisor.predict, "gaussian2d", sizes)
+
+
+def bench_simulation_speed_for_comparison(benchmark):
+    spec = WorkloadSpec(kernel="gaussian2d", n_requests=16,
+                        request_bytes=128 * MB)
+    benchmark(run_scheme, Scheme.DOSAS, spec)

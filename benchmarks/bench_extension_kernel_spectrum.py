@@ -1,0 +1,52 @@
+"""Extension — the reduction-ratio spectrum.
+
+The paper's two kernels sit at the extremes: SUM returns 8 bytes,
+the Gaussian filter returns an ack.  ``DownsampleKernel`` spans the
+middle: h(x) = x/factor.  Sweeping the factor shows how the
+AS-vs-TS crossover moves with the result size — as h(x) → x, active
+storage stops saving bandwidth and TS wins everywhere; as h(x) → 0,
+only the compute rate matters.
+"""
+
+from repro.cluster.config import MB
+from repro.core import Scheme, WorkloadSpec, run_scheme
+from repro.kernels.registry import default_registry
+
+
+SLOW_RATE = 100 * MB  # below the 118 MB/s wire — the contended regime
+
+
+def _crossover_for_factor(factor: int) -> object:
+    # run_scheme resolves kernels through the default registry, so the
+    # factor/rate are set on its cached instance for the sweep.
+    kernel = default_registry.get("downsample")
+    original = (kernel.factor, kernel.rate)
+    kernel.factor = factor
+    kernel.rate = SLOW_RATE
+    try:
+        for n in (1, 2, 4, 8, 16, 32, 64):
+            spec = WorkloadSpec(kernel="downsample", n_requests=n,
+                                request_bytes=256 * MB)
+            ts = run_scheme(Scheme.TS, spec).makespan
+            as_ = run_scheme(Scheme.AS, spec).makespan
+            if ts < as_:
+                return n
+        return "never (≤64)"
+    finally:
+        kernel.factor, kernel.rate = original
+
+
+def bench_crossover_vs_reduction_factor(record):
+    """At the default 600 MB/s rate AS always wins (rate ≫ wire, like
+    SUM); the interesting regime is a kernel *slower* than the wire —
+    then the result size h(x)=x/f decides how soon contention bites."""
+    def sweep():
+        return {f: _crossover_for_factor(f) for f in (2, 4, 8, 32, 128)}
+
+    crossings = record.once(sweep)
+    record.table(
+        "TS-beats-AS crossover vs downsample factor "
+        f"(256 MB requests, {SLOW_RATE // MB} MB/s kernel)",
+        ["factor (h(x) = x/f)", "TS first wins at n"],
+        [[f, n] for f, n in crossings.items()],
+    )

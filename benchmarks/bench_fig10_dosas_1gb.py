@@ -1,0 +1,13 @@
+"""Figure 10 — DOSAS vs AS vs TS, 1 GB per request."""
+
+from repro.cluster.config import GB
+from repro.core import Scheme
+from repro.analysis import figure_series
+
+
+def bench_fig10(record):
+    series = record.once(
+        figure_series, "gaussian2d", 1 * GB,
+        [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+    )
+    record.series("Figure 10 — exec time (s), 1 GB/request", series)

@@ -1,0 +1,16 @@
+"""Figure 11 — achieved bandwidth, 256 MB per request.
+
+"the AS scheme has a better bandwidth than the TS for small I/O scale
+sizes, but vice versa for large I/O scale sizes.  The DOSAS was able
+to identify the contention and handle it properly, thereby achieving
+the best performance with nearly all I/O scale sizes."
+"""
+
+from repro.cluster.config import MB
+from repro.analysis import bandwidth_figure
+
+
+def bench_fig11(record):
+    series = record.once(bandwidth_figure, 256 * MB)
+    record.series("Figure 11 — achieved bandwidth (MB/s), 256 MB/request",
+                  series)

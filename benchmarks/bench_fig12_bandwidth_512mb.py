@@ -1,0 +1,10 @@
+"""Figure 12 — achieved bandwidth, 512 MB per request."""
+
+from repro.cluster.config import MB
+from repro.analysis import bandwidth_figure
+
+
+def bench_fig12(record):
+    series = record.once(bandwidth_figure, 512 * MB)
+    record.series("Figure 12 — achieved bandwidth (MB/s), 512 MB/request",
+                  series)

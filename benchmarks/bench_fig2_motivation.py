@@ -1,0 +1,25 @@
+"""Figure 2 — the motivating contention result.
+
+Paper: "compared to traditional storage, the performance of active
+storage is degraded when each storage node deals with more than 4
+active I/O requests concurrently."
+
+Gaussian filter, TS vs AS, 128 MB per request, 1–64 requests per
+storage node.  Expected shape: AS lower for n ≤ 2–3, TS lower beyond.
+"""
+
+from repro.cluster.config import MB
+from repro.core import Scheme
+from repro.analysis import figure_series
+
+
+def bench_fig2_gaussian_ts_vs_as(record):
+    series = record.once(
+        figure_series, "gaussian2d", 128 * MB, [Scheme.TS, Scheme.AS]
+    )
+    record.series("Figure 2 — Gaussian filter exec time (s), TS vs AS, "
+                  "128 MB/request", series)
+    ts, as_ = dict(series["ts"]), dict(series["as"])
+    crossover = next(n for n in sorted(ts) if ts[n] < as_[n])
+    record.values(crossover_at_requests=crossover,
+                  paper_crossover="~4")

@@ -1,0 +1,16 @@
+"""Figure 4 — Gaussian filter, TS vs AS, 128 MB per request.
+
+"Execution time of 2D Gaussian Filter under AS and TS scheme with
+increasing I/O requests, each I/O requests 128MB data."
+"""
+
+from repro.cluster.config import MB
+from repro.core import Scheme
+from repro.analysis import figure_series
+
+
+def bench_fig4(record):
+    series = record.once(
+        figure_series, "gaussian2d", 128 * MB, [Scheme.TS, Scheme.AS]
+    )
+    record.series("Figure 4 — Gaussian exec time (s), 128 MB/request", series)

@@ -1,0 +1,21 @@
+"""Figure 5 — Gaussian filter, TS vs AS, 512 MB per request.
+
+"Execution time of 2D Gaussian Filter under AS and TS scheme with
+increasing I/O requests, each I/O requests 512MB data."
+"""
+
+from repro.cluster.config import MB
+from repro.core import Scheme
+from repro.analysis import figure_series
+
+
+def bench_fig5(record):
+    series = record.once(
+        figure_series, "gaussian2d", 512 * MB, [Scheme.TS, Scheme.AS]
+    )
+    record.series("Figure 5 — Gaussian exec time (s), 512 MB/request", series)
+    # Crossover position is size-independent (both sides scale with d).
+    ts, as_ = dict(series["ts"]), dict(series["as"])
+    record.values(crossover_at_requests=next(
+        n for n in sorted(ts) if ts[n] < as_[n]
+    ))

@@ -1,0 +1,21 @@
+"""Figure 6 — SUM benchmark: AS always wins.
+
+"AS scheme always achieved better performance under all tested I/O
+scale size.  This was because the SUM benchmark has very low
+computation complexity, and each core can process as many as 860MB
+data per second, which is much larger than the network bandwidth
+(118MB/s)."
+"""
+
+from repro.cluster.config import MB
+from repro.core import Scheme
+from repro.analysis import figure_series
+
+
+def bench_fig6(record):
+    series = record.once(
+        figure_series, "sum", 128 * MB, [Scheme.TS, Scheme.AS]
+    )
+    record.series("Figure 6 — SUM exec time (s), 128 MB/request", series)
+    ts, as_ = dict(series["ts"]), dict(series["as"])
+    record.values(as_always_wins=all(as_[n] < ts[n] for n in ts))

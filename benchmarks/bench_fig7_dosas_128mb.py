@@ -1,0 +1,21 @@
+"""Figure 7 — DOSAS vs AS vs TS, 128 MB per request.
+
+"Performance of DOSAS and its comparison with AS and TS (each I/O
+requests 128MB data)."  Expected: DOSAS tracks min(AS, TS) across the
+whole request sweep.
+"""
+
+from repro.cluster.config import MB
+from repro.core import Scheme
+from repro.analysis import figure_series
+
+
+def bench_fig7(record):
+    series = record.once(
+        figure_series, "gaussian2d", 128 * MB,
+        [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+    )
+    record.series("Figure 7 — exec time (s), 128 MB/request", series)
+    ts, as_, dosas = (dict(series[s]) for s in ("ts", "as", "dosas"))
+    worst = max(dosas[n] / min(ts[n], as_[n]) for n in ts)
+    record.values(dosas_worst_ratio_vs_best=worst)

@@ -1,0 +1,13 @@
+"""Figure 8 — DOSAS vs AS vs TS, 256 MB per request."""
+
+from repro.cluster.config import MB
+from repro.core import Scheme
+from repro.analysis import figure_series
+
+
+def bench_fig8(record):
+    series = record.once(
+        figure_series, "gaussian2d", 256 * MB,
+        [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+    )
+    record.series("Figure 8 — exec time (s), 256 MB/request", series)

@@ -1,0 +1,13 @@
+"""Figure 9 — DOSAS vs AS vs TS, 512 MB per request."""
+
+from repro.cluster.config import MB
+from repro.core import Scheme
+from repro.analysis import figure_series
+
+
+def bench_fig9(record):
+    series = record.once(
+        figure_series, "gaussian2d", 512 * MB,
+        [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+    )
+    record.series("Figure 9 — exec time (s), 512 MB/request", series)

@@ -1,0 +1,34 @@
+"""Table III — kernel processing rates.
+
+Paper: "each core could process 860MB data per second for the SUM
+benchmark and 80MB data per second for the 2D Gaussian Filter."
+
+This bench measures this host's single-core streaming rate for both
+benchmarks (plus the extension kernels) and prints them next to the
+paper's.  Absolute numbers differ (different silicon, numpy vs C);
+the simulations always use the paper's rates, so every other bench is
+host-independent.
+"""
+
+from repro.cluster.config import MB
+from repro.kernels import calibration_table, default_registry
+
+
+def bench_table3_paper_kernels(record):
+    rows = record.once(calibration_table, nbytes=8 * MB)
+    record.table(
+        "Table III — kernel processing rates (measured on this host vs paper)",
+        ["kernel", "measured MB/s", "paper MB/s"],
+        [[r["kernel"], r["measured_mb_s"], r["paper_mb_s"] or "-"] for r in rows],
+    )
+
+
+def bench_table3_extension_kernels(record):
+    kernels = [default_registry.get(n) for n in default_registry.names()
+               if n not in ("sum", "gaussian2d")]
+    rows = record.once(calibration_table, kernels=kernels, nbytes=4 * MB)
+    record.table(
+        "Table III (extension) — additional kernel rates",
+        ["kernel", "measured MB/s", "paper MB/s"],
+        [[r["kernel"], r["measured_mb_s"], r["paper_mb_s"] or "-"] for r in rows],
+    )

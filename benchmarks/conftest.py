@@ -1,0 +1,60 @@
+"""Benchmark-harness helpers.
+
+Every bench regenerates one artefact of the paper's evaluation
+(figure or table), prints the series/rows it produces (visible with
+``pytest -s``), and records them in ``benchmark.extra_info`` so the
+JSON output archives the data alongside the timings.
+
+Conventions:
+
+- figure/table benches measure the wall-clock cost of regenerating the
+  artefact once (``rounds=1`` — the simulated results themselves are
+  deterministic);
+- micro-benchmarks (engine, solvers) use normal ``benchmark(...)``
+  auto-calibration since their wall time *is* the result.
+"""
+
+import pytest
+
+
+class Recorder:
+    """Prints and archives a bench's produced artefact."""
+
+    def __init__(self, benchmark):
+        self.benchmark = benchmark
+
+    def series(self, title: str, series: dict) -> None:
+        """{scheme: [(x, y)]} series → table print + extra_info."""
+        from repro.analysis import render_series
+
+        print("\n" + render_series(title, "n_requests", series))
+        self.benchmark.extra_info["series"] = {
+            name: [[x, y] for x, y in points] for name, points in series.items()
+        }
+
+    def table(self, title: str, headers, rows) -> None:
+        """Fixed-width table → print + extra_info."""
+        from repro.analysis import format_table
+
+        print(f"\n{title}\n{format_table(headers, rows)}")
+        self.benchmark.extra_info["table"] = {
+            "headers": list(headers),
+            "rows": [list(map(str, r)) for r in rows],
+        }
+
+    def values(self, **kv) -> None:
+        """Loose key/value findings."""
+        for key, value in kv.items():
+            print(f"  {key} = {value}")
+            self.benchmark.extra_info[key] = value
+
+    def once(self, fn, *args, **kwargs):
+        """Measure one deterministic harness run."""
+        return self.benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                       rounds=1, iterations=1)
+
+
+@pytest.fixture
+def record(benchmark):
+    """Recorder bound to this bench's ``benchmark`` fixture."""
+    return Recorder(benchmark)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The Figure-1 scenario: several applications contending for storage.
+
+The paper's core observation is that on production machines "there may
+be dozens of applications running concurrently", all funnelling normal
+*and* active I/O into the same storage nodes.  This example builds that
+mix with the workload generator:
+
+* ``imaging``  — bursty active Gaussian-filter jobs (compute-heavy);
+* ``climate``  — streaming active SUM reductions (network-saving);
+* ``backup``   — large normal reads (pure bandwidth consumer).
+
+All three share two storage nodes.  We run the mix under TS, AS and
+DOSAS and report per-application latency — showing DOSAS both
+protecting the storage nodes from kernel pile-up *and* exploiting them
+when there is headroom, and exercising the interrupt/migrate path under
+dynamic (Poisson) arrivals.
+
+Run:  python examples/multi_app_contention.py
+"""
+
+from repro import MB, Scheme
+from repro.core import WorkloadSpec, run_plan
+from repro.workload import (
+    ArrivalPattern,
+    BatchApplication,
+    StreamingApplication,
+    WorkloadGenerator,
+)
+
+
+def build_plan(seed: int = 42):
+    apps = [
+        BatchApplication("imaging", n_processes=8, size=256 * MB,
+                         operation="gaussian2d"),
+        StreamingApplication("climate", n_processes=4, size=512 * MB,
+                             rounds=3, think_time=5.0, operation="sum"),
+        BatchApplication("backup", n_processes=4, size=1024 * MB),
+    ]
+    return WorkloadGenerator(seed=seed).plan(
+        apps, pattern=ArrivalPattern.POISSON, rate=0.5
+    )
+
+
+def main() -> None:
+    plan = build_plan()
+    print(f"Workload: {len(plan)} requests, "
+          f"{plan.total_bytes // MB} MB total, "
+          f"{plan.active_fraction:.0%} active I/O\n")
+
+    spec = WorkloadSpec(n_storage=2, probe_period=0.25)
+    print(f"{'scheme':8s} {'makespan':>9s} {'mean lat':>9s}  "
+          f"{'imaging':>8s} {'climate':>8s} {'backup':>8s}   decisions")
+    for scheme in Scheme:
+        r = run_plan(scheme, plan, spec)
+        by_app = {
+            app: sum(lats) / len(lats)
+            for app, lats in r.latencies_by_app().items()
+        }
+        print(f"{scheme.value:8s} {r.makespan:9.1f} {r.mean_latency:9.1f}  "
+              f"{by_app['imaging']:8.1f} {by_app['climate']:8.1f} "
+              f"{by_app['backup']:8.1f}   "
+              f"offloaded={r.served_active} demoted={r.demoted} "
+              f"migrated={r.interrupted}")
+
+    print("\nDOSAS keeps the cheap SUM reductions on storage, pushes the "
+          "expensive filters\nback to clients when the queue builds up, and "
+          "migrates in-flight kernels when\nthe balance shifts — per-request "
+          "decisions no static scheme can make.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim — project metadata lives in pyproject.toml.
+
+Present so ``pip install -e .`` works in offline environments that
+lack the ``wheel`` package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Analysis layer: metrics, figure/table drivers, report formatting.
+
+``figures`` contains one driver per evaluation artefact of the paper
+(Figure 2, 4–12, Table III, Table IV) — the benchmarks call these and
+print the same rows/series the paper reports.
+"""
+
+from repro.analysis.metrics import (
+    RunMetrics,
+    improvement,
+    speedup,
+    summarize_run,
+)
+from repro.analysis.bandwidth import achieved_bandwidth, bandwidth_series
+from repro.analysis.charts import render_chart
+from repro.analysis.timeline import (
+    RequestRecord,
+    records_from_plan_result,
+    records_from_scheme_result,
+    render_gantt,
+)
+from repro.analysis.report import format_table, render_series
+from repro.analysis.figures import (
+    figure_series,
+    bandwidth_figure,
+    headline_improvements,
+    table3_rows,
+    table4_rows,
+)
+
+__all__ = [
+    "RequestRecord",
+    "RunMetrics",
+    "achieved_bandwidth",
+    "bandwidth_figure",
+    "bandwidth_series",
+    "figure_series",
+    "format_table",
+    "headline_improvements",
+    "improvement",
+    "records_from_plan_result",
+    "records_from_scheme_result",
+    "render_chart",
+    "render_gantt",
+    "render_series",
+    "speedup",
+    "summarize_run",
+    "table3_rows",
+    "table4_rows",
+]

@@ -1,0 +1,30 @@
+"""Achieved-bandwidth computations (paper Figures 11–12).
+
+The paper plots "Bandwidth achieved of each scheme": aggregate
+requested data divided by total execution time — the mirror image of
+the execution-time figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.cluster.config import MB
+from repro.core.schemes import SchemeResult
+
+
+def achieved_bandwidth(result: SchemeResult) -> float:
+    """Aggregate bandwidth in bytes/s for one run."""
+    if result.makespan <= 0:
+        raise ValueError("run has non-positive makespan")
+    return result.spec.total_bytes / result.makespan
+
+
+def bandwidth_series(
+    results: Sequence[SchemeResult],
+) -> List[Tuple[int, float]]:
+    """(n_requests, MB/s) pairs sorted by request count."""
+    series = [
+        (r.spec.n_requests, achieved_bandwidth(r) / MB) for r in results
+    ]
+    return sorted(series)

@@ -1,0 +1,125 @@
+"""Terminal line charts — matplotlib-free figure rendering.
+
+The benchmarks print numeric series; for quick visual inspection the
+CLI can also draw them as Unicode line charts, so the paper's figures
+are *viewable* on a headless cluster node:
+
+.. code-block:: text
+
+    Figure 4 — Gaussian exec time (s)
+    102.4 ┤                                                   ● as
+          │                                              ●
+     71.0 ┤                                                   ○ ts
+          │                              ●    ○
+      1.6 ┼──●─────────────────────────────────────────
+          1    2    4    8   16   32   64
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Plot glyphs cycled across series.
+MARKERS = "●○▲△■□◆◇"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, round(frac * (steps - 1))))
+
+
+def render_chart(
+    title: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render {name: [(x, y), …]} as a text chart.
+
+    Parameters
+    ----------
+    title:
+        Printed above the plot.
+    series:
+        One or more point lists; x positions are shared.
+    width, height:
+        Character cell dimensions of the plot area.
+    y_label:
+        Axis annotation.
+    log_x:
+        Place x ticks by rank rather than value (the paper's request
+        counts are powers of two, so rank placement reads best).
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small")
+
+    all_points = [(x, y) for pts in series.values() for x, y in pts]
+    xs = sorted({x for x, _y in all_points})
+    y_lo = min(y for _x, y in all_points)
+    y_hi = max(y for _x, y in all_points)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def x_cell(x: float) -> int:
+        if log_x or True:
+            # Rank placement: evenly space the distinct x values.
+            rank = xs.index(x)
+            return _scale(rank, 0, max(1, len(xs) - 1), width)
+        return _scale(x, xs[0], xs[-1], width)  # pragma: no cover
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        marker = MARKERS[i % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        # Connect consecutive points with interpolated cells.
+        cells = []
+        for x, y in sorted(pts):
+            col = x_cell(x)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            cells.append((col, row))
+        for (c0, r0), (c1, r1) in zip(cells, cells[1:]):
+            span = max(1, c1 - c0)
+            for step in range(span + 1):
+                col = c0 + step
+                row = round(r0 + (r1 - r0) * step / span)
+                if grid[row][col] == " ":
+                    grid[row][col] = "·"
+        for col, row in cells:
+            grid[row][col] = marker
+
+    label_hi = f"{y_hi:.4g}"
+    label_lo = f"{y_lo:.4g}"
+    margin = max(len(label_hi), len(label_lo)) + 1
+
+    lines = [title] if title else []
+    if y_label:
+        lines.append(f"{'':>{margin}} {y_label}")
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = f"{label_hi:>{margin}} ┤"
+        elif r == height - 1:
+            prefix = f"{label_lo:>{margin}} ┼"
+        else:
+            prefix = f"{'':>{margin}} │"
+        lines.append(prefix + "".join(row))
+    # X axis with tick labels at their columns.
+    axis = [" "] * width
+    labels_row = [" "] * (width + 8)
+    for x in xs:
+        col = x_cell(x)
+        axis[col] = "┬"
+        text = f"{x:g}"
+        for j, ch in enumerate(text):
+            if col + j < len(labels_row):
+                labels_row[col + j] = ch
+    lines.append(f"{'':>{margin}} └" + "".join(axis))
+    lines.append(f"{'':>{margin}}  " + "".join(labels_row).rstrip())
+    lines.append(f"{'':>{margin}}  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""One driver per evaluation artefact of the paper.
+
+Every figure and table of DOSAS's Sec. IV maps to a function here:
+
+==========  =======================================================
+Artefact    Driver
+==========  =======================================================
+Table III   :func:`table3_rows` — kernel processing rates
+Fig. 2/4/5  :func:`figure_series` (gaussian2d, TS vs AS)
+Fig. 6      :func:`figure_series` (sum, TS vs AS)
+Table IV    :func:`table4_rows` — decision accuracy
+Fig. 7–10   :func:`figure_series` (all three schemes, four sizes)
+Fig. 11–12  :func:`bandwidth_figure`
+headline    :func:`headline_improvements` — the ~40 % / ~21 % claims
+==========  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import DISCFARM_BANDWIDTH, MB
+from repro.core.model import CostModel, SchedulingInstance
+from repro.core.scheduler import Scheduler, ThresholdScheduler
+from repro.core.schemes import Scheme, SchemeResult, WorkloadSpec, run_scheme
+from repro.kernels.costs import make_paper_model
+from repro.workload.sweeps import PAPER_REQUEST_COUNTS, Situation, table4_situations
+
+
+# ---------------------------------------------------------------- Table III
+def table3_rows(nbytes: int = 8 * MB) -> List[dict]:
+    """Measured-vs-paper kernel rates (delegates to the calibrator)."""
+    from repro.kernels.calibrate import calibration_table
+
+    return calibration_table(nbytes=nbytes)
+
+
+# ------------------------------------------------------- time figures (2, 4–10)
+def figure_series(
+    kernel: str,
+    request_bytes: int,
+    schemes: Sequence[Scheme],
+    counts: Sequence[int] = PAPER_REQUEST_COUNTS,
+    jitter: bool = False,
+    seed: int = 0,
+    **spec_overrides,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Execution-time series: scheme name → [(n_requests, makespan s)].
+
+    Figure 2 and 4: ``figure_series("gaussian2d", 128*MB, [TS, AS])``.
+    Figure 5: same at 512 MB.  Figure 6: ``"sum"`` at 128 MB.
+    Figures 7–10: all three schemes at 128 MB–1 GB.
+    """
+    out: Dict[str, List[Tuple[int, float]]] = {s.value: [] for s in schemes}
+    for n in counts:
+        spec = WorkloadSpec(
+            kernel=kernel,
+            n_requests=n,
+            request_bytes=request_bytes,
+            jitter=jitter,
+            seed=seed,
+            **spec_overrides,
+        )
+        for scheme in schemes:
+            result = run_scheme(scheme, spec)
+            out[scheme.value].append((n, result.makespan))
+    return out
+
+
+# ------------------------------------------------------ bandwidth figures (11–12)
+def bandwidth_figure(
+    request_bytes: int,
+    kernel: str = "gaussian2d",
+    counts: Sequence[int] = PAPER_REQUEST_COUNTS,
+    jitter: bool = False,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Bandwidth series: scheme → [(n_requests, MB/s)] (Fig. 11–12)."""
+    out: Dict[str, List[Tuple[int, float]]] = {}
+    for scheme in (Scheme.TS, Scheme.AS, Scheme.DOSAS):
+        points = []
+        for n in counts:
+            spec = WorkloadSpec(
+                kernel=kernel,
+                n_requests=n,
+                request_bytes=request_bytes,
+                jitter=jitter,
+                seed=seed,
+            )
+            result = run_scheme(scheme, spec)
+            points.append((n, result.bandwidth / MB))
+        out[scheme.value] = points
+    return out
+
+
+# ------------------------------------------------------------------ Table IV
+@dataclass(frozen=True)
+class Table4Row:
+    """One line of the scheduling-algorithm evaluation."""
+
+    situation: int
+    label: str
+    algorithm: str   # "Active" | "Normal"
+    practice: str    # empirically better choice
+    judgment: bool   # algorithm == practice
+    margin: float    # |AS - TS| / max — how close the call was
+
+
+def algorithm_decision(
+    kernel: str,
+    n_requests: int,
+    request_bytes: int,
+    scheduler: Optional[Scheduler] = None,
+    bandwidth: float = DISCFARM_BANDWIDTH,
+) -> str:
+    """The DOSAS algorithm's verdict for one homogeneous situation.
+
+    Builds the Eq. 4 instance with nominal parameters and reports
+    "Active" when the solver keeps the majority of requests offloaded.
+    """
+    model = CostModel(
+        kernel=make_paper_model(kernel),
+        storage_capability=make_paper_model(kernel).rate,
+        compute_capability=make_paper_model(kernel).rate,
+        bandwidth=bandwidth,
+    )
+    instance = SchedulingInstance.from_sizes(
+        model, [float(request_bytes)] * n_requests
+    )
+    decision = (scheduler or ThresholdScheduler()).solve(instance)
+    return "Active" if decision.n_active * 2 > instance.k else "Normal"
+
+
+def empirical_best(
+    kernel: str,
+    n_requests: int,
+    request_bytes: int,
+    jitter: bool = True,
+    seed: int = 0,
+    kernel_overhead: float = 0.1,
+    network_latency: float = 0.0005,
+) -> Tuple[str, float]:
+    """Simulate AS and TS; report which won and by what margin.
+
+    The "practice" runs include the two real-system effects the
+    paper's Sec. IV-B.2 names as misjudgment causes and which the
+    algorithm ignores: bandwidth variation (``jitter``, 111–120 MB/s)
+    and system scheduling / network latency (``kernel_overhead``,
+    ``network_latency``).
+    """
+    spec = WorkloadSpec(
+        kernel=kernel,
+        n_requests=n_requests,
+        request_bytes=request_bytes,
+        jitter=jitter,
+        seed=seed,
+        kernel_overhead=kernel_overhead,
+        network_latency=network_latency,
+    )
+    t_as = run_scheme(Scheme.AS, spec).makespan
+    t_ts = run_scheme(Scheme.TS, spec).makespan
+    margin = abs(t_as - t_ts) / max(t_as, t_ts)
+    return ("Active" if t_as <= t_ts else "Normal"), margin
+
+
+def table4_rows(
+    jitter: bool = True,
+    seed: int = 0,
+    situations: Optional[List[Situation]] = None,
+    scheduler: Optional[Scheduler] = None,
+) -> List[Table4Row]:
+    """The full 64-situation decision-accuracy evaluation (Table IV)."""
+    rows: List[Table4Row] = []
+    for situation in situations if situations is not None else table4_situations():
+        algo = algorithm_decision(
+            situation.kernel,
+            situation.n_requests,
+            situation.request_bytes,
+            scheduler=scheduler,
+        )
+        practice, margin = empirical_best(
+            situation.kernel,
+            situation.n_requests,
+            situation.request_bytes,
+            jitter=jitter,
+            seed=seed + situation.index,
+        )
+        rows.append(
+            Table4Row(
+                situation=situation.index,
+                label=situation.label(),
+                algorithm=algo,
+                practice=practice,
+                judgment=algo == practice,
+                margin=margin,
+            )
+        )
+    return rows
+
+
+def table4_accuracy(rows: Sequence[Table4Row]) -> float:
+    """Fraction of TRUE judgments (the paper reports 95 %)."""
+    if not rows:
+        raise ValueError("no rows")
+    return sum(1 for r in rows if r.judgment) / len(rows)
+
+
+# ------------------------------------------------------------- headline claims
+def headline_improvements(
+    kernel: str = "gaussian2d",
+    request_bytes: int = 256 * MB,
+    low_contention: int = 1,
+    high_contention: int = 32,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """The Sec. IV-B.3 claims.
+
+    "DOSAS achieved roughly the same performance with the AS scheme
+    when there was little resource contention, and gained about 40%
+    performance improvement compared to the TS scheme.  Meanwhile, the
+    DOSAS achieved nearly equal performance to the TS scheme when
+    there were more I/O requests, and gained about 21% performance
+    improvement compared to the AS scheme."
+    """
+    from repro.analysis.metrics import improvement
+
+    lo = {
+        s: run_scheme(s, WorkloadSpec(kernel=kernel, n_requests=low_contention,
+                                      request_bytes=request_bytes, seed=seed)).makespan
+        for s in (Scheme.TS, Scheme.AS, Scheme.DOSAS)
+    }
+    hi = {
+        s: run_scheme(s, WorkloadSpec(kernel=kernel, n_requests=high_contention,
+                                      request_bytes=request_bytes, seed=seed)).makespan
+        for s in (Scheme.TS, Scheme.AS, Scheme.DOSAS)
+    }
+    return {
+        "low_vs_ts": improvement(lo[Scheme.TS], lo[Scheme.DOSAS]),
+        "low_vs_as": improvement(lo[Scheme.AS], lo[Scheme.DOSAS]),
+        "high_vs_as": improvement(hi[Scheme.AS], hi[Scheme.DOSAS]),
+        "high_vs_ts": improvement(hi[Scheme.TS], hi[Scheme.DOSAS]),
+    }

@@ -1,0 +1,63 @@
+"""Run-level metrics derived from scheme results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.schemes import SchemeResult
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary statistics of one scheme run."""
+
+    scheme: str
+    kernel: str
+    n_requests: int
+    request_mb: float
+    makespan: float
+    mean_latency: float
+    p95_latency: float
+    bandwidth_mb_s: float
+    served_active: int
+    demoted: int
+    interrupted: int
+
+
+def summarize_run(result: SchemeResult) -> RunMetrics:
+    """Flatten a :class:`SchemeResult` into reportable numbers."""
+    times = result.per_request_times
+    p95_index = max(0, int(round(0.95 * (len(times) - 1))))
+    mb = 1024 * 1024
+    return RunMetrics(
+        scheme=result.scheme.value,
+        kernel=result.spec.kernel,
+        n_requests=result.spec.n_requests,
+        request_mb=result.spec.request_bytes / mb,
+        makespan=result.makespan,
+        mean_latency=result.mean_latency,
+        p95_latency=sorted(times)[p95_index],
+        bandwidth_mb_s=result.bandwidth / mb,
+        served_active=result.served_active,
+        demoted=result.demoted,
+        interrupted=result.interrupted,
+    )
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """baseline / improved (×)."""
+    if improved <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline / improved
+
+
+def improvement(baseline: float, improved: float) -> float:
+    """Fractional reduction vs baseline, as the paper reports it.
+
+    "gained about 40% performance improvement compared to the TS
+    scheme" ⇔ improvement(TS, DOSAS) ≈ 0.40.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline time must be positive")
+    return (baseline - improved) / baseline

@@ -1,0 +1,54 @@
+"""Plain-text report rendering used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Fixed-width text table.
+
+    Numbers are rendered with sensible precision; columns sized to
+    content.  Suitable for terminal output inside pytest-benchmark
+    runs (``-s`` shows it).
+    """
+    def render(cell: Any) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.4f}"
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    series: Dict[str, List[tuple]],
+) -> str:
+    """Render {scheme: [(x, y), …]} as one table with a column per scheme."""
+    xs = sorted({x for points in series.values() for x, _y in points})
+    by_scheme = {
+        name: dict(points) for name, points in series.items()
+    }
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        rows.append([x] + [by_scheme[name].get(x, "-") for name in series])
+    return f"{title}\n{format_table(headers, rows)}"

@@ -1,0 +1,382 @@
+"""Command-line interface for the DOSAS reproduction.
+
+Regenerate any paper artefact, run custom experiments, calibrate
+kernels, and record/replay workload traces without writing code:
+
+.. code-block:: console
+
+    $ python -m repro figure 7                 # DOSAS vs AS vs TS, 128 MB
+    $ python -m repro figure 7 --chart         # as a terminal line chart
+    $ python -m repro table 4                  # decision accuracy
+    $ python -m repro run --kernel sum --requests 16 --mb 512
+    $ python -m repro calibrate                # Table III on this host
+    $ python -m repro sweep --kernel gaussian2d --mb 256
+    $ python -m repro headline                 # the 40 % / 21 % claims
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.config import GB, MB
+from repro.core import Scheme, WorkloadSpec, run_scheme
+from repro.analysis import (
+    bandwidth_figure,
+    figure_series,
+    format_table,
+    headline_improvements,
+    render_series,
+    table3_rows,
+)
+from repro.analysis.charts import render_chart
+from repro.analysis.figures import table4_accuracy, table4_rows
+from repro.kernels.registry import list_kernels
+
+#: figure id → (description, driver kwargs)
+FIGURES: Dict[int, dict] = {
+    2: dict(kernel="gaussian2d", size=128 * MB, schemes=(Scheme.TS, Scheme.AS),
+            title="Figure 2 — Gaussian TS vs AS, 128 MB (motivation)"),
+    4: dict(kernel="gaussian2d", size=128 * MB, schemes=(Scheme.TS, Scheme.AS),
+            title="Figure 4 — Gaussian TS vs AS, 128 MB"),
+    5: dict(kernel="gaussian2d", size=512 * MB, schemes=(Scheme.TS, Scheme.AS),
+            title="Figure 5 — Gaussian TS vs AS, 512 MB"),
+    6: dict(kernel="sum", size=128 * MB, schemes=(Scheme.TS, Scheme.AS),
+            title="Figure 6 — SUM TS vs AS, 128 MB"),
+    7: dict(kernel="gaussian2d", size=128 * MB,
+            schemes=(Scheme.TS, Scheme.AS, Scheme.DOSAS),
+            title="Figure 7 — DOSAS vs AS vs TS, 128 MB"),
+    8: dict(kernel="gaussian2d", size=256 * MB,
+            schemes=(Scheme.TS, Scheme.AS, Scheme.DOSAS),
+            title="Figure 8 — DOSAS vs AS vs TS, 256 MB"),
+    9: dict(kernel="gaussian2d", size=512 * MB,
+            schemes=(Scheme.TS, Scheme.AS, Scheme.DOSAS),
+            title="Figure 9 — DOSAS vs AS vs TS, 512 MB"),
+    10: dict(kernel="gaussian2d", size=1 * GB,
+             schemes=(Scheme.TS, Scheme.AS, Scheme.DOSAS),
+             title="Figure 10 — DOSAS vs AS vs TS, 1 GB"),
+    11: dict(bandwidth=True, size=256 * MB,
+             title="Figure 11 — achieved bandwidth, 256 MB"),
+    12: dict(bandwidth=True, size=512 * MB,
+             title="Figure 12 — achieved bandwidth, 512 MB"),
+}
+
+
+def _emit_series(title: str, series: dict, chart: bool, out,
+                 as_json: bool = False) -> None:
+    if as_json:
+        import json
+
+        print(json.dumps({"title": title, "series": series}), file=out)
+    elif chart:
+        print(render_chart(title, series), file=out)
+    else:
+        print(render_series(title, "n_requests", series), file=out)
+
+
+def cmd_figure(args, out=None) -> int:
+    """Regenerate one of the paper's figures."""
+    out = out if out is not None else sys.stdout
+    spec = FIGURES.get(args.number)
+    if spec is None:
+        print(f"error: no figure {args.number}; choose from "
+              f"{sorted(FIGURES)}", file=sys.stderr)
+        return 2
+    if spec.get("bandwidth"):
+        series = bandwidth_figure(spec["size"])
+    else:
+        series = figure_series(spec["kernel"], spec["size"],
+                               list(spec["schemes"]))
+    _emit_series(spec["title"], series, args.chart, out,
+                 as_json=getattr(args, "json", False))
+    return 0
+
+
+def cmd_table(args, out=None) -> int:
+    """Regenerate Table III or Table IV."""
+    out = out if out is not None else sys.stdout
+    if args.number == 3:
+        rows = table3_rows()
+        print(format_table(
+            ["kernel", "measured MB/s", "paper MB/s"],
+            [[r["kernel"], r["measured_mb_s"], r["paper_mb_s"] or "-"]
+             for r in rows],
+        ), file=out)
+        return 0
+    if args.number == 4:
+        rows = table4_rows(jitter=True)
+        print(format_table(
+            ["#", "situation", "algorithm", "practice", "judgment"],
+            [[r.situation, r.label, r.algorithm, r.practice,
+              "TRUE" if r.judgment else "FALSE"] for r in rows],
+        ), file=out)
+        print(f"accuracy: {table4_accuracy(rows):.1%} (paper: 95%)", file=out)
+        return 0
+    print("error: only tables 3 and 4 exist in the paper", file=sys.stderr)
+    return 2
+
+
+def cmd_run(args, out=None) -> int:
+    """Run one custom workload point under all three schemes."""
+    out = out if out is not None else sys.stdout
+    if args.kernel not in list_kernels():
+        print(f"error: unknown kernel {args.kernel!r}; known: "
+              f"{list_kernels()}", file=sys.stderr)
+        return 2
+    spec = WorkloadSpec(
+        kernel=args.kernel,
+        n_requests=args.requests,
+        request_bytes=args.mb * MB,
+        n_storage=args.storage_nodes,
+        jitter=args.jitter,
+        seed=args.seed,
+        kernel_slots=args.kernel_slots,
+    )
+    rows = []
+    for scheme in Scheme:
+        r = run_scheme(scheme, spec)
+        rows.append([scheme.value, r.makespan, r.bandwidth / MB,
+                     r.served_active, r.demoted, r.interrupted])
+    print(format_table(
+        ["scheme", "makespan (s)", "bandwidth (MB/s)",
+         "offloaded", "demoted", "migrated"],
+        rows,
+    ), file=out)
+    return 0
+
+
+def cmd_sweep(args, out=None) -> int:
+    """Sweep request counts for one kernel/size (a custom figure)."""
+    out = out if out is not None else sys.stdout
+    series = figure_series(
+        args.kernel, args.mb * MB,
+        [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+        counts=tuple(args.counts),
+    )
+    _emit_series(
+        f"{args.kernel} exec time (s), {args.mb} MB/request",
+        series, args.chart, out, as_json=getattr(args, "json", False),
+    )
+    return 0
+
+
+def cmd_calibrate(args, out=None) -> int:
+    """Measure this host's kernel rates (Table III methodology)."""
+    out = out if out is not None else sys.stdout
+    from repro.kernels.calibrate import calibration_table
+    from repro.kernels.registry import default_registry
+
+    kernels = None
+    if args.all:
+        kernels = [default_registry.get(n) for n in default_registry.names()]
+    rows = calibration_table(kernels=kernels, nbytes=args.mb * MB)
+    print(format_table(
+        ["kernel", "measured MB/s", "paper MB/s"],
+        [[r["kernel"], r["measured_mb_s"], r["paper_mb_s"] or "-"]
+         for r in rows],
+    ), file=out)
+    return 0
+
+
+def cmd_gantt(args, out=None) -> int:
+    """Run one workload point and draw its per-request timeline."""
+    out = out if out is not None else sys.stdout
+    from repro.analysis import records_from_scheme_result, render_gantt
+
+    if args.kernel not in list_kernels():
+        print(f"error: unknown kernel {args.kernel!r}", file=sys.stderr)
+        return 2
+    spec = WorkloadSpec(
+        kernel=args.kernel,
+        n_requests=args.requests,
+        request_bytes=args.mb * MB,
+        arrival_spacing=args.spacing,
+        probe_period=0.25,
+    )
+    scheme = Scheme(args.scheme)
+    result = run_scheme(scheme, spec)
+    records = records_from_scheme_result(result)
+    print(render_gantt(
+        records,
+        title=(f"{scheme.value.upper()} — {args.requests} x {args.mb} MB "
+               f"{args.kernel}, spacing {args.spacing}s"),
+    ), file=out)
+    return 0
+
+
+def cmd_trace(args, out=None) -> int:
+    """Generate, inspect or replay workload traces (JSON lines)."""
+    out = out if out is not None else sys.stdout
+    from repro.core import run_plan
+    from repro.workload import (
+        ArrivalPattern,
+        BatchApplication,
+        WorkloadGenerator,
+        load_trace,
+        save_trace,
+    )
+
+    if args.trace_command == "generate":
+        apps = []
+        for spec_str in args.apps:
+            parts = spec_str.split(":")
+            if len(parts) not in (3, 4):
+                print(f"error: app spec {spec_str!r} is not "
+                      "name:processes:mb[:operation]", file=sys.stderr)
+                return 2
+            name, nproc, mb = parts[0], int(parts[1]), int(parts[2])
+            operation = parts[3] if len(parts) == 4 else None
+            if operation is not None and operation not in list_kernels():
+                print(f"error: unknown kernel {operation!r}", file=sys.stderr)
+                return 2
+            apps.append(BatchApplication(name, nproc, mb * MB,
+                                         operation=operation))
+        plan = WorkloadGenerator(args.seed).plan(
+            apps, ArrivalPattern.POISSON if args.poisson else
+            ArrivalPattern.BATCH, rate=args.rate,
+        )
+        n = save_trace(plan, args.out)
+        print(f"wrote {n} requests to {args.out}", file=out)
+        return 0
+
+    if args.trace_command == "show":
+        plan = load_trace(args.file)
+        print(format_table(
+            ["app", "proc", "seq", "arrival (s)", "MB", "kind", "operation"],
+            [[r.app, r.process_index, r.sequence, r.arrival_time,
+              r.size // MB, "active" if r.active else "normal",
+              r.operation or "-"] for r in plan],
+        ), file=out)
+        return 0
+
+    if args.trace_command == "run":
+        plan = load_trace(args.file)
+        spec = WorkloadSpec(n_storage=args.storage_nodes, probe_period=0.25)
+        rows = []
+        schemes = [Scheme(args.scheme)] if args.scheme else list(Scheme)
+        for scheme in schemes:
+            r = run_plan(scheme, plan, spec)
+            rows.append([scheme.value, r.makespan, r.mean_latency,
+                         r.served_active, r.demoted, r.interrupted])
+        print(format_table(
+            ["scheme", "makespan (s)", "mean latency (s)",
+             "offloaded", "demoted", "migrated"],
+            rows,
+        ), file=out)
+        return 0
+
+    print("error: unknown trace subcommand", file=sys.stderr)
+    return 2
+
+
+def cmd_headline(args, out=None) -> int:
+    """The paper's Sec. IV-B.3 improvement claims."""
+    out = out if out is not None else sys.stdout
+    h = headline_improvements()
+    print(format_table(
+        ["contention", "vs", "measured", "paper"],
+        [
+            ["low (n=1)", "TS", f"{h['low_vs_ts']:.1%}", "~40%"],
+            ["low (n=1)", "AS", f"{h['low_vs_as']:.1%}", "~0%"],
+            ["high (n=32)", "AS", f"{h['high_vs_as']:.1%}", "~21%"],
+            ["high (n=32)", "TS", f"{h['high_vs_ts']:.1%}", "~0%"],
+        ],
+    ), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DOSAS (CLUSTER 2012) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int)
+    p.add_argument("--chart", action="store_true",
+                   help="draw a terminal line chart instead of a table")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of a table")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("table", help="regenerate a paper table (3 or 4)")
+    p.add_argument("number", type=int)
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("run", help="run one custom workload point")
+    p.add_argument("--kernel", default="gaussian2d")
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--mb", type=int, default=128)
+    p.add_argument("--storage-nodes", type=int, default=1)
+    p.add_argument("--kernel-slots", type=int, default=1)
+    p.add_argument("--jitter", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="sweep request counts")
+    p.add_argument("--kernel", default="gaussian2d")
+    p.add_argument("--mb", type=int, default=128)
+    p.add_argument("--counts", type=int, nargs="+",
+                   default=[1, 2, 4, 8, 16, 32, 64])
+    p.add_argument("--chart", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("calibrate", help="measure kernel rates on this host")
+    p.add_argument("--mb", type=int, default=8)
+    p.add_argument("--all", action="store_true",
+                   help="include extension kernels")
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("headline", help="the 40%%/21%% improvement claims")
+    p.set_defaults(func=cmd_headline)
+
+    p = sub.add_parser("gantt", help="per-request timeline of one run")
+    p.add_argument("--scheme", default="dosas", choices=[s.value for s in Scheme])
+    p.add_argument("--kernel", default="gaussian2d")
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--mb", type=int, default=128)
+    p.add_argument("--spacing", type=float, default=0.0)
+    p.set_defaults(func=cmd_gantt)
+
+    p = sub.add_parser("trace", help="generate / show / replay traces")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    g = trace_sub.add_parser("generate", help="build a trace from app specs")
+    g.add_argument("--apps", nargs="+", required=True,
+                   metavar="name:processes:mb[:operation]")
+    g.add_argument("--out", required=True)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--poisson", action="store_true")
+    g.add_argument("--rate", type=float, default=1.0)
+    g.set_defaults(func=cmd_trace)
+    s = trace_sub.add_parser("show", help="print a trace")
+    s.add_argument("file")
+    s.set_defaults(func=cmd_trace)
+    r = trace_sub.add_parser("run", help="replay a trace")
+    r.add_argument("file")
+    r.add_argument("--scheme", choices=[sv.value for sv in Scheme])
+    r.add_argument("--storage-nodes", type=int, default=1)
+    r.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

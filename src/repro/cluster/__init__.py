@@ -1,0 +1,42 @@
+"""Cluster model: nodes, CPUs, network links and system probes.
+
+The DOSAS paper evaluated its prototype on the Discfarm cluster at
+Texas Tech (Sec. IV-A): Dell PowerEdge nodes on 1 Gigabit Ethernet with
+a measured bandwidth of 118 MB/s, each storage node restricted to two
+cores, and compute nodes with the same per-core capability as storage
+nodes.  This subpackage reproduces that machine as a discrete-event
+model with every rate configurable, so both the paper's testbed and
+exascale-style what-if configurations can be simulated.
+"""
+
+from repro.cluster.config import (
+    ClusterConfig,
+    NodeSpec,
+    discfarm_config,
+    MB,
+    GB,
+    KB,
+)
+from repro.cluster.node import ComputeNode, CpuCores, Node, StorageNode
+from repro.cluster.network import FairShareLink, Link, SerialLink
+from repro.cluster.probe import NodeProber, SystemProbe
+from repro.cluster.topology import ClusterTopology
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterTopology",
+    "ComputeNode",
+    "CpuCores",
+    "FairShareLink",
+    "GB",
+    "KB",
+    "Link",
+    "MB",
+    "Node",
+    "NodeProber",
+    "NodeSpec",
+    "SerialLink",
+    "StorageNode",
+    "SystemProbe",
+    "discfarm_config",
+]

@@ -1,0 +1,174 @@
+"""Node models: CPU cores, memory, disks.
+
+A storage node in the paper owns two cores shared by all offloaded
+processing kernels; compute nodes run client-side kernels on their own
+cores.  ``CpuCores`` is the shared execution engine: it models a pool
+of cores, tracks utilisation for the Contention Estimator, and exposes
+an interruptible ``compute()`` process used by kernels (so the Active
+I/O Runtime can preempt them mid-execution and migrate the work).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.engine import Environment
+from repro.sim.exceptions import Interrupt
+from repro.sim.monitor import TimeWeightedStat
+from repro.sim.resources import Container, PriorityResource
+from repro.cluster.config import NodeSpec
+
+
+class CpuCores:
+    """A pool of CPU cores with utilisation accounting.
+
+    Kernels call :meth:`compute` inside their own process:
+
+    .. code-block:: python
+
+        done_bytes = yield from cores.compute(nbytes, rate)
+
+    ``rate`` is the kernel's calibrated single-core processing rate in
+    bytes/second (paper Table III); ``core_speed`` scales it.  The call
+    occupies exactly one core — matching the paper's per-request
+    execution model, where each active I/O's kernel runs on one core
+    and concurrency comes from multiple requests.
+
+    If the owning process is interrupted while computing, the core is
+    released and the :class:`~repro.sim.exceptions.Interrupt`
+    propagates to the caller, which is expected to checkpoint (see
+    ``repro.kernels.base``).  ``compute`` reports how many bytes were
+    finished before the interrupt through the exception's ``cause``
+    augmentation — callers use :func:`partial_progress`.
+    """
+
+    def __init__(self, env: Environment, spec: NodeSpec, name: str = "cpu") -> None:
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self._pool = PriorityResource(env, capacity=spec.cores)
+        self.busy = TimeWeightedStat(env.now, 0.0)
+
+    @property
+    def cores(self) -> int:
+        """Total cores."""
+        return self._pool.capacity
+
+    @property
+    def busy_cores(self) -> int:
+        """Cores currently executing."""
+        return self._pool.count
+
+    @property
+    def queued(self) -> int:
+        """Computations waiting for a core."""
+        return self._pool.queue_length
+
+    def utilization(self) -> float:
+        """Instantaneous fraction of busy cores in [0, 1]."""
+        return self._pool.count / self._pool.capacity
+
+    def mean_utilization(self) -> float:
+        """Time-weighted mean utilisation since creation."""
+        return self.busy.mean(self.env.now) / self._pool.capacity
+
+    def effective_rate(self, base_rate: float) -> float:
+        """Single-core processing rate for a kernel on this node."""
+        return base_rate * self.spec.core_speed
+
+    def compute(
+        self,
+        nbytes: float,
+        rate: float,
+        priority: int = 0,
+        already_done: float = 0.0,
+    ) -> Generator:
+        """Process ``nbytes - already_done`` bytes at ``rate`` B/s/core.
+
+        A plain generator to be driven with ``yield from`` inside the
+        calling process, so interrupts land in the caller's frame.
+        Returns the total bytes completed (== ``nbytes`` normally).
+
+        On interrupt, re-raises with the cause wrapped in
+        :class:`ComputeInterrupted` carrying the bytes completed so
+        far, so kernels can checkpoint precisely.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        remaining = nbytes - already_done
+        if remaining <= 0:
+            return nbytes
+
+        req = self._pool.request(priority=priority)
+        try:
+            yield req
+        except Interrupt as intr:
+            req.cancel()
+            raise ComputeInterrupted(intr.cause, already_done) from None
+
+        self.busy.update(self.env.now, float(self._pool.count))
+        started = self.env.now
+        speed = self.effective_rate(rate)
+        try:
+            yield self.env.timeout(remaining / speed)
+        except Interrupt as intr:
+            progressed = (self.env.now - started) * speed
+            done = min(nbytes, already_done + progressed)
+            req.cancel()
+            self.busy.update(self.env.now, float(self._pool.count))
+            raise ComputeInterrupted(intr.cause, done) from None
+
+        req.cancel()
+        self.busy.update(self.env.now, float(self._pool.count))
+        return nbytes
+
+
+class ComputeInterrupted(Interrupt):
+    """Interrupt enriched with the bytes completed before preemption."""
+
+    def __init__(self, cause, bytes_done: float) -> None:
+        super().__init__(cause)
+        self.bytes_done = bytes_done
+
+
+class Node:
+    """Base node: identity, cores, memory."""
+
+    def __init__(self, env: Environment, name: str, spec: NodeSpec) -> None:
+        self.env = env
+        self.name = name
+        self.spec = spec
+        self.cpu = CpuCores(env, spec, name=f"{name}.cpu")
+        self.memory = Container(env, capacity=float(spec.memory_bytes), init=0.0)
+
+    def memory_utilization(self) -> float:
+        """Fraction of RAM currently claimed by kernel buffers."""
+        return self.memory.level / self.memory.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} cores={self.spec.cores}>"
+
+
+class ComputeNode(Node):
+    """A client node running application processes and the ASC."""
+
+
+class StorageNode(Node):
+    """A server node: disk plus the I/O request queue of Figure 1.
+
+    The actual queue object is attached by the PVFS server
+    (``repro.pvfs.server``); the node only supplies hardware.
+    """
+
+    def __init__(self, env: Environment, name: str, spec: NodeSpec) -> None:
+        super().__init__(env, name, spec)
+        self.disk_bandwidth = spec.disk_bandwidth
+
+    def disk_read(self, nbytes: float) -> Generator:
+        """Read ``nbytes`` from local disk (yield from inside a process)."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
+        yield self.env.timeout(nbytes / self.disk_bandwidth)
+        return nbytes

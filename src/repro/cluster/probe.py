@@ -1,0 +1,114 @@
+"""System-state probes for the Contention Estimator.
+
+Paper Sec. III-A: "A Contention Estimator (CE) periodically probes the
+system state, including CPU utilization, memory utilization and I/O
+queue."  :class:`SystemProbe` is the snapshot; :class:`NodeProber`
+produces one from a storage node plus its attached I/O queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.node import StorageNode
+
+
+@dataclass(frozen=True)
+class SystemProbe:
+    """One snapshot of a storage node's state.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the probe.
+    cpu_utilization:
+        Fraction of the node's cores busy, in [0, 1].
+    memory_utilization:
+        Fraction of RAM claimed, in [0, 1].
+    io_queue_length:
+        n — total I/O requests queued (paper Table II notation).
+    active_queue_length:
+        k — active I/O requests among them.
+    queued_bytes:
+        D — total request data size in the queue.
+    active_bytes:
+        D_A — data requested by active I/Os.
+    running_kernels:
+        Kernels presently executing on the node's cores.
+    """
+
+    time: float
+    cpu_utilization: float
+    memory_utilization: float
+    io_queue_length: int
+    active_queue_length: int
+    queued_bytes: float
+    active_bytes: float
+    running_kernels: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cpu_utilization <= 1 + 1e-9:
+            raise ValueError(f"cpu_utilization out of range: {self.cpu_utilization}")
+        if not 0 <= self.memory_utilization <= 1 + 1e-9:
+            raise ValueError(
+                f"memory_utilization out of range: {self.memory_utilization}"
+            )
+        if self.io_queue_length < 0 or self.active_queue_length < 0:
+            raise ValueError("queue lengths must be non-negative")
+        if self.active_queue_length > self.io_queue_length:
+            raise ValueError("active queue cannot exceed total queue")
+
+    @property
+    def normal_bytes(self) -> float:
+        """D_N — data requested by normal I/Os (D = D_A + D_N)."""
+        return self.queued_bytes - self.active_bytes
+
+    @property
+    def is_saturated(self) -> bool:
+        """True when every core is busy — new offloads will queue."""
+        return self.cpu_utilization >= 1.0 - 1e-9
+
+
+class NodeProber:
+    """Samples a :class:`StorageNode` and its I/O queue.
+
+    Parameters
+    ----------
+    node:
+        The storage node to observe.
+    queue_inspector:
+        Zero-argument callable returning
+        ``(n, k, total_bytes, active_bytes)`` for the node's I/O queue.
+        Supplied by the PVFS server, which owns the queue.
+    """
+
+    def __init__(
+        self,
+        node: StorageNode,
+        queue_inspector: Optional[Callable[[], tuple]] = None,
+    ) -> None:
+        self.node = node
+        self.queue_inspector = queue_inspector or (lambda: (0, 0, 0.0, 0.0))
+        #: Retained history of probes (most recent last).
+        self.history: List[SystemProbe] = []
+
+    def probe(self) -> SystemProbe:
+        """Take and record a snapshot now."""
+        n, k, total_bytes, active_bytes = self.queue_inspector()
+        snap = SystemProbe(
+            time=self.node.env.now,
+            cpu_utilization=min(1.0, self.node.cpu.utilization()),
+            memory_utilization=min(1.0, self.node.memory_utilization()),
+            io_queue_length=int(n),
+            active_queue_length=int(k),
+            queued_bytes=float(total_bytes),
+            active_bytes=float(active_bytes),
+            running_kernels=self.node.cpu.busy_cores,
+        )
+        self.history.append(snap)
+        return snap
+
+    def latest(self) -> Optional[SystemProbe]:
+        """Most recent probe, or None before the first probe."""
+        return self.history[-1] if self.history else None

@@ -1,0 +1,96 @@
+"""DOSAS core — the paper's contribution.
+
+Components (paper Sec. III):
+
+``model``
+    The analytic cost model of Table II / Eq. 1–7: f(x), g(x), h(x),
+    T_A, T_N, and the per-request x_i, y_i, z terms.
+``scheduler``
+    The 0/1 offload optimisation (Eq. 8): the paper's exhaustive
+    matrix enumeration (Eq. 9–11), an exact branch-and-bound, an exact
+    O(k²) threshold solver, and a naive greedy baseline.
+``estimator``
+    The Contention Estimator: probes CPU/memory/queue state and emits
+    scheduling policies.  Static estimators (always-offload /
+    never-offload) express the AS and TS baselines in the same
+    machinery.
+``runtime``
+    The Active I/O Runtime (R): executes kernels on storage cores,
+    demotes requests the policy rejects, interrupts and checkpoints
+    running kernels on policy reversals.
+``ass`` / ``asc``
+    Active Storage Server and Active Storage Client — the two deployed
+    halves wiring runtime+estimator to the PVFS server and finishing
+    demoted work on compute nodes.
+``schemes``
+    End-to-end TS / AS / DOSAS workload runners producing the numbers
+    behind every figure in the paper's evaluation.
+"""
+
+from repro.core.model import CostModel, RequestCost, SchedulingInstance
+from repro.core.scheduler import (
+    BranchAndBoundScheduler,
+    ExhaustiveScheduler,
+    GreedyScheduler,
+    Scheduler,
+    SchedulerDecision,
+    ThresholdScheduler,
+    make_scheduler,
+)
+from repro.core.policy import Decision, SchedulingPolicy
+from repro.core.estimator import (
+    AlwaysOffloadEstimator,
+    ContentionEstimator,
+    DOSASEstimator,
+    NeverOffloadEstimator,
+)
+from repro.core.runtime import ActiveIORuntime, RuntimeConfig
+from repro.core.ass import ActiveStorageServer
+from repro.core.asc import ActiveStorageClient, ActiveReadOutcome
+from repro.core.schemes import (
+    Scheme,
+    SchemeResult,
+    WorkloadSpec,
+    run_scheme,
+)
+from repro.core.planrun import PlanResult, RequestOutcome, run_plan
+from repro.core.advisor import Advisor, Prediction
+from repro.core.estimators_ext import (
+    HysteresisDOSASEstimator,
+    SmoothedDOSASEstimator,
+)
+
+__all__ = [
+    "ActiveIORuntime",
+    "Advisor",
+    "HysteresisDOSASEstimator",
+    "Prediction",
+    "SmoothedDOSASEstimator",
+    "ActiveReadOutcome",
+    "ActiveStorageClient",
+    "ActiveStorageServer",
+    "AlwaysOffloadEstimator",
+    "BranchAndBoundScheduler",
+    "ContentionEstimator",
+    "CostModel",
+    "DOSASEstimator",
+    "Decision",
+    "ExhaustiveScheduler",
+    "GreedyScheduler",
+    "NeverOffloadEstimator",
+    "PlanResult",
+    "RequestCost",
+    "RequestOutcome",
+    "RuntimeConfig",
+    "Scheduler",
+    "SchedulerDecision",
+    "SchedulingInstance",
+    "SchedulingPolicy",
+    "Scheme",
+    "SchemeResult",
+    "ThresholdScheduler",
+    "WorkloadSpec",
+    "make_scheduler",
+    "run_plan",
+    "run_scheme",
+]

@@ -1,0 +1,157 @@
+"""Offline what-if advisor built on the analytic model.
+
+The DOSAS cost model (Eq. 1–7) is useful beyond the online scheduler:
+given a planned workload and machine, it predicts each scheme's
+completion time *without simulating*, and recommends a configuration.
+This realises the paper's closing suggestion that DOSAS "could serve
+as part of a high performance I/O subsystem" — capacity planning is
+the first thing an operator asks of such a subsystem.
+
+Predictions use the same additive model the scheduler optimises, so
+they inherit its documented blind spots (no compute/transfer overlap);
+``predict_error`` quantifies the gap against the simulator for any
+point, which the test suite bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig, discfarm_config
+from repro.core.model import CostModel, SchedulingInstance
+from repro.core.scheduler import Scheduler, ThresholdScheduler
+from repro.core.schemes import Scheme, WorkloadSpec, run_scheme
+from repro.kernels.costs import KernelCostModel
+from repro.kernels.registry import default_registry
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Analytic completion-time estimates for one workload point."""
+
+    t_traditional: float      # T_N (Eq. 2–3)
+    t_active: float           # T_A (Eq. 1)
+    t_dosas: float            # optimum of Eq. 4
+    recommended: Scheme
+    n_offloaded: int          # requests DOSAS keeps active
+
+    @property
+    def dosas_gain_vs_best_static(self) -> float:
+        """Fractional time saved vs the better static scheme."""
+        best = min(self.t_traditional, self.t_active)
+        if best <= 0:
+            return 0.0
+        return (best - self.t_dosas) / best
+
+
+class Advisor:
+    """Predicts scheme performance from the paper's cost model."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        self.config = config or discfarm_config()
+        self.scheduler = scheduler or ThresholdScheduler()
+
+    def _model(self, kernel_name: str) -> CostModel:
+        kernel = default_registry.get(kernel_name)
+        cost = KernelCostModel(
+            name=kernel_name, rate=kernel.rate,
+            result_bytes=kernel.result_bytes,
+        )
+        return CostModel(
+            kernel=cost,
+            storage_capability=kernel.rate * self.config.storage_spec.core_speed,
+            compute_capability=kernel.rate * self.config.compute_spec.core_speed,
+            bandwidth=self.config.network_bandwidth,
+        )
+
+    def predict(
+        self,
+        kernel: str,
+        sizes: Sequence[float],
+        normal_bytes: float = 0.0,
+    ) -> Prediction:
+        """Predict all three schemes for ``sizes`` active requests.
+
+        ``normal_bytes`` adds background normal-I/O traffic on the
+        same storage node (paper Table II's D_N).
+        """
+        if not sizes:
+            raise ValueError("need at least one request")
+        model = self._model(kernel)
+        t_a = model.t_all_active(sizes, normal_bytes)
+        t_n = model.t_all_normal(sizes, normal_bytes)
+        instance = SchedulingInstance.from_sizes(model, sizes)
+        decision = self.scheduler.solve(instance)
+        t_d = decision.value + model.g(normal_bytes)
+        best = min(
+            ((t_n, Scheme.TS), (t_a, Scheme.AS), (t_d, Scheme.DOSAS)),
+            key=lambda pair: pair[0],
+        )
+        return Prediction(
+            t_traditional=t_n,
+            t_active=t_a,
+            t_dosas=t_d,
+            recommended=best[1],
+            n_offloaded=decision.n_active,
+        )
+
+    def sweep(
+        self,
+        kernel: str,
+        request_bytes: float,
+        counts: Sequence[int],
+    ) -> List[Tuple[int, Prediction]]:
+        """Predictions across a request-count sweep."""
+        return [
+            (n, self.predict(kernel, [float(request_bytes)] * n))
+            for n in counts
+        ]
+
+    def crossover(
+        self,
+        kernel: str,
+        request_bytes: float,
+        max_requests: int = 1024,
+    ) -> Optional[int]:
+        """The smallest n at which TS's prediction beats AS's.
+
+        None when active storage wins at every tested scale — the
+        paper's SUM regime.
+        """
+        for n in range(1, max_requests + 1):
+            p = self.predict(kernel, [float(request_bytes)] * n)
+            if p.t_traditional < p.t_active:
+                return n
+        return None
+
+    def predict_error(
+        self,
+        kernel: str,
+        n_requests: int,
+        request_bytes: int,
+    ) -> Dict[str, float]:
+        """|analytic − simulated| / simulated for each scheme.
+
+        Quantifies how far the Eq. 4 additive model strays from the
+        event-level simulation at one point (the model ignores
+        compute/transfer overlap, so DOSAS error is the largest near
+        the crossover).
+        """
+        sizes = [float(request_bytes)] * n_requests
+        pred = self.predict(kernel, sizes)
+        out = {}
+        for scheme, predicted in (
+            (Scheme.TS, pred.t_traditional),
+            (Scheme.AS, pred.t_active),
+            (Scheme.DOSAS, pred.t_dosas),
+        ):
+            spec = WorkloadSpec(kernel=kernel, n_requests=n_requests,
+                                request_bytes=request_bytes)
+            simulated = run_scheme(scheme, spec).makespan
+            out[scheme.value] = abs(predicted - simulated) / simulated
+        return out

@@ -1,0 +1,221 @@
+"""The Active Storage Client (ASC) — paper Sec. III-B.
+
+"The ASC is a process that runs on the system's compute nodes ...  it
+has two functionalities: serving as an interface for applications, and
+assisting the storage nodes to complete active I/O without the
+intervention of application developers when the I/O is treated as
+normal I/O by storage nodes."
+
+"When the ASC receives an active I/O, it will register the operation,
+I/O size ... and its fh at local, and then transfer the request to the
+R ...  When the ASC receives the result of the I/O, it will first
+check the completed argument: if it equals 0, it will manage the rest
+of the processing until it has completed; if it equals 1, it will
+return the result to the requesting application process directly."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.engine import Environment
+from repro.cluster.node import ComputeNode
+from repro.kernels.base import Kernel, KernelCheckpoint
+from repro.kernels.registry import KernelRegistry, default_registry
+from repro.pvfs.client import PVFSClient
+from repro.pvfs.filehandle import FileHandle
+from repro.pvfs.requests import IOReply, read_extent_stream, slice_extents
+
+
+@dataclass
+class _Registration:
+    """The ASC's local record of one active I/O (paper Sec. III-B)."""
+
+    operation: str
+    size: int
+    fh: FileHandle
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ActiveReadOutcome:
+    """What an application gets back from one active read.
+
+    Attributes
+    ----------
+    result:
+        The combined kernel result (None in timing-only runs).
+    served_active:
+        Per-server flags: True where the storage side completed the
+        kernel.
+    demotions:
+        How many per-server requests the client had to finish.
+    client_bytes_read:
+        Bytes the ASC pulled over normal reads to finish demoted work.
+    client_compute_bytes:
+        Bytes the client-side kernels processed.
+    finished_at:
+        Simulation time everything (including client-side work) done.
+    output_files:
+        Names of output files filter kernels wrote at storage nodes
+        (Son et al. write-back convention); empty for reductions and
+        for demoted pieces (whose output is returned directly).
+    """
+
+    result: Any
+    served_active: List[bool]
+    demotions: int
+    client_bytes_read: int
+    client_compute_bytes: int
+    finished_at: float
+    output_files: List[str] = field(default_factory=list)
+
+
+class ActiveStorageClient:
+    """One compute node's ASC."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: ComputeNode,
+        pvfs: PVFSClient,
+        registry: Optional[KernelRegistry] = None,
+        execute_kernels: bool = False,
+        client_speed_factor: float = 1.0,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.pvfs = pvfs
+        #: Client-side PK deployment (shared instances — kernels are
+        #: stateless; see ActiveStorageServer).
+        self.registry = registry or default_registry
+        self.execute_kernels = execute_kernels
+        self.client_speed_factor = float(client_speed_factor)
+        #: rid-independent registration log (operation, size, fh).
+        self.registrations: List[_Registration] = []
+
+    # -- application-facing API ---------------------------------------------------
+    def read_ex(
+        self,
+        fh: FileHandle,
+        operation: str,
+        offset: int = 0,
+        size: Optional[int] = None,
+        meta: Optional[dict] = None,
+    ):
+        """Active read: the engine behind ``MPI_File_read_ex``.
+
+        Simulation process returning an :class:`ActiveReadOutcome`.
+        Every per-server reply with ``completed == 0`` is finished
+        locally: normal read of the remaining extent, then the
+        client-side kernel (resuming any checkpoint).
+        """
+        size = fh.size - offset if size is None else size
+        self.registrations.append(
+            _Registration(operation=operation, size=size, fh=fh, meta=dict(meta or {}))
+        )
+        replies: List[IOReply] = yield from self.pvfs.read_active(
+            fh, operation, offset=offset, size=size, meta=meta
+        )
+
+        kernel = self.registry.get(operation)
+        partials: List[Any] = []
+        served_flags: List[bool] = []
+        output_files: List[str] = []
+        demotions = 0
+        client_bytes = 0
+        client_compute = 0
+
+        for reply in replies:
+            if reply.completed:
+                served_flags.append(True)
+                partials.append(reply.result)
+                if reply.output_file:
+                    output_files.append(reply.output_file)
+                continue
+            served_flags.append(False)
+            demotions += 1
+            partial, nread, ncomp = yield from self._finish_demoted(
+                kernel, reply, operation, meta
+            )
+            partials.append(partial)
+            client_bytes += nread
+            client_compute += ncomp
+
+        result = self._combine(kernel, partials)
+        return ActiveReadOutcome(
+            result=result,
+            served_active=served_flags,
+            demotions=demotions,
+            client_bytes_read=client_bytes,
+            client_compute_bytes=client_compute,
+            finished_at=self.env.now,
+            output_files=output_files,
+        )
+
+    def read(self, fh: FileHandle, offset: int = 0, size: Optional[int] = None):
+        """Plain read passthrough (simulation process)."""
+        replies = yield from self.pvfs.read(fh, offset=offset, size=size)
+        return replies
+
+    # -- demotion completion (paper: "manage the rest of the processing") ----------
+    def _finish_demoted(
+        self,
+        kernel: Kernel,
+        reply: IOReply,
+        operation: str,
+        meta: Optional[dict],
+    ):
+        """Normal-read the remaining data and run the client-side PK.
+
+        Returns ``(partial_result, bytes_read, bytes_computed)``.
+        """
+        checkpoint: Optional[KernelCheckpoint] = reply.checkpoint
+        done = reply.bytes_done
+        remaining = int(reply.remaining)
+        # The unprocessed data is the tail of the request's extent
+        # stream — for striped requests that tail spans several file
+        # pieces; each is read with its own normal I/O.
+        pieces = slice_extents(reply.extents, done, remaining)
+
+        for file_offset, nbytes in pieces:
+            yield from self.pvfs.read(reply.fh, offset=file_offset, size=nbytes)
+
+        # Client-side compute at C_{C,op} on this node's cores.
+        if remaining > 0:
+            yield from self.node.cpu.compute(
+                float(remaining),
+                kernel.rate * self.client_speed_factor,
+            )
+
+        partial = None
+        if self.execute_kernels:
+            file = self.pvfs.mds.lookup(reply.fh.name)
+            state = (
+                kernel.resume(checkpoint)
+                if checkpoint is not None and checkpoint.records
+                else kernel.init_state(self._meta_for(reply.fh, meta))
+            )
+            if remaining > 0:
+                data = read_extent_stream(file, reply.extents, done, remaining,
+                                          dtype=kernel.dtype)
+                kernel.process_chunk(state, data)
+            partial = kernel.finalize(state)
+        return partial, int(remaining), int(remaining)
+
+    def _combine(self, kernel: Kernel, partials: List[Any]):
+        if not self.execute_kernels:
+            return None
+        real = [p for p in partials if p is not None]
+        if not real:
+            return None
+        if len(real) == 1:
+            return real[0]
+        return kernel.combine(real)
+
+    @staticmethod
+    def _meta_for(fh: FileHandle, meta: Optional[dict]) -> Optional[dict]:
+        merged = dict(fh.meta_dict)
+        merged.update(meta or {})
+        return merged or None

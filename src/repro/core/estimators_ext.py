@@ -1,0 +1,125 @@
+"""Extended Contention Estimators (paper future-work directions).
+
+The baseline :class:`~repro.core.estimator.DOSASEstimator` decides
+from the instantaneous probe.  Two refinements address its documented
+weaknesses:
+
+``SmoothedDOSASEstimator``
+    Exponentially smooths the probed state across probes, so one noisy
+    sample (a transient queue spike, one jittery transfer) cannot flip
+    the policy.  Targets the paper's misjudgment cause (1): parameter
+    variation.
+
+``HysteresisDOSASEstimator``
+    Requires the solver's verdict for a request to persist across
+    ``confirmations`` consecutive evaluations before a *reversal* is
+    enforced.  Prevents policy flapping — repeated interrupt/migrate
+    cycles that each pay checkpoint and re-read costs — under arrival
+    patterns that hover near the crossover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.probe import SystemProbe
+from repro.core.estimator import DOSASEstimator
+from repro.core.policy import Decision, SchedulingPolicy
+from repro.pvfs.requests import IORequest
+
+
+class SmoothedDOSASEstimator(DOSASEstimator):
+    """EWMA smoothing of probe state before solving.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing weight of the newest sample in (0, 1]; 1 reduces to
+        the base estimator.
+    """
+
+    def __init__(self, *args, alpha: float = 0.3, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._smoothed_cpu: Optional[float] = None
+        self._smoothed_mem: Optional[float] = None
+
+    def _smooth(self, previous: Optional[float], sample: float) -> float:
+        if previous is None:
+            return sample
+        return self.alpha * sample + (1 - self.alpha) * previous
+
+    def storage_capability(self, op: str, probe: SystemProbe) -> float:
+        self._smoothed_cpu = self._smooth(self._smoothed_cpu, probe.cpu_utilization)
+        self._smoothed_mem = self._smooth(
+            self._smoothed_mem, probe.memory_utilization
+        )
+        model = self._model(op)
+        rate = model.rate
+        if self.degrade_by_cpu:
+            rate *= max(0.1, 1.0 - self._smoothed_cpu)
+        return rate
+
+
+class HysteresisDOSASEstimator(DOSASEstimator):
+    """Verdict reversals must be confirmed before they are enforced.
+
+    A request's very first verdict applies immediately (nothing to
+    flap against); subsequent *changes* only take effect after the
+    solver has produced the new verdict ``confirmations`` times in a
+    row.
+    """
+
+    def __init__(self, *args, confirmations: int = 2, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if confirmations < 1:
+            raise ValueError("confirmations must be >= 1")
+        self.confirmations = int(confirmations)
+        #: rid → (currently enforced verdict, candidate verdict, streak).
+        self._state: Dict[int, tuple] = {}
+
+    def evaluate(
+        self,
+        requests: List[IORequest],
+        running: List[IORequest],
+    ) -> SchedulingPolicy:
+        raw = super().evaluate(requests, running)
+        final = SchedulingPolicy(
+            generated_at=raw.generated_at,
+            default=raw.default,
+            probe=raw.probe,
+            objective_value=raw.objective_value,
+        )
+        seen = set()
+        for rid, proposed in raw.decisions.items():
+            seen.add(rid)
+            enforced, candidate, streak = self._state.get(
+                rid, (None, None, 0)
+            )
+            if enforced is None:
+                enforced = proposed
+                candidate, streak = None, 0
+            elif proposed is enforced:
+                candidate, streak = None, 0
+            else:
+                if proposed is candidate:
+                    streak += 1
+                else:
+                    candidate, streak = proposed, 1
+                if streak >= self.confirmations:
+                    enforced = proposed
+                    candidate, streak = None, 0
+            self._state[rid] = (enforced, candidate, streak)
+            final.decisions[rid] = enforced
+        # Drop bookkeeping for requests that left the system.
+        for rid in [r for r in self._state if r not in seen]:
+            del self._state[rid]
+
+        running_demoted = any(
+            final.decisions.get(r.rid) is Decision.NORMAL for r in running
+        )
+        final.interrupt_running = running_demoted
+        self.policy_log[-1] = final
+        return final

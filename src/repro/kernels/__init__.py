@@ -1,0 +1,81 @@
+"""Processing Kernels (PKs) — paper Sec. III-E.
+
+"The Processing Kernels component in the architecture is a collection
+of predefined analysis kernels that are widely used in data-intensive
+applications ... our approach employs a PKs component both at the
+client side and storage side."
+
+Every kernel here exists in two coupled forms:
+
+1. **Real execution** — an actual numpy implementation operating on
+   arrays, with *chunked* streaming execution so a kernel can be
+   interrupted between chunks, checkpoint its state (the paper's
+   ``variable name, variable type, value`` records), and be resumed on
+   a different node.  Used by the examples and by rate calibration
+   (paper Table III).
+2. **Cost model** — the calibrated single-core processing rate
+   (bytes/s) and result-size function h(x) consumed by the simulator
+   and by the DOSAS scheduling algorithm.
+
+The paper evaluates two kernels: SUM (860 MB/s/core) and a 2-D
+Gaussian filter (80 MB/s/core).  The extended set (minmax, mean,
+variance, histogram, threshold-count, Sobel, wordcount) realises the
+paper's future-work direction of a richer kernel library.
+"""
+
+from repro.kernels.base import (
+    Kernel,
+    KernelCheckpoint,
+    KernelExecutionError,
+    KernelState,
+)
+from repro.kernels.costs import KernelCostModel, PAPER_RATES
+from repro.kernels.registry import (
+    KernelRegistry,
+    default_registry,
+    get_kernel,
+    list_kernels,
+    register_kernel,
+)
+from repro.kernels.sumk import SumKernel
+from repro.kernels.gaussian import Gaussian2DKernel
+from repro.kernels.extra import (
+    HistogramKernel,
+    MeanKernel,
+    MinMaxKernel,
+    SobelKernel,
+    ThresholdCountKernel,
+    VarianceKernel,
+    WordCountKernel,
+)
+from repro.kernels.resample import DownsampleKernel
+from repro.kernels.text import EntropyKernel, GrepKernel
+from repro.kernels.calibrate import calibrate_rate, calibration_table
+
+__all__ = [
+    "DownsampleKernel",
+    "EntropyKernel",
+    "Gaussian2DKernel",
+    "GrepKernel",
+    "HistogramKernel",
+    "Kernel",
+    "KernelCheckpoint",
+    "KernelCostModel",
+    "KernelExecutionError",
+    "KernelRegistry",
+    "KernelState",
+    "MeanKernel",
+    "MinMaxKernel",
+    "PAPER_RATES",
+    "SobelKernel",
+    "SumKernel",
+    "ThresholdCountKernel",
+    "VarianceKernel",
+    "WordCountKernel",
+    "calibrate_rate",
+    "calibration_table",
+    "default_registry",
+    "get_kernel",
+    "list_kernels",
+    "register_kernel",
+]

@@ -1,0 +1,117 @@
+"""Kernel cost models — the simulator-facing view of a kernel.
+
+Paper Table III gives measured single-core processing rates on the
+Discfarm nodes:
+
+=================  ==========================================  =============
+Benchmark          Computation per data item                   Rate
+=================  ==========================================  =============
+SUM                1 addition                                   860 MB/s
+2D Gaussian Filter 9 multiplies, 9 adds, 1 divide               80 MB/s
+=================  ==========================================  =============
+
+Those two constants, together with the 118 MB/s network, fully
+determine the paper's crossovers; we inject them so the reproduced
+figures share the paper's shape regardless of the host machine's
+actual numpy speeds (the real rates are still measured by
+``repro.kernels.calibrate`` and reported next to the paper's — see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+MB = 1024 * 1024
+
+#: Paper Table III rates, bytes/second/core.
+PAPER_RATES: Dict[str, float] = {
+    "sum": 860 * MB,
+    "gaussian2d": 80 * MB,
+}
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """What the scheduler and simulator know about a kernel.
+
+    Attributes
+    ----------
+    name:
+        Registered kernel name (``op`` in the paper's notation).
+    rate:
+        S_{C,op} at full dedication: bytes/s a single dedicated core
+        processes.  The Contention Estimator scales this down by
+        observed load (paper: "estimated by the CE according to its max
+        value ... and the current system environment").
+    result_bytes:
+        h(x) — size of the result computed on x bytes of input
+        (paper Table II).
+    flops_per_byte:
+        Arithmetic intensity, for documentation and ablations.
+    """
+
+    name: str
+    rate: float
+    result_bytes: Callable[[float], float]
+    flops_per_byte: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    def compute_time(self, nbytes: float, capability: Optional[float] = None) -> float:
+        """f(x) = x / S_{C,op} (paper Table II).
+
+        ``capability`` overrides the dedicated-core rate with the
+        estimator's degraded value when the node is loaded.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
+        return nbytes / (capability if capability is not None else self.rate)
+
+    def h(self, nbytes: float) -> float:
+        """Alias matching the paper's notation."""
+        return self.result_bytes(nbytes)
+
+
+def reduction_result(_x: float) -> float:
+    """h(x) for reduction kernels: one scalar, 8 bytes."""
+    return 8.0
+
+
+def ack_result(_x: float) -> float:
+    """h(x) for filter kernels whose output is written back to the
+    parallel file system at the storage node.
+
+    Only a small acknowledgement/status record crosses the network —
+    this is how active storage saves bandwidth for filters whose output
+    equals the input size (Son et al. [22], whose kernel design the
+    paper adopts, write results to a companion output file).
+    """
+    return 4096.0
+
+
+def identity_result(x: float) -> float:
+    """h(x) = x: the full result is returned (worst case for AS)."""
+    return float(x)
+
+
+def make_paper_model(name: str) -> KernelCostModel:
+    """Cost model for one of the paper's two benchmarks."""
+    if name == "sum":
+        return KernelCostModel(
+            name="sum",
+            rate=PAPER_RATES["sum"],
+            result_bytes=reduction_result,
+            flops_per_byte=1 / 8,
+        )
+    if name == "gaussian2d":
+        return KernelCostModel(
+            name="gaussian2d",
+            rate=PAPER_RATES["gaussian2d"],
+            result_bytes=ack_result,
+            flops_per_byte=19 / 8,
+        )
+    raise KeyError(f"no paper model for kernel {name!r}")

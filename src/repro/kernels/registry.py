@@ -1,0 +1,123 @@
+"""Kernel registry — PK deployment at both compute and storage side.
+
+The paper deploys the Processing Kernels "both at storage nodes and
+compute nodes" so a demoted active I/O can be finished client-side
+"without further application intervention".  A :class:`KernelRegistry`
+is therefore instantiated once per side; the module-level default
+registry is pre-populated with every built-in kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.kernels.base import Kernel, KernelExecutionError
+
+
+class KernelRegistry:
+    """Name → kernel-factory mapping with instance caching."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], Kernel]] = {}
+        self._instances: Dict[str, Kernel] = {}
+
+    def register(self, kernel_cls: Type[Kernel], **kwargs) -> Type[Kernel]:
+        """Register a kernel class (usable as a decorator).
+
+        ``kwargs`` are fixed constructor arguments (e.g. histogram bin
+        count for a named variant).
+        """
+        name = kernel_cls.name
+        if not name:
+            raise KernelExecutionError(f"{kernel_cls.__name__} has no name")
+        if name in self._factories:
+            raise KernelExecutionError(f"kernel {name!r} already registered")
+        self._factories[name] = lambda: kernel_cls(**kwargs)
+        return kernel_cls
+
+    def register_factory(self, name: str, factory: Callable[[], Kernel]) -> None:
+        """Register an arbitrary zero-arg factory under ``name``."""
+        if name in self._factories:
+            raise KernelExecutionError(f"kernel {name!r} already registered")
+        self._factories[name] = factory
+
+    def get(self, name: str) -> Kernel:
+        """A (cached) kernel instance for ``name``."""
+        if name not in self._instances:
+            try:
+                factory = self._factories[name]
+            except KeyError:
+                raise KernelExecutionError(
+                    f"unknown kernel {name!r}; registered: {sorted(self._factories)}"
+                ) from None
+            self._instances[name] = factory()
+        return self._instances[name]
+
+    def names(self) -> List[str]:
+        """Sorted registered kernel names."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def fresh(self) -> "KernelRegistry":
+        """A copy with the same factories but no cached instances.
+
+        Used to give each simulated node its own PK deployment.
+        """
+        clone = KernelRegistry()
+        clone._factories = dict(self._factories)
+        return clone
+
+
+def _build_default() -> KernelRegistry:
+    from repro.kernels.sumk import SumKernel
+    from repro.kernels.gaussian import Gaussian2DKernel
+    from repro.kernels.extra import (
+        HistogramKernel,
+        MeanKernel,
+        MinMaxKernel,
+        SobelKernel,
+        ThresholdCountKernel,
+        VarianceKernel,
+        WordCountKernel,
+    )
+    from repro.kernels.resample import DownsampleKernel
+    from repro.kernels.text import EntropyKernel, GrepKernel
+
+    registry = KernelRegistry()
+    for cls in (
+        SumKernel,
+        Gaussian2DKernel,
+        MinMaxKernel,
+        MeanKernel,
+        VarianceKernel,
+        HistogramKernel,
+        ThresholdCountKernel,
+        SobelKernel,
+        WordCountKernel,
+        GrepKernel,
+        EntropyKernel,
+        DownsampleKernel,
+    ):
+        registry.register(cls)
+    return registry
+
+
+#: Process-wide default registry with every built-in kernel.
+default_registry: KernelRegistry = _build_default()
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up ``name`` in the default registry."""
+    return default_registry.get(name)
+
+
+def list_kernels() -> List[str]:
+    """Names in the default registry."""
+    return default_registry.names()
+
+
+def register_kernel(kernel_cls: Type[Kernel], **kwargs) -> Type[Kernel]:
+    """Register a custom kernel class in the default registry."""
+    return default_registry.register(kernel_cls, **kwargs)

@@ -1,0 +1,59 @@
+"""Enhanced MPI-IO interface — paper Sec. III-B, Table I.
+
+"To support the DOSAS architecture, we have extended only one MPI-IO
+function.  Our enhanced MPI-IO file call, ``MPI_File_read_ex()``, is a
+simple extension to the existing ``MPI_File_read()`` call ... The new
+API takes all the arguments in the original one and an additional
+argument that specifies the operations to be executed on the storage
+nodes.  In addition, a simple structure type is used to encapsulate
+the buf arguments."
+
+This package provides that interface over the simulated cluster:
+
+.. code-block:: python
+
+    ctx = MPIIOContext(env, asc)
+    fh = ctx.open("/data/field")
+    result = ResultStruct()
+    status = Status()
+    yield from fh.read_ex(result, count, DOUBLE, "sum", status)
+    assert result.completed
+
+Everything an ``MPI_File_read`` application touches — datatypes,
+status objects, file handles with seek/tell — exists, so porting a
+workload onto the reproduction is the "minimal changes" exercise the
+paper advertises.
+"""
+
+from repro.mpiio.datatypes import (
+    BYTE,
+    CHAR,
+    Datatype,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+)
+from repro.mpiio.status import Status
+from repro.mpiio.result import ResultStruct
+from repro.mpiio.file import File, MPIIOContext, MPIIOError
+from repro.mpiio.collective import Communicator, MPIRequest, iread, iread_ex
+
+__all__ = [
+    "BYTE",
+    "CHAR",
+    "Communicator",
+    "DOUBLE",
+    "Datatype",
+    "FLOAT",
+    "File",
+    "INT",
+    "LONG",
+    "MPIIOContext",
+    "MPIIOError",
+    "MPIRequest",
+    "ResultStruct",
+    "Status",
+    "iread",
+    "iread_ex",
+]

@@ -1,0 +1,166 @@
+"""Collective and non-blocking MPI-IO operations.
+
+``MPI_File_read_all`` is the workhorse of parallel analysis codes: all
+ranks of a communicator read disjoint partitions of a shared file and
+synchronise at the end.  The DOSAS paper's workload ("each process
+requests one I/O operation") is exactly one collective call — this
+module lets applications express it that way.
+
+``Communicator`` groups per-rank I/O stacks (each rank is a compute
+node with its own ASC).  Collective calls return per-rank results
+after an implicit barrier, matching MPI semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, Event
+from repro.core.asc import ActiveStorageClient
+from repro.mpiio.datatypes import Datatype
+from repro.mpiio.file import File, MPIIOContext, MPIIOError
+from repro.mpiio.result import ResultStruct
+from repro.mpiio.status import Status
+
+
+class MPIRequest:
+    """Handle for a non-blocking I/O operation (MPI_Request analogue)."""
+
+    def __init__(self, env: Environment, process) -> None:
+        self.env = env
+        self._process = process
+
+    def test(self) -> bool:
+        """True once the operation completed (non-blocking probe)."""
+        return not self._process.is_alive
+
+    def wait(self):
+        """Block (as a simulation process) until completion; returns
+        the operation's value."""
+        value = yield self._process
+        return value
+
+
+class Communicator:
+    """A group of application ranks, each with its own I/O stack.
+
+    Parameters
+    ----------
+    contexts:
+        One :class:`MPIIOContext` per rank (rank i = contexts[i]).
+    """
+
+    def __init__(self, contexts: Sequence[MPIIOContext]) -> None:
+        if not contexts:
+            raise MPIIOError("a communicator needs at least one rank")
+        envs = {id(ctx.env) for ctx in contexts}
+        if len(envs) != 1:
+            raise MPIIOError("all ranks must share one simulation environment")
+        self.contexts = list(contexts)
+        self.env = contexts[0].env
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return len(self.contexts)
+
+    def open_all(self, name: str) -> List[File]:
+        """Every rank opens ``name`` (collective MPI_File_open)."""
+        return [ctx.open(name) for ctx in self.contexts]
+
+    # -- partitioning -----------------------------------------------------------
+    def partition(self, total_items: int, rank: int) -> tuple:
+        """(offset_items, count_items) of ``rank``'s even share."""
+        if not 0 <= rank < self.size:
+            raise MPIIOError(f"rank {rank} out of range")
+        base = total_items // self.size
+        extra = total_items % self.size
+        count = base + (1 if rank < extra else 0)
+        offset = rank * base + min(rank, extra)
+        return offset, count
+
+    # -- collective reads ----------------------------------------------------------
+    def read_all(
+        self,
+        files: Sequence[File],
+        count: int,
+        datatype: Datatype,
+        statuses: Optional[Sequence[Status]] = None,
+    ):
+        """MPI_File_read_all: every rank reads its partition of the
+        first ``count`` items (simulation process; implicit barrier).
+
+        Returns per-rank byte counts.
+        """
+        self._check_files(files)
+
+        def rank_read(rank: int):
+            offset_items, count_items = self.partition(count, rank)
+            fh = files[rank]
+            fh.seek(offset_items * datatype.size)
+            status = statuses[rank] if statuses else None
+            nbytes = yield from fh.read(count_items, datatype, status)
+            return nbytes
+
+        procs = [self.env.process(rank_read(r)) for r in range(self.size)]
+        yield AllOf(self.env, procs)
+        return [p.value for p in procs]
+
+    def read_ex_all(
+        self,
+        files: Sequence[File],
+        count: int,
+        datatype: Datatype,
+        operation: str,
+        results: Optional[Sequence[ResultStruct]] = None,
+        statuses: Optional[Sequence[Status]] = None,
+        meta: Optional[dict] = None,
+    ):
+        """Collective active read: each rank applies ``operation`` to
+        its partition (simulation process; implicit barrier).
+
+        Returns the per-rank :class:`ActiveReadOutcome` list; when
+        ``results`` structs are supplied they are filled per rank.
+        """
+        self._check_files(files)
+
+        def rank_read(rank: int):
+            offset_items, count_items = self.partition(count, rank)
+            fh = files[rank]
+            fh.seek(offset_items * datatype.size)
+            result = results[rank] if results else ResultStruct()
+            status = statuses[rank] if statuses else None
+            outcome = yield from fh.read_ex(
+                result, count_items, datatype, operation, status, meta=meta
+            )
+            return outcome
+
+        procs = [self.env.process(rank_read(r)) for r in range(self.size)]
+        yield AllOf(self.env, procs)
+        return [p.value for p in procs]
+
+    def _check_files(self, files: Sequence[File]) -> None:
+        if len(files) != self.size:
+            raise MPIIOError(
+                f"need one open file per rank ({self.size}), got {len(files)}"
+            )
+
+
+def iread(file: File, count: int, datatype: Datatype,
+          status: Optional[Status] = None) -> MPIRequest:
+    """MPI_File_iread: start a non-blocking read, return its handle."""
+    env = file.context.env
+    return MPIRequest(env, env.process(file.read(count, datatype, status)))
+
+
+def iread_ex(file: File, result: ResultStruct, count: int, datatype: Datatype,
+             operation: str, status: Optional[Status] = None,
+             meta: Optional[dict] = None) -> MPIRequest:
+    """Non-blocking active read (the paper's call, made asynchronous)."""
+    env = file.context.env
+    return MPIRequest(
+        env,
+        env.process(file.read_ex(result, count, datatype, operation, status,
+                                 meta=meta)),
+    )

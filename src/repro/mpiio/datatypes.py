@@ -1,0 +1,43 @@
+"""MPI datatype descriptors.
+
+Only what ``read``/``read_ex`` need: a name, a byte size, and the
+matching numpy dtype for real-execution paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI elementary datatype."""
+
+    name: str
+    size: int
+    np_dtype: str
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("datatype size must be positive")
+
+    def extent(self, count: int) -> int:
+        """Total bytes of ``count`` items."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self.size * count
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The numpy dtype equivalent."""
+        return np.dtype(self.np_dtype)
+
+
+BYTE = Datatype("MPI_BYTE", 1, "uint8")
+CHAR = Datatype("MPI_CHAR", 1, "uint8")
+INT = Datatype("MPI_INT", 4, "int32")
+LONG = Datatype("MPI_LONG", 8, "int64")
+FLOAT = Datatype("MPI_FLOAT", 4, "float32")
+DOUBLE = Datatype("MPI_DOUBLE", 8, "float64")

@@ -1,0 +1,54 @@
+"""The paper's ``struct result`` (Table I).
+
+.. code-block:: c
+
+    struct result {
+        bool completed;   // 0: I/O not completed, 1: completed
+        void *buf;        // the saved result if completed, or status
+                          // of operation if not completed
+        MPI_File fh;      // file handle (I/O uncompleted)
+        long offset;      // current data position
+    };
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.kernels.base import KernelCheckpoint
+from repro.pvfs.filehandle import FileHandle
+
+
+@dataclass
+class ResultStruct:
+    """The encapsulated buf argument of ``MPI_File_read_ex``."""
+
+    #: 0: I/O not completed, 1: completed.
+    completed: bool = False
+    #: The saved result if completed, or the kernel's checkpointed
+    #: status if not completed.
+    buf: Any = None
+    #: File handle, populated while the I/O is uncompleted so the ASC
+    #: can finish it.
+    fh: Optional[FileHandle] = None
+    #: Current data position — first byte still to process.
+    offset: int = 0
+
+    def mark_completed(self, result: Any, offset: int) -> None:
+        """Fill the struct for a finished operation."""
+        self.completed = True
+        self.buf = result
+        self.offset = offset
+
+    def mark_uncompleted(
+        self,
+        checkpoint: Optional[KernelCheckpoint],
+        fh: FileHandle,
+        offset: int,
+    ) -> None:
+        """Fill the struct for a demoted/interrupted operation."""
+        self.completed = False
+        self.buf = checkpoint
+        self.fh = fh
+        self.offset = offset

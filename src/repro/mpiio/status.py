@@ -1,0 +1,41 @@
+"""The MPI_Status analogue."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpiio.datatypes import Datatype
+
+
+class Status:
+    """Completion information of one I/O call."""
+
+    def __init__(self) -> None:
+        self._bytes: int = 0
+        self._error: int = 0
+        #: Wall-clock (simulated) completion time of the call.
+        self.finished_at: Optional[float] = None
+        #: How many per-server pieces were demoted to normal I/O.
+        self.demotions: int = 0
+
+    def set_elements(self, nbytes: int, finished_at: float, demotions: int = 0) -> None:
+        """Record a completed transfer (called by the File layer)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self._bytes = int(nbytes)
+        self.finished_at = finished_at
+        self.demotions = demotions
+
+    def get_count(self, datatype: Datatype) -> int:
+        """MPI_Get_count: whole items of ``datatype`` transferred."""
+        return self._bytes // datatype.size
+
+    @property
+    def cancelled(self) -> bool:
+        """Always False — the reproduction does not cancel I/O."""
+        return False
+
+    @property
+    def error(self) -> int:
+        """MPI error code (0 = success)."""
+        return self._error

@@ -1,0 +1,36 @@
+"""PVFS2-style parallel file system substrate.
+
+The DOSAS prototype was "built using the PVFS2 parallel file system"
+(paper Sec. III).  This subpackage reproduces the parts DOSAS depends
+on: a metadata server handing out file handles, round-robin striping
+of file data across I/O servers, per-server request queues (the
+contended resource of Figure 1), and a client that scatters requests
+and gathers replies.
+
+Files can carry real numpy-backed data (examples and correctness
+tests exercise actual kernels on actual bytes) or be *size-only*
+(pure timing studies at paper scale — a simulated 1 GB request needs
+no real gigabyte).
+"""
+
+from repro.pvfs.layout import StripeLayout, StripeExtent
+from repro.pvfs.filehandle import FileHandle, PVFSFile, SyntheticData
+from repro.pvfs.metadata import MetadataServer, PVFSError
+from repro.pvfs.requests import IOKind, IOReply, IORequest
+from repro.pvfs.server import IOServer
+from repro.pvfs.client import PVFSClient
+
+__all__ = [
+    "FileHandle",
+    "IOKind",
+    "IOReply",
+    "IORequest",
+    "IOServer",
+    "MetadataServer",
+    "PVFSClient",
+    "PVFSError",
+    "PVFSFile",
+    "StripeExtent",
+    "StripeLayout",
+    "SyntheticData",
+]

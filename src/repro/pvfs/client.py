@@ -1,0 +1,175 @@
+"""The PVFS client library running on each compute node.
+
+Scatters logical reads over the I/O servers holding the file's
+stripes, gathers the per-server replies, and exposes both the normal
+path (plain reads) and the active path (reads carrying an operation
+name).  The Active Storage Client (``repro.core.asc``) builds on the
+active path; plain applications use :meth:`read`.
+
+All client methods are *simulation processes*: drive them with
+``yield from`` inside another process, or wrap in ``env.process`` and
+``env.run(until=...)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf
+from repro.cluster.node import ComputeNode
+from repro.kernels.base import KernelCheckpoint
+from repro.pvfs.filehandle import FileHandle
+from repro.pvfs.metadata import MetadataServer, PVFSError
+from repro.pvfs.requests import IOKind, IOReply, IORequest, next_request_id
+from repro.pvfs.server import IOServer
+
+_parent_counter = itertools.count(1)
+
+
+class PVFSClient:
+    """One compute node's file-system client."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: ComputeNode,
+        servers: Sequence[IOServer],
+        mds: MetadataServer,
+    ) -> None:
+        if not servers:
+            raise PVFSError("a PVFS deployment needs at least one I/O server")
+        self.env = env
+        self.node = node
+        self.servers = list(servers)
+        self.mds = mds
+
+    # -- namespace -------------------------------------------------------------
+    def open(self, name: str) -> FileHandle:
+        """Open ``name`` (metadata ops are instantaneous)."""
+        return self.mds.open(name)
+
+    # -- request fabrication ---------------------------------------------------------
+    def _build_requests(
+        self,
+        fh: FileHandle,
+        offset: int,
+        size: int,
+        kind: IOKind,
+        operation: Optional[str],
+        meta: Optional[dict],
+        resume_from: Optional[KernelCheckpoint] = None,
+    ) -> List[IORequest]:
+        if offset < 0 or size < 0 or offset + size > fh.size:
+            raise PVFSError(
+                f"extent [{offset}, {offset + size}) outside {fh.name!r} "
+                f"of size {fh.size}"
+            )
+        parent = next(_parent_counter)
+        # Per-server stripe pieces in logical order.
+        pieces_by_server: Dict[int, List] = {}
+        for piece in fh.layout.map_extent(offset, size):
+            pieces_by_server.setdefault(piece.server, []).append(piece)
+
+        requests: List[IORequest] = []
+        for server_idx in sorted(pieces_by_server):
+            pieces = pieces_by_server[server_idx]
+            requests.append(
+                IORequest(
+                    rid=next_request_id(),
+                    parent_id=parent,
+                    kind=kind,
+                    fh=fh,
+                    offset=pieces[0].logical_offset,
+                    size=sum(p.length for p in pieces),
+                    operation=operation,
+                    client_name=self.node.name,
+                    reply=self.env.event(),
+                    submitted_at=self.env.now,
+                    meta=dict(meta or {}),
+                    resume_from=resume_from,
+                    extents=tuple(
+                        (p.logical_offset, p.length) for p in pieces
+                    ),
+                )
+            )
+        return requests
+
+    # -- normal I/O -------------------------------------------------------------
+    def read(self, fh: FileHandle, offset: int = 0, size: Optional[int] = None):
+        """Read ``size`` bytes at ``offset`` (simulation process).
+
+        Returns the list of per-server :class:`IOReply` objects; the
+        total transferred equals ``size``.
+        """
+        size = fh.size - offset if size is None else size
+        requests = self._build_requests(fh, offset, size, IOKind.NORMAL, None, None)
+        return self._scatter_gather(requests)
+
+    # -- writes ----------------------------------------------------------------
+    def write(
+        self,
+        fh: FileHandle,
+        offset: int = 0,
+        size: Optional[int] = None,
+        data=None,
+    ):
+        """Write ``size`` bytes at ``offset`` (simulation process).
+
+        ``data`` (numpy array) attaches real bytes — each per-server
+        request receives the slice matching its stripes; ``None``
+        performs a timing-only write.
+        """
+        import numpy as np
+
+        if data is not None:
+            data = np.ascontiguousarray(data)
+            size = data.nbytes if size is None else size
+        size = fh.size - offset if size is None else size
+        requests = self._build_requests(fh, offset, size, IOKind.WRITE, None, None)
+        if data is not None:
+            flat = data.reshape(-1).view(np.uint8)
+            for request in requests:
+                pieces = []
+                for file_offset, nbytes in request.extents:
+                    rel = file_offset - offset
+                    pieces.append(flat[rel : rel + nbytes])
+                request.payload = (
+                    pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+                )
+        return self._scatter_gather(requests)
+
+    # -- active I/O -----------------------------------------------------------
+    def read_active(
+        self,
+        fh: FileHandle,
+        operation: str,
+        offset: int = 0,
+        size: Optional[int] = None,
+        meta: Optional[dict] = None,
+        resume_from: Optional[KernelCheckpoint] = None,
+    ):
+        """Issue an active read (simulation process).
+
+        Each stripe server receives an active request for its share;
+        replies may be completed (server-side result), demoted
+        (``completed == 0``), or partially-completed with a checkpoint.
+        The caller — normally the ASC — handles demotions.
+        """
+        size = fh.size - offset if size is None else size
+        requests = self._build_requests(
+            fh, offset, size, IOKind.ACTIVE, operation, meta, resume_from
+        )
+        return self._scatter_gather(requests)
+
+    # -- transport -------------------------------------------------------------
+    def _scatter_gather(self, requests: List[IORequest]):
+        """Submit per-server requests, wait for every reply (process)."""
+        for request in requests:
+            server_idx = request.fh.layout.server_of(request.offset)
+            self.servers[server_idx % len(self.servers)].submit(request)
+
+        yield AllOf(self.env, [r.reply for r in requests])
+        replies: List[IOReply] = [r.reply.value for r in requests]
+        return replies

@@ -1,0 +1,132 @@
+"""Round-robin stripe layout (PVFS "simple striping" distribution).
+
+A file is chopped into ``stripe_size`` units dealt round-robin across
+``n_servers`` I/O servers starting at ``first_server``.  The layout
+maps any byte extent to per-server extents and back — the round-trip
+is property-tested (no byte lost, none duplicated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class StripeExtent:
+    """A contiguous piece of one logical extent on one server.
+
+    Attributes
+    ----------
+    server:
+        I/O server index in [0, n_servers).
+    logical_offset:
+        Offset of this piece within the file.
+    length:
+        Bytes in this piece.
+    """
+
+    server: int
+    logical_offset: int
+    length: int
+
+    @property
+    def logical_end(self) -> int:
+        """One past the last byte of the piece."""
+        return self.logical_offset + self.length
+
+
+class StripeLayout:
+    """Round-robin distribution of file bytes over I/O servers.
+
+    Parameters
+    ----------
+    stripe_size:
+        Striping unit in bytes.
+    n_servers:
+        Stripe width — how many servers the file spreads over.
+    first_server:
+        Which *slot* holds stripe 0 (rotation within the width).
+    server_list:
+        Global I/O-server indices backing the width's slots; defaults
+        to ``0..n_servers-1``.  Lets a narrow file (width 1 or 2) live
+        on any subset of a larger deployment — PVFS's datafile
+        handle list.
+    """
+
+    def __init__(
+        self,
+        stripe_size: int,
+        n_servers: int,
+        first_server: int = 0,
+        server_list=None,
+    ) -> None:
+        if stripe_size <= 0:
+            raise ValueError(f"stripe_size must be positive, got {stripe_size}")
+        if n_servers <= 0:
+            raise ValueError(f"n_servers must be positive, got {n_servers}")
+        if not 0 <= first_server < n_servers:
+            raise ValueError("first_server out of range")
+        self.stripe_size = int(stripe_size)
+        self.n_servers = int(n_servers)
+        self.first_server = int(first_server)
+        if server_list is None:
+            self.server_list = tuple(range(n_servers))
+        else:
+            self.server_list = tuple(int(s) for s in server_list)
+            if len(self.server_list) != n_servers:
+                raise ValueError(
+                    f"server_list has {len(self.server_list)} entries for "
+                    f"width {n_servers}"
+                )
+            if any(s < 0 for s in self.server_list):
+                raise ValueError("server indices must be non-negative")
+
+    def server_of(self, offset: int) -> int:
+        """The global server index holding the byte at ``offset``."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        stripe_index = offset // self.stripe_size
+        slot = (self.first_server + stripe_index) % self.n_servers
+        return self.server_list[slot]
+
+    def map_extent(self, offset: int, size: int) -> List[StripeExtent]:
+        """Split ``[offset, offset+size)`` into per-server pieces.
+
+        Pieces come back in logical-offset order; adjacent same-server
+        pieces are *not* merged (each is one stripe or a fragment),
+        because the server processes stripes independently.
+        """
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        if size < 0:
+            raise ValueError(f"negative size {size}")
+        pieces: List[StripeExtent] = []
+        position = offset
+        end = offset + size
+        while position < end:
+            stripe_index = position // self.stripe_size
+            stripe_end = (stripe_index + 1) * self.stripe_size
+            length = min(end, stripe_end) - position
+            pieces.append(
+                StripeExtent(
+                    server=self.server_of(position),
+                    logical_offset=position,
+                    length=length,
+                )
+            )
+            position += length
+        return pieces
+
+    def bytes_per_server(self, offset: int, size: int) -> Dict[int, int]:
+        """Total bytes of the extent resident on each server."""
+        out: Dict[int, int] = {}
+        for piece in self.map_extent(offset, size):
+            out[piece.server] = out.get(piece.server, 0) + piece.length
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<StripeLayout stripe={self.stripe_size} servers={self.n_servers} "
+            f"first={self.first_server}>"
+        )

@@ -1,0 +1,173 @@
+"""The I/O server running on each storage node.
+
+Serves normal reads itself (optional disk stage, then the node's NIC
+link, which serialises transfers — the g(x) = x/bw model).  Active
+requests are delegated to a pluggable *active handler*; in a full
+DOSAS deployment that handler is the Active Storage Server
+(``repro.core.ass``).  Without a handler, active requests are
+rejected loudly — a traditional PVFS deployment.
+
+The server keeps an ``outstanding`` table of accepted-but-unanswered
+requests.  That table *is* the I/O queue of the paper's Figure 1: the
+Contention Estimator's probe reads (n, k, D, D_A) from it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Tuple
+
+from repro.sim.engine import Environment
+from repro.sim.monitor import Monitor
+from repro.cluster.config import ClusterConfig
+from repro.cluster.network import Link
+from repro.cluster.node import StorageNode
+from repro.pvfs.metadata import MetadataServer, PVFSError
+from repro.pvfs.requests import IOKind, IOReply, IORequest
+
+
+class ActiveHandler(Protocol):
+    """What the DOSAS Active Storage Server implements."""
+
+    def submit(self, request: IORequest) -> None:
+        """Accept one active request for processing or demotion."""
+
+
+class IOServer:
+    """One PVFS I/O server bound to a storage node and its NIC."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: StorageNode,
+        link: Link,
+        mds: MetadataServer,
+        config: ClusterConfig,
+        server_index: int = 0,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.link = link
+        self.mds = mds
+        self.config = config
+        self.server_index = server_index
+        self.active_handler: Optional[ActiveHandler] = None
+        #: Accepted requests not yet replied — the Figure-1 I/O queue.
+        self.outstanding: Dict[int, IORequest] = {}
+        self.monitor = Monitor()
+
+    # -- wiring ---------------------------------------------------------------
+    def attach_active_handler(self, handler: ActiveHandler) -> None:
+        """Install the Active Storage Server for this node."""
+        self.active_handler = handler
+
+    # -- request intake ----------------------------------------------------------
+    def submit(self, request: IORequest) -> None:
+        """Accept a request into the queue and start service.
+
+        Request messages themselves are tiny (no payload), so intake is
+        immediate; all modelled time is disk, CPU and data transfer.
+        """
+        if request.rid in self.outstanding:
+            raise PVFSError(f"duplicate request id {request.rid}")
+        self.outstanding[request.rid] = request
+        self.monitor.count("requests_received")
+        self.monitor.count(f"requests_{request.kind.value}")
+
+        if request.kind is IOKind.NORMAL:
+            self.env.process(self._serve_normal(request))
+        elif request.kind is IOKind.WRITE:
+            self.env.process(self._serve_write(request))
+        else:
+            if self.active_handler is None:
+                raise PVFSError(
+                    f"server {self.node.name} received an active request but has "
+                    "no active storage server attached"
+                )
+            self.active_handler.submit(request)
+
+    # -- normal I/O path -----------------------------------------------------------
+    def _serve_normal(self, request: IORequest):
+        if self.config.model_disk:
+            yield from self.node.disk_read(request.size)
+        yield self.link.transfer(request.size)
+        reply = IOReply(
+            rid=request.rid,
+            completed=True,
+            result=request.size,
+            fh=request.fh,
+            offset=request.offset,
+            bytes_streamed=float(request.size),
+            demoted=False,
+            served_active=False,
+            finished_at=self.env.now,
+        )
+        self.finish(request, reply)
+
+    # -- write path ------------------------------------------------------------------
+    def _serve_write(self, request: IORequest):
+        """Ingest data: the transfer crosses the same NIC, then the
+        bytes land in the file's buffer (when one exists)."""
+        yield self.link.transfer(request.size)
+        if self.config.model_disk:
+            yield from self.node.disk_read(request.size)  # symmetric cost
+        if request.payload is not None:
+            file = self.mds.lookup(request.fh.name)
+            cursor = 0
+            flat = request.payload.reshape(-1).view("uint8")
+            for file_offset, nbytes in request.extents:
+                file.write_bytes_from_array(
+                    file_offset, flat[cursor : cursor + nbytes]
+                )
+                cursor += nbytes
+        reply = IOReply(
+            rid=request.rid,
+            completed=True,
+            result=request.size,
+            fh=request.fh,
+            offset=request.offset,
+            bytes_streamed=float(request.size),
+            demoted=False,
+            served_active=False,
+            finished_at=self.env.now,
+        )
+        self.finish(request, reply)
+
+    # -- completion & stats -----------------------------------------------------------
+    def finish(self, request: IORequest, reply: IOReply) -> None:
+        """Remove from the queue and deliver the reply to the client.
+
+        Also the completion entry point for the active handler.
+        """
+        if self.outstanding.pop(request.rid, None) is None:
+            raise PVFSError(f"finishing unknown request {request.rid}")
+        self.monitor.count("requests_completed")
+        self.monitor.count("bytes_streamed", reply.bytes_streamed)
+        self.monitor.record("queue_length", self.env.now, len(self.outstanding))
+        request.reply.succeed(reply)
+
+    def queue_stats(self) -> Tuple[int, int, float, float]:
+        """(n, k, D, D_A) over outstanding requests — paper Table II.
+
+        n: total queued requests; k: active among them; D: total
+        requested bytes; D_A: bytes requested by active I/Os.
+        """
+        n = len(self.outstanding)
+        k = 0
+        total = 0.0
+        active = 0.0
+        for req in self.outstanding.values():
+            total += req.size
+            if req.is_active:
+                k += 1
+                active += req.size
+        return n, k, total, active
+
+    def queued_active_requests(self) -> list:
+        """Outstanding active requests, submission-ordered."""
+        return sorted(
+            (r for r in self.outstanding.values() if r.is_active),
+            key=lambda r: (r.submitted_at, r.rid),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<IOServer {self.node.name} outstanding={len(self.outstanding)}>"

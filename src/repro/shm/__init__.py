@@ -1,0 +1,35 @@
+"""Shared-memory IPC emulation between the Active I/O Runtime and PKs.
+
+Paper Sec. III-E: "the PKs component in our design communicates with
+the R through shared memory ... When a kernel receives a terminating
+signal from the R, it will write the shared memory with its status,
+including the values of all variables in the form (variable name,
+variable type, value), and then send a signal indicating the kernel's
+termination to the R."
+
+Only the protocol matters for behaviour, not the transport, so the
+"shared memory" here is (a) a byte-accurate record codec
+(:mod:`repro.shm.records`) and (b) a duplex in-simulation channel
+(:mod:`repro.shm.channel`) carrying those records plus the terminate/
+terminated signals.
+"""
+
+from repro.shm.records import (
+    VariableRecord,
+    decode_records,
+    encode_records,
+    records_from_state,
+    state_from_records,
+)
+from repro.shm.channel import Channel, Signal, SharedRegion
+
+__all__ = [
+    "Channel",
+    "SharedRegion",
+    "Signal",
+    "VariableRecord",
+    "decode_records",
+    "encode_records",
+    "records_from_state",
+    "state_from_records",
+]

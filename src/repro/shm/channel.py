@@ -1,0 +1,117 @@
+"""In-simulation shared-memory channel between Runtime and kernels.
+
+``SharedRegion`` is the byte region itself (a bounded scratch buffer
+with the record codec on top); ``Channel`` is the duplex signal path:
+the Runtime sends :data:`Signal.TERMINATE`, the kernel writes its
+status records into the region and answers :data:`Signal.TERMINATED`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import Environment
+from repro.sim.store import Store
+from repro.shm.records import (
+    VariableRecord,
+    decode_records,
+    encode_records,
+)
+
+
+class Signal(enum.Enum):
+    """Control signals exchanged over a :class:`Channel`."""
+
+    TERMINATE = "terminate"
+    TERMINATED = "terminated"
+    RESULT_READY = "result_ready"
+
+
+class SharedRegion:
+    """A bounded byte region both endpoints can read and write.
+
+    Writes exceeding ``capacity`` raise, mirroring a fixed-size shm
+    segment.  Contents are the encoded variable records of the paper's
+    checkpoint protocol.
+    """
+
+    def __init__(self, capacity: int = 64 * 1024 * 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._buffer: bytes = b""
+
+    @property
+    def used(self) -> int:
+        """Bytes currently stored."""
+        return len(self._buffer)
+
+    def write_records(self, records: List[VariableRecord]) -> int:
+        """Encode and store ``records``; returns bytes written."""
+        encoded = encode_records(records)
+        if len(encoded) > self.capacity:
+            raise MemoryError(
+                f"records need {len(encoded)} bytes, region holds {self.capacity}"
+            )
+        self._buffer = encoded
+        return len(encoded)
+
+    def read_records(self) -> List[VariableRecord]:
+        """Decode the stored records (empty list if never written)."""
+        if not self._buffer:
+            return []
+        return decode_records(self._buffer)
+
+    def clear(self) -> None:
+        """Reset the region."""
+        self._buffer = b""
+
+
+class Channel:
+    """Duplex signal channel + shared region between two processes.
+
+    One side is conventionally the Active I/O Runtime, the other a
+    running processing kernel.  Each direction is a FIFO
+    :class:`~repro.sim.store.Store` of ``(signal, payload)`` tuples.
+    """
+
+    def __init__(self, env: Environment, region_capacity: int = 64 * 1024 * 1024) -> None:
+        self.env = env
+        self.region = SharedRegion(region_capacity)
+        self._to_kernel: Store = Store(env)
+        self._to_runtime: Store = Store(env)
+
+    # -- runtime side -------------------------------------------------------
+    def send_to_kernel(self, signal: Signal, payload: Any = None):
+        """(Runtime) push a signal toward the kernel; returns the put event."""
+        return self._to_kernel.put((signal, payload))
+
+    def recv_from_kernel(self):
+        """(Runtime) get event for the kernel's next signal."""
+        return self._to_runtime.get()
+
+    # -- kernel side ---------------------------------------------------------
+    def send_to_runtime(self, signal: Signal, payload: Any = None):
+        """(Kernel) push a signal toward the runtime; returns the put event."""
+        return self._to_runtime.put((signal, payload))
+
+    def recv_from_runtime(self):
+        """(Kernel) get event for the runtime's next signal."""
+        return self._to_kernel.get()
+
+    def pending_for_kernel(self) -> int:
+        """Signals queued toward the kernel (poll without blocking)."""
+        return len(self._to_kernel)
+
+    def terminate_handshake(self) -> Generator:
+        """(Runtime) full terminate round-trip as a sub-process.
+
+        Sends TERMINATE, waits for TERMINATED, returns the kernel's
+        checkpoint records read from the shared region.
+        """
+        yield self.send_to_kernel(Signal.TERMINATE)
+        signal, _payload = yield self.recv_from_kernel()
+        if signal is not Signal.TERMINATED:
+            raise RuntimeError(f"expected TERMINATED, kernel sent {signal}")
+        return self.region.read_records()

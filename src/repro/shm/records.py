@@ -1,0 +1,179 @@
+"""Binary codec for the paper's (name, type, value) variable records.
+
+The format is deliberately simple and self-describing so a kernel
+checkpoint written on a storage node can be decoded by the client-side
+PK deployment of a different process:
+
+.. code-block:: text
+
+    u32 record_count
+    repeat:
+        u16 name_len      | name bytes (utf-8)
+        u16 type_len      | type bytes (utf-8)
+        u64 payload_len   | payload bytes
+
+Payload encodings by type tag:
+
+- ``int``/``bool`` — 8-byte little-endian signed
+- ``float``       — 8-byte IEEE double
+- ``str``         — utf-8
+- ``bytes``       — raw
+- ``ndarray:<dtype>`` — u32 ndim, u64 shape…, raw C-order buffer
+- ``scalar:<dtype>``  — the dtype's buffer
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.base import KernelState
+
+
+@dataclass(frozen=True)
+class VariableRecord:
+    """One (variable name, variable type, value) triple."""
+
+    name: str
+    type_tag: str
+    value: Any
+
+
+class RecordCodecError(Exception):
+    """Raised on malformed record buffers."""
+
+
+def _encode_payload(tag: str, value: Any) -> bytes:
+    if tag in ("int", "bool"):
+        return struct.pack("<q", int(value))
+    if tag == "float":
+        return struct.pack("<d", float(value))
+    if tag == "str":
+        return str(value).encode("utf-8")
+    if tag == "bytes":
+        return bytes(value)
+    if tag.startswith("ndarray:"):
+        arr = np.ascontiguousarray(value)
+        header = struct.pack("<I", arr.ndim) + b"".join(
+            struct.pack("<Q", dim) for dim in arr.shape
+        )
+        return header + arr.tobytes()
+    if tag.startswith("scalar:"):
+        return np.asarray(value).tobytes()
+    if tag == "list":
+        # Lists of scalars: encode as a float64 ndarray for simplicity.
+        arr = np.asarray(value, dtype=np.float64)
+        return _encode_payload(f"ndarray:{arr.dtype}", arr)
+    raise RecordCodecError(f"unsupported type tag {tag!r}")
+
+
+def _decode_payload(tag: str, payload: bytes) -> Any:
+    if tag == "int":
+        return struct.unpack("<q", payload)[0]
+    if tag == "bool":
+        return bool(struct.unpack("<q", payload)[0])
+    if tag == "float":
+        return struct.unpack("<d", payload)[0]
+    if tag == "str":
+        return payload.decode("utf-8")
+    if tag == "bytes":
+        return payload
+    if tag.startswith("ndarray:") or tag == "list":
+        dtype = np.dtype(tag.split(":", 1)[1]) if ":" in tag else np.dtype(np.float64)
+        (ndim,) = struct.unpack_from("<I", payload, 0)
+        offset = 4
+        shape = []
+        for _ in range(ndim):
+            (dim,) = struct.unpack_from("<Q", payload, offset)
+            shape.append(dim)
+            offset += 8
+        arr = np.frombuffer(payload, dtype=dtype, offset=offset).reshape(shape)
+        return arr.copy()
+    if tag.startswith("scalar:"):
+        dtype = np.dtype(tag.split(":", 1)[1])
+        return np.frombuffer(payload, dtype=dtype)[0]
+    raise RecordCodecError(f"unsupported type tag {tag!r}")
+
+
+def _type_tag(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, bytes):
+        return "bytes"
+    if isinstance(value, np.ndarray):
+        return f"ndarray:{value.dtype}"
+    if isinstance(value, np.generic):
+        return f"scalar:{value.dtype}"
+    if isinstance(value, list):
+        return "list"
+    raise RecordCodecError(f"cannot serialise value of type {type(value).__name__}")
+
+
+def records_from_state(state: KernelState) -> List[VariableRecord]:
+    """Turn a live kernel state into variable records."""
+    return [VariableRecord(name, _type_tag(v), v) for name, v in state.items()]
+
+
+def state_from_records(records: Sequence[VariableRecord]) -> KernelState:
+    """Rebuild a kernel state from decoded records."""
+    state = KernelState()
+    for rec in records:
+        value = rec.value
+        if isinstance(value, np.ndarray):
+            value = value.copy()
+        state[rec.name] = value
+    return state
+
+
+def encode_records(records: Sequence[VariableRecord]) -> bytes:
+    """Serialise records to the wire format."""
+    out = [struct.pack("<I", len(records))]
+    for rec in records:
+        name_b = rec.name.encode("utf-8")
+        type_b = rec.type_tag.encode("utf-8")
+        payload = _encode_payload(rec.type_tag, rec.value)
+        out.append(struct.pack("<H", len(name_b)))
+        out.append(name_b)
+        out.append(struct.pack("<H", len(type_b)))
+        out.append(type_b)
+        out.append(struct.pack("<Q", len(payload)))
+        out.append(payload)
+    return b"".join(out)
+
+
+def decode_records(buffer: bytes) -> List[VariableRecord]:
+    """Parse the wire format back into records."""
+    if len(buffer) < 4:
+        raise RecordCodecError("buffer too short for record count")
+    (count,) = struct.unpack_from("<I", buffer, 0)
+    offset = 4
+    records: List[VariableRecord] = []
+    for _ in range(count):
+        try:
+            (name_len,) = struct.unpack_from("<H", buffer, offset)
+            offset += 2
+            name = buffer[offset : offset + name_len].decode("utf-8")
+            offset += name_len
+            (type_len,) = struct.unpack_from("<H", buffer, offset)
+            offset += 2
+            tag = buffer[offset : offset + type_len].decode("utf-8")
+            offset += type_len
+            (payload_len,) = struct.unpack_from("<Q", buffer, offset)
+            offset += 8
+            payload = buffer[offset : offset + payload_len]
+            if len(payload) != payload_len:
+                raise RecordCodecError("truncated payload")
+            offset += payload_len
+        except struct.error as exc:
+            raise RecordCodecError(f"malformed record buffer: {exc}") from exc
+        records.append(VariableRecord(name, tag, _decode_payload(tag, payload)))
+    return records

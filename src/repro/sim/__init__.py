@@ -1,0 +1,80 @@
+"""Discrete-event simulation engine underlying the DOSAS reproduction.
+
+This subpackage is a from-scratch, dependency-free discrete-event
+simulation (DES) kernel in the style of SimPy: simulation *processes*
+are Python generator coroutines that ``yield`` :class:`Event` objects
+and are resumed by the :class:`Environment` event loop when those
+events trigger.
+
+The DOSAS paper evaluated its prototype on a real 16-node cluster
+(Discfarm at Texas Tech).  We do not have that hardware, so the cluster
+— compute nodes, storage nodes, NICs, disks — is modelled on top of
+this engine with rates calibrated from the paper (see
+``repro.cluster``).  The engine itself is generic and reusable.
+
+Public surface
+--------------
+``Environment``
+    The event loop: owns simulated time, schedules events, runs
+    processes.
+``Event``, ``Timeout``, ``Process``, ``AllOf``, ``AnyOf``
+    Waitable objects.
+``Interrupt``
+    Exception raised inside a process when another process interrupts
+    it (used by the Active I/O Runtime to preempt running kernels).
+``Resource``, ``PriorityResource``, ``Container``, ``Store``
+    Shared-resource primitives used to model CPU cores, NIC links and
+    I/O queues.
+``Monitor``, ``TimeSeries``
+    Statistics helpers.
+"""
+
+from repro.sim.exceptions import Interrupt, SimulationError, StopProcess
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    PENDING,
+    Timeout,
+)
+from repro.sim.engine import Environment
+from repro.sim.process import Process
+from repro.sim.resources import (
+    Container,
+    PriorityRequest,
+    PriorityResource,
+    Release,
+    Request,
+    Resource,
+)
+from repro.sim.store import FilterStore, PriorityStore, Store, StoreGet, StorePut
+from repro.sim.monitor import Monitor, TimeSeries, TimeWeightedStat
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "Monitor",
+    "PENDING",
+    "PriorityRequest",
+    "PriorityResource",
+    "PriorityStore",
+    "Process",
+    "Release",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "StopProcess",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "TimeSeries",
+    "TimeWeightedStat",
+    "Timeout",
+]

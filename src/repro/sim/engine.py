@@ -1,0 +1,183 @@
+"""The simulation event loop.
+
+:class:`Environment` owns simulated time and a priority queue of
+triggered events.  ``run()`` pops events in ``(time, priority,
+insertion order)`` order, advances the clock, and fires callbacks —
+which resume waiting processes.
+
+Determinism: ties at equal timestamps are broken first by the event's
+scheduling priority (resource bookkeeping before user events) and then
+by a monotonically increasing sequence number, so two runs of the same
+model produce identical traces.  This matters for the reproduction:
+the paper's Table IV compares scheduler decisions against empirically
+best choices, and nondeterministic tie-breaking would make that
+comparison flaky.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    PENDING,
+    PRIORITY_NORMAL,
+    Timeout,
+)
+from repro.sim.exceptions import SimulationError
+from repro.sim.process import Process
+
+Infinity = float("inf")
+
+
+class _EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (seconds by convention
+        throughout this codebase).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that waits for every event in ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that waits for the first of ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(
+        self,
+        event: Event,
+        priority: int = PRIORITY_NORMAL,
+        delay: float = 0.0,
+    ) -> None:
+        """Queue ``event`` to be processed ``delay`` units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the single next event (advancing the clock to it)."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise _EmptySchedule() from None
+
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        if callbacks is not None:
+            for callback in callbacks:
+                callback(event)
+
+        if event._ok is False and not event._defused:
+            # An unhandled failure: crash the run so errors are loud.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the event queue is exhausted.
+            a number — run until the clock reaches that time.
+            an :class:`Event` — run until that event is processed and
+            return its value (re-raising its exception on failure).
+        """
+        at_event: Optional[Event] = None
+        stop_time = Infinity
+
+        if until is not None:
+            if isinstance(until, Event):
+                at_event = until
+                if at_event.callbacks is None:
+                    # Already processed.
+                    if at_event.ok:
+                        return at_event.value
+                    raise at_event.value
+                done = {}
+
+                def _stop(event: Event) -> None:
+                    done["event"] = event
+
+                at_event.callbacks.append(_stop)
+            else:
+                stop_time = float(until)
+                if stop_time < self._now:
+                    raise SimulationError(
+                        f"until={stop_time} lies in the past (now={self._now})"
+                    )
+
+        try:
+            while True:
+                if at_event is not None and at_event.processed:
+                    break
+                nxt = self.peek()
+                if nxt > stop_time:
+                    self._now = stop_time
+                    break
+                self.step()
+        except _EmptySchedule:
+            if at_event is not None and not at_event.processed:
+                raise SimulationError(
+                    "run(until=event) exhausted the event queue before the "
+                    "event triggered — the model deadlocked"
+                ) from None
+
+        if at_event is not None:
+            if at_event.ok:
+                return at_event.value
+            at_event.defuse()
+            raise at_event.value
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,266 @@
+"""Waitable event primitives for the DES engine.
+
+Every object a simulation process can ``yield`` derives from
+:class:`Event`.  An event has a *value* (delivered to waiting
+processes), an ordered list of callbacks, and a tri-state lifecycle:
+
+``pending``  — not yet triggered; ``value`` is the sentinel ``PENDING``.
+``triggered`` — scheduled on the environment's event queue.
+``processed`` — callbacks have run; waiting processes were resumed.
+
+Events may *succeed* (normal value) or *fail* (carry an exception that
+is re-raised inside each waiting process).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.sim.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class _Pending:
+    """Sentinel for the value of an event that has not triggered."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+#: Scheduling priorities.  Lower values run first at equal timestamps.
+#: URGENT is used for resource bookkeeping (releases must precede the
+#: requests they unblock), NORMAL for ordinary events.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot waitable.
+
+    Parameters
+    ----------
+    env:
+        The environment the event belongs to.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks invoked with the event when it is processed.  Set
+        #: to ``None`` once processed — appending afterwards is an error.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (scheduled or processed)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not yet been triggered")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """True if a failure has been marked as handled.
+
+        An un-defused failed event that nobody waits on crashes the
+        simulation at processing time, so errors cannot pass silently.
+        """
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failure as handled (suppresses crash-on-unhandled)."""
+        self._defused = True
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed, carrying ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of another (triggered) event onto this one.
+
+        Used as a callback target so condition events can chain.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- composition ------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} ({state}) at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Internal event that kicks off a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Event") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]  # type: ignore[attr-defined]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=PRIORITY_URGENT)
+
+
+class Condition(Event):
+    """Waits for a boolean combination of other events.
+
+    The condition's value is a dict mapping each *triggered* constituent
+    event to its value, in trigger order — a simplified analogue of
+    SimPy's ``ConditionValue``.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List["Event"], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+
+        # Immediately check already-processed events.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        # An empty condition is trivially satisfied.
+        if not self._events and self._value is PENDING:
+            self.succeed({})
+
+    def _collect_values(self) -> dict:
+        """Values of the constituent events that have fired so far.
+
+        ``processed`` (not ``triggered``) is the right test: a Timeout
+        carries its value from construction and is therefore always
+        "triggered", but it has only *fired* once the event loop
+        processed it.
+        """
+        return {e: e._value for e in self._events if e.processed}
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return  # already decided
+
+        self._count += 1
+        if not event._ok:
+            # Any failure fails the whole condition.
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        """Evaluate to True when all events have triggered."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        """Evaluate to True when at least one event has triggered."""
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition satisfied when *all* of ``events`` have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition satisfied when *any* of ``events`` has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

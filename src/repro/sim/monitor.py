@@ -1,0 +1,162 @@
+"""Statistics collection for simulation runs.
+
+The Contention Estimator (paper Sec. III-D) "monitors current system
+status, including I/O queue, memory usage and CPU usage".  These
+helpers provide the raw series those probes read, plus generic
+utilisation accounting used by the analysis package to compute achieved
+bandwidth (Figures 11–12).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    __slots__ = ("times", "values", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample.  Times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"non-monotonic sample time {time} < {self.times[-1]} in {self.name!r}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> Optional[float]:
+        """Most recent value, or None if empty."""
+        return self.values[-1] if self.values else None
+
+    def mean(self) -> float:
+        """Unweighted mean of the sampled values."""
+        if not self.values:
+            raise ValueError(f"empty series {self.name!r}")
+        return sum(self.values) / len(self.values)
+
+    def time_weighted_mean(self, until: Optional[float] = None) -> float:
+        """Mean of the piecewise-constant signal the samples define.
+
+        Each value holds from its sample time to the next sample (or to
+        ``until`` for the last sample).
+        """
+        if not self.values:
+            raise ValueError(f"empty series {self.name!r}")
+        end = self.times[-1] if until is None else until
+        if end < self.times[-1]:
+            raise ValueError("until precedes the last sample")
+        total = 0.0
+        span = end - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        for i in range(len(self.times)):
+            t0 = self.times[i]
+            t1 = self.times[i + 1] if i + 1 < len(self.times) else end
+            total += self.values[i] * (t1 - t0)
+        return total / span
+
+
+class TimeWeightedStat:
+    """Online time-weighted average of a piecewise-constant signal.
+
+    Cheaper than :class:`TimeSeries` when only the mean is needed —
+    used for CPU-busy fractions on storage-node cores.
+    """
+
+    __slots__ = ("_last_time", "_last_value", "_area", "_start")
+
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
+        self._start = start_time
+        self._last_time = start_time
+        self._last_value = initial
+        self._area = 0.0
+
+    @property
+    def current(self) -> float:
+        """The signal's present value."""
+        return self._last_value
+
+    def update(self, time: float, value: float) -> None:
+        """Advance the signal to ``value`` at ``time``."""
+        if time < self._last_time:
+            raise ValueError(f"time went backwards: {time} < {self._last_time}")
+        self._area += self._last_value * (time - self._last_time)
+        self._last_time = time
+        self._last_value = value
+
+    def mean(self, now: float) -> float:
+        """Time-weighted mean over ``[start, now]``."""
+        if now < self._last_time:
+            raise ValueError("now precedes the last update")
+        span = now - self._start
+        if span <= 0:
+            return self._last_value
+        return (self._area + self._last_value * (now - self._last_time)) / span
+
+
+class Monitor:
+    """Named collection of counters and time series for one run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.series: Dict[str, TimeSeries] = {}
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append a sample to the series ``name`` (created on demand)."""
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        self.series[name].record(time, value)
+
+    def get_counter(self, name: str) -> float:
+        """Counter value (0 if never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    def get_series(self, name: str) -> TimeSeries:
+        """The series ``name``; raises KeyError if absent."""
+        return self.series[name]
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat dict of counters plus per-series mean/last."""
+        out: Dict[str, Any] = dict(self.counters)
+        for name, series in self.series.items():
+            if len(series):
+                out[f"{name}.mean"] = series.mean()
+                out[f"{name}.last"] = series.last()
+        return out
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) without numpy.
+
+    Provided so the lightweight stats path has no array dependency;
+    heavy analyses use numpy directly.
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty data")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1 - frac) + data[hi] * frac

@@ -1,0 +1,283 @@
+"""Shared-resource primitives.
+
+``Resource`` models a pool of identical capacity slots (e.g. the cores
+of a storage node, paper Sec. IV-A: "we simulated each storage node
+with 2 cores").  Processes ``yield resource.request()`` to acquire a
+slot and ``yield resource.release(req)`` (or use the request as a
+context manager) to give it back.
+
+``PriorityResource`` adds a priority queue so that normal I/O can take
+precedence over active I/O when a storage node saturates ("normal I/O
+will take the priority", paper Sec. I).
+
+``Container`` models a scalar quantity (memory bytes, buffer space).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Optional, TYPE_CHECKING
+
+from repro.sim.events import Event, PRIORITY_URGENT
+from repro.sim.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    # Context-manager sugar: ``with res.request() as req: yield req``
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: Any, exc_val: Any, exc_tb: Any) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw the claim: release if granted, dequeue if pending."""
+        self.resource._do_cancel(self)
+
+
+class Release(Event):
+    """Event that returns a slot to the resource (triggers immediately)."""
+
+    __slots__ = ("resource", "request")
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        resource._do_release(self)
+        self._ok = True
+        self._value = None
+        resource.env.schedule(self, priority=PRIORITY_URGENT)
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = int(capacity)
+        #: Requests currently holding a slot.
+        self.users: List[Request] = []
+        #: Requests waiting for a slot (FIFO).
+        self.queue: List[Request] = []
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self.queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Return the slot held by ``request``."""
+        return Release(self, request)
+
+    # -- internals -------------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _do_release(self, release: Release) -> None:
+        try:
+            self.users.remove(release.request)
+        except ValueError:
+            raise SimulationError(
+                "released a request that does not hold this resource"
+            ) from None
+        self._grant_next()
+
+    def _do_cancel(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        elif request in self.queue:
+            self.queue.remove(request)
+        # else: already fully released — cancel is idempotent.
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.count}/{self._capacity} used, "
+            f"{len(self.queue)} queued>"
+        )
+
+
+class PriorityRequest(Request):
+    """A resource claim with a priority (lower value = more urgent)."""
+
+    __slots__ = ("priority", "time", "_order")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
+        self.priority = priority
+        self.time = resource.env.now
+        self._order = next(resource._counter)
+        super().__init__(resource)
+
+    @property
+    def key(self) -> tuple:
+        """Heap ordering: priority, then arrival time, then FIFO order."""
+        return (self.priority, self.time, self._order)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose wait queue is ordered by priority."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        self._counter = itertools.count()
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        """Claim a slot with ``priority`` (lower is served first)."""
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            heapq.heappush(self._heap, (request.key, request))
+            self.queue.append(request)  # keep .queue introspectable
+
+    def _do_cancel(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        elif request in self.queue:
+            self.queue.remove(request)
+            self._heap = [(k, r) for (k, r) in self._heap if r is not request]
+            heapq.heapify(self._heap)
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self._capacity:
+            _key, nxt = heapq.heappop(self._heap)
+            self.queue.remove(nxt)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class ContainerPut(Event):
+    """Pending deposit of ``amount`` into a :class:`Container`."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._puts.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    """Pending withdrawal of ``amount`` from a :class:`Container`."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._gets.append(self)
+        container._trigger()
+
+
+class Container:
+    """A homogeneous scalar reservoir with blocking put/get.
+
+    Used to model memory pressure on storage nodes: the Contention
+    Estimator's probe reads ``level / capacity`` as the node's memory
+    utilisation.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not (0 <= init <= capacity):
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self._capacity = capacity
+        self._level = init
+        self._puts: List[ContainerPut] = []
+        self._gets: List[ContainerGet] = []
+
+    @property
+    def capacity(self) -> float:
+        """Maximum level."""
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Current content."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Deposit ``amount`` (blocks while it would overflow)."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Withdraw ``amount`` (blocks until available)."""
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        """Serve queued puts/gets in FIFO order while they fit."""
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and self._level + self._puts[0].amount <= self._capacity:
+                put = self._puts.pop(0)
+                self._level += put.amount
+                put.succeed()
+                progressed = True
+            if self._gets and self._level >= self._gets[0].amount:
+                get = self._gets.pop(0)
+                self._level -= get.amount
+                get.succeed()
+                progressed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Container {self._level}/{self._capacity}>"

@@ -1,0 +1,202 @@
+"""Object stores — the building block for I/O request queues.
+
+``Store`` is an unbounded-or-bounded FIFO of arbitrary Python objects
+with blocking ``put``/``get``.  The per-storage-node I/O queue that
+Figure 1 of the paper depicts (normal and active requests from many
+applications funnelled into one server) is a ``PriorityStore`` in this
+reproduction, so the Active I/O Runtime can drain requests in arrival
+or priority order and the Contention Estimator can inspect the backlog.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Pending removal of one item from a store."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        self.store = store
+        store._get_waiters.append(self)
+        store._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw this get if it has not been satisfied yet.
+
+        A triggered get already consumed an item; cancelling then is a
+        no-op so teardown code can cancel unconditionally.
+        """
+        if self in self.store._get_waiters:
+            self.store._get_waiters.remove(self)
+
+
+class Store:
+    """FIFO object store with optional capacity bound."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        """Maximum number of stored items."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item`` (blocks while the store is full)."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove and return the next item (blocks while empty)."""
+        return StoreGet(self)
+
+    # -- internals ---------------------------------------------------------
+    def _do_put(self, put: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self._insert(put.item)
+            put.succeed()
+            return True
+        return False
+
+    def _do_get(self, get: StoreGet) -> bool:
+        if self.items:
+            get.succeed(self._extract(get))
+            return True
+        return False
+
+    def _insert(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _extract(self, get: StoreGet) -> Any:
+        return self.items.pop(0)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_waiters:
+                if not self._do_put(self._put_waiters[0]):
+                    break
+                self._put_waiters.pop(0)
+                progressed = True
+            while self._get_waiters:
+                if not self._do_get(self._get_waiters[0]):
+                    break
+                self._get_waiters.pop(0)
+                progressed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} items={len(self.items)}>"
+
+
+class PriorityItem:
+    """Wrapper ordering arbitrary payloads by an explicit priority."""
+
+    __slots__ = ("priority", "item", "_order")
+    _counter = itertools.count()
+
+    def __init__(self, priority: float, item: Any) -> None:
+        self.priority = priority
+        self.item = item
+        self._order = next(PriorityItem._counter)
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return (self.priority, self._order) < (other.priority, other._order)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """A store that yields the lowest-priority item first.
+
+    Items must be :class:`PriorityItem` instances (or anything
+    totally ordered).
+    """
+
+    def _insert(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _extract(self, get: StoreGet) -> Any:
+        return heapq.heappop(self.items)
+
+
+class FilterStoreGet(StoreGet):
+    """A get that only matches items satisfying a predicate."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "FilterStore", filt: Callable[[Any], bool]) -> None:
+        self.filter = filt
+        super().__init__(store)
+
+
+class FilterStore(Store):
+    """A store whose consumers select items with a predicate.
+
+    Used by the PVFS client to collect per-server responses matched by
+    request id without imposing a completion order.
+    """
+
+    def get(self, filt: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:  # type: ignore[override]
+        """Remove the first item matching ``filt`` (blocks until one exists)."""
+        return FilterStoreGet(self, filt)
+
+    def _do_get(self, get: StoreGet) -> bool:
+        assert isinstance(get, FilterStoreGet)
+        for i, item in enumerate(self.items):
+            if get.filter(item):
+                del self.items[i]
+                get.succeed(item)
+                return True
+        return False
+
+    def _trigger(self) -> None:
+        # Unlike FIFO stores, a blocked head-of-line get must not stall
+        # later gets whose predicates could match.
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_waiters:
+                if not self._do_put(self._put_waiters[0]):
+                    break
+                self._put_waiters.pop(0)
+                progressed = True
+            satisfied = []
+            for get in self._get_waiters:
+                if self._do_get(get):
+                    satisfied.append(get)
+                    progressed = True
+            for get in satisfied:
+                self._get_waiters.remove(get)

@@ -1,0 +1,42 @@
+"""Workload generation: applications, arrival processes, sweep grids.
+
+The paper's evaluation workload is simple — n identical processes per
+storage node, each issuing one active I/O of d bytes ("we used one
+benchmark but ran it with multiple instances each time") — but the
+motivation (Figure 1) is many *applications* contending.  This package
+provides both: the exact paper grids (``sweeps``) and richer
+multi-application mixes (``apps``/``generator``) used by the examples
+and the extension benchmarks.
+"""
+
+from repro.workload.apps import (
+    Application,
+    BatchApplication,
+    MixedApplication,
+    StreamingApplication,
+)
+from repro.workload.generator import ArrivalPattern, RequestPlan, WorkloadGenerator
+from repro.workload.sweeps import (
+    PAPER_REQUEST_COUNTS,
+    PAPER_REQUEST_SIZES,
+    paper_grid,
+    table4_situations,
+)
+from repro.workload.traces import TraceRecord, load_trace, save_trace
+
+__all__ = [
+    "Application",
+    "ArrivalPattern",
+    "BatchApplication",
+    "MixedApplication",
+    "PAPER_REQUEST_COUNTS",
+    "PAPER_REQUEST_SIZES",
+    "RequestPlan",
+    "StreamingApplication",
+    "TraceRecord",
+    "WorkloadGenerator",
+    "load_trace",
+    "paper_grid",
+    "save_trace",
+    "table4_situations",
+]

@@ -1,0 +1,113 @@
+"""Application models for multi-application contention studies.
+
+Figure 1 of the paper shows several applications (APP1 … APPm) whose
+processes all funnel I/O into the same storage nodes.  These classes
+describe such applications declaratively; ``WorkloadGenerator`` turns
+them into concrete request plans.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RequestTemplate:
+    """One I/O operation an application process will issue."""
+
+    size: int
+    active: bool
+    operation: Optional[str] = None
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("request size must be positive")
+        if self.active and not self.operation:
+            raise ValueError("active requests need an operation")
+        if self.think_time < 0:
+            raise ValueError("think_time must be non-negative")
+
+
+class Application(abc.ABC):
+    """A named group of processes issuing requests."""
+
+    def __init__(self, name: str, n_processes: int) -> None:
+        if n_processes <= 0:
+            raise ValueError("n_processes must be positive")
+        self.name = name
+        self.n_processes = n_processes
+
+    @abc.abstractmethod
+    def requests_for(self, process_index: int) -> Iterator[RequestTemplate]:
+        """The ordered request sequence of one process."""
+
+    def total_requests(self) -> int:
+        """Requests across all processes."""
+        return sum(
+            sum(1 for _ in self.requests_for(i)) for i in range(self.n_processes)
+        )
+
+
+class BatchApplication(Application):
+    """Every process issues exactly one request (the paper's workload)."""
+
+    def __init__(
+        self,
+        name: str,
+        n_processes: int,
+        size: int,
+        operation: Optional[str] = None,
+    ) -> None:
+        super().__init__(name, n_processes)
+        self.template = RequestTemplate(
+            size=size, active=operation is not None, operation=operation
+        )
+
+    def requests_for(self, process_index: int) -> Iterator[RequestTemplate]:
+        yield self.template
+
+
+class StreamingApplication(Application):
+    """Each process issues ``rounds`` requests with think time between."""
+
+    def __init__(
+        self,
+        name: str,
+        n_processes: int,
+        size: int,
+        rounds: int,
+        think_time: float = 0.0,
+        operation: Optional[str] = None,
+    ) -> None:
+        super().__init__(name, n_processes)
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        self.rounds = rounds
+        self.template = RequestTemplate(
+            size=size,
+            active=operation is not None,
+            operation=operation,
+            think_time=think_time,
+        )
+
+    def requests_for(self, process_index: int) -> Iterator[RequestTemplate]:
+        for _ in range(self.rounds):
+            yield self.template
+
+
+class MixedApplication(Application):
+    """Processes alternate an explicit list of request templates."""
+
+    def __init__(
+        self, name: str, n_processes: int, templates: List[RequestTemplate]
+    ) -> None:
+        super().__init__(name, n_processes)
+        if not templates:
+            raise ValueError("templates must be non-empty")
+        self.templates = list(templates)
+
+    def requests_for(self, process_index: int) -> Iterator[RequestTemplate]:
+        yield from self.templates

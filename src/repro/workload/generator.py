@@ -1,0 +1,139 @@
+"""Turning application declarations into concrete request plans.
+
+A :class:`RequestPlan` fixes, for every request: which process issues
+it, when (arrival pattern), how large, active/normal, and which kernel.
+Plans are deterministic under a seed, so any experiment is replayable.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.workload.apps import Application, RequestTemplate
+
+
+class ArrivalPattern(enum.Enum):
+    """When processes issue their first request."""
+
+    BATCH = "batch"          # all at t=0 (the paper's experiments)
+    UNIFORM = "uniform"      # evenly spaced over a window
+    POISSON = "poisson"      # exponential inter-arrivals
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One fully specified request."""
+
+    app: str
+    process_index: int
+    sequence: int
+    arrival_time: float
+    size: int
+    active: bool
+    operation: Optional[str]
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+
+
+@dataclass
+class RequestPlan:
+    """A deterministic, ordered request schedule."""
+
+    requests: List[PlannedRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[PlannedRequest]:
+        return iter(self.requests)
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate data requested."""
+        return sum(r.size for r in self.requests)
+
+    @property
+    def active_fraction(self) -> float:
+        """Fraction of requests that are active I/O."""
+        if not self.requests:
+            return 0.0
+        return sum(1 for r in self.requests if r.active) / len(self.requests)
+
+    def by_process(self) -> dict:
+        """(app, process) → list of requests, arrival-ordered."""
+        out: dict = {}
+        for req in self.requests:
+            out.setdefault((req.app, req.process_index), []).append(req)
+        for reqs in out.values():
+            reqs.sort(key=lambda r: (r.arrival_time, r.sequence))
+        return out
+
+
+class WorkloadGenerator:
+    """Builds :class:`RequestPlan` objects from applications."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def plan(
+        self,
+        applications: Sequence[Application],
+        pattern: ArrivalPattern = ArrivalPattern.BATCH,
+        window: float = 0.0,
+        rate: float = 1.0,
+    ) -> RequestPlan:
+        """Generate a plan.
+
+        Parameters
+        ----------
+        applications:
+            The contending applications (Figure 1's APP1 … APPm).
+        pattern:
+            First-request arrival discipline.
+        window:
+            UNIFORM: the spread of first arrivals.
+        rate:
+            POISSON: arrivals per second.
+        """
+        rng = random.Random(self.seed)
+        plan = RequestPlan()
+        for app in applications:
+            for pidx in range(app.n_processes):
+                start = self._first_arrival(rng, pattern, window, rate)
+                clock = start
+                for seq, template in enumerate(app.requests_for(pidx)):
+                    plan.requests.append(
+                        PlannedRequest(
+                            app=app.name,
+                            process_index=pidx,
+                            sequence=seq,
+                            arrival_time=clock,
+                            size=template.size,
+                            active=template.active,
+                            operation=template.operation,
+                        )
+                    )
+                    clock += template.think_time
+        plan.requests.sort(key=lambda r: (r.arrival_time, r.app, r.process_index, r.sequence))
+        return plan
+
+    @staticmethod
+    def _first_arrival(
+        rng: random.Random, pattern: ArrivalPattern, window: float, rate: float
+    ) -> float:
+        if pattern is ArrivalPattern.BATCH:
+            return 0.0
+        if pattern is ArrivalPattern.UNIFORM:
+            if window < 0:
+                raise ValueError("window must be non-negative")
+            return rng.uniform(0.0, window)
+        if pattern is ArrivalPattern.POISSON:
+            if rate <= 0:
+                raise ValueError("rate must be positive")
+            return rng.expovariate(rate)
+        raise ValueError(f"unknown pattern {pattern}")

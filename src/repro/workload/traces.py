@@ -1,0 +1,73 @@
+"""Request-trace persistence (record/replay tooling).
+
+Simple JSON-lines format so experiment inputs can be archived next to
+their outputs and replayed exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Union
+
+from repro.workload.generator import PlannedRequest, RequestPlan
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """Serialised form of one planned request."""
+
+    app: str
+    process_index: int
+    sequence: int
+    arrival_time: float
+    size: int
+    active: bool
+    operation: str = ""
+
+
+def save_trace(plan: RequestPlan, path: Union[str, Path]) -> int:
+    """Write ``plan`` as JSON lines; returns the record count."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fp:
+        for req in plan:
+            record = TraceRecord(
+                app=req.app,
+                process_index=req.process_index,
+                sequence=req.sequence,
+                arrival_time=req.arrival_time,
+                size=req.size,
+                active=req.active,
+                operation=req.operation or "",
+            )
+            fp.write(json.dumps(asdict(record)) + "\n")
+    return len(plan)
+
+
+def load_trace(path: Union[str, Path]) -> RequestPlan:
+    """Read a JSON-lines trace back into a plan."""
+    path = Path(path)
+    plan = RequestPlan()
+    with path.open("r", encoding="utf-8") as fp:
+        for line_no, line in enumerate(fp, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: bad JSON: {exc}") from exc
+            plan.requests.append(
+                PlannedRequest(
+                    app=raw["app"],
+                    process_index=int(raw["process_index"]),
+                    sequence=int(raw["sequence"]),
+                    arrival_time=float(raw["arrival_time"]),
+                    size=int(raw["size"]),
+                    active=bool(raw["active"]),
+                    operation=raw.get("operation") or None,
+                )
+            )
+    plan.requests.sort(key=lambda r: (r.arrival_time, r.app, r.process_index, r.sequence))
+    return plan

@@ -1,0 +1,103 @@
+"""Metrics, bandwidth, report formatting and figure drivers."""
+
+import pytest
+
+from repro.cluster.config import MB
+from repro.core import Scheme, WorkloadSpec, run_scheme
+from repro.analysis import (
+    achieved_bandwidth,
+    bandwidth_series,
+    figure_series,
+    format_table,
+    improvement,
+    render_series,
+    speedup,
+    summarize_run,
+    table3_rows,
+)
+from repro.analysis.figures import table4_accuracy, Table4Row
+
+
+@pytest.fixture(scope="module")
+def ts_run():
+    return run_scheme(Scheme.TS, WorkloadSpec(n_requests=4, request_bytes=8 * MB))
+
+
+class TestMetrics:
+    def test_summarize_run(self, ts_run):
+        m = summarize_run(ts_run)
+        assert m.scheme == "ts"
+        assert m.n_requests == 4
+        assert m.request_mb == 8.0
+        assert m.makespan == ts_run.makespan
+        assert m.p95_latency <= m.makespan
+        assert m.bandwidth_mb_s == pytest.approx(32 / ts_run.makespan)
+
+    def test_speedup_improvement(self):
+        assert speedup(10, 5) == 2.0
+        assert improvement(10, 6) == pytest.approx(0.4)
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+        with pytest.raises(ValueError):
+            improvement(0, 1)
+
+
+class TestBandwidth:
+    def test_achieved(self, ts_run):
+        assert achieved_bandwidth(ts_run) == pytest.approx(
+            32 * MB / ts_run.makespan
+        )
+
+    def test_series_sorted(self):
+        runs = [
+            run_scheme(Scheme.TS, WorkloadSpec(n_requests=n, request_bytes=8 * MB))
+            for n in (4, 1, 2)
+        ]
+        series = bandwidth_series(runs)
+        assert [n for n, _bw in series] == [1, 2, 4]
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["name", "value"], [["a", 1.2345], ["bb", 1000.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "---" in lines[1]
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_float_rendering(self):
+        out = format_table(["v"], [[0.12349], [12345.6], [3.0]])
+        assert "0.1235" in out
+        assert "12,346" in out
+        assert "3.00" in out
+
+    def test_render_series(self):
+        out = render_series("Fig X", "n", {
+            "ts": [(1, 2.0), (2, 3.0)],
+            "as": [(1, 1.0)],
+        })
+        assert "Fig X" in out
+        assert "-" in out.splitlines()[-1]  # missing point placeholder
+
+
+class TestFigureDrivers:
+    def test_figure_series_shape(self):
+        series = figure_series("sum", 8 * MB, [Scheme.TS, Scheme.AS],
+                               counts=(1, 2))
+        assert set(series) == {"ts", "as"}
+        assert [n for n, _t in series["ts"]] == [1, 2]
+        assert all(t > 0 for _n, t in series["as"])
+
+    def test_table3_rows(self):
+        rows = table3_rows(nbytes=1 * MB)
+        names = {r["kernel"] for r in rows}
+        assert names == {"sum", "gaussian2d"}
+
+    def test_table4_accuracy_helper(self):
+        rows = [
+            Table4Row(1, "x", "Active", "Active", True, 0.5),
+            Table4Row(2, "y", "Active", "Normal", False, 0.01),
+        ]
+        assert table4_accuracy(rows) == 0.5
+        with pytest.raises(ValueError):
+            table4_accuracy([])

@@ -1,0 +1,108 @@
+"""Terminal charts and the CLI."""
+
+import io
+
+import pytest
+
+from repro.analysis.charts import render_chart
+from repro.cli import build_parser, main
+
+
+class TestCharts:
+    SERIES = {
+        "ts": [(1, 2.0), (2, 4.0), (4, 8.0)],
+        "as": [(1, 1.0), (2, 5.0), (4, 9.0)],
+    }
+
+    def test_contains_markers_and_legend(self):
+        out = render_chart("Title", self.SERIES)
+        assert "Title" in out
+        assert "●" in out and "○" in out
+        assert "● ts" in out and "○ as" in out
+
+    def test_axis_labels(self):
+        out = render_chart("t", self.SERIES)
+        assert "9" in out   # y max
+        assert "1" in out and "4" in out  # x ticks
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("t", {})
+        with pytest.raises(ValueError):
+            render_chart("t", {"a": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart("t", self.SERIES, width=4)
+
+    def test_flat_series_renders(self):
+        out = render_chart("flat", {"x": [(1, 5.0), (2, 5.0)]})
+        assert "●" in out
+
+    def test_dimensions_respected(self):
+        out = render_chart("t", self.SERIES, width=30, height=8)
+        plot_lines = [l for l in out.splitlines() if "│" in l or "┤" in l or "┼" in l]
+        assert len(plot_lines) == 8
+
+
+class TestCLI:
+    def _run(self, argv):
+        out = io.StringIO()
+        args = build_parser().parse_args(argv)
+        code = args.func(args, out=out)
+        return code, out.getvalue()
+
+    def test_run_command(self):
+        code, text = self._run(["run", "--kernel", "sum", "--requests", "2",
+                                "--mb", "16"])
+        assert code == 0
+        assert "dosas" in text and "makespan" in text
+
+    def test_run_unknown_kernel(self, capsys):
+        code, _ = self._run(["run", "--kernel", "nope"])
+        assert code == 2
+
+    def test_sweep_command(self):
+        code, text = self._run(["sweep", "--kernel", "sum", "--mb", "16",
+                                "--counts", "1", "2"])
+        assert code == 0
+        assert "ts" in text
+
+    def test_sweep_chart_mode(self):
+        code, text = self._run(["sweep", "--kernel", "sum", "--mb", "16",
+                                "--counts", "1", "2", "--chart"])
+        assert code == 0
+        assert "●" in text
+
+    def test_figure_small(self):
+        code, text = self._run(["figure", "6"])
+        assert code == 0
+        assert "Figure 6" in text
+
+    def test_figure_unknown(self):
+        code, _ = self._run(["figure", "99"])
+        assert code == 2
+
+    def test_table_3(self):
+        code, text = self._run(["table", "3"])
+        assert code == 0
+        assert "sum" in text and "860" in text
+
+    def test_table_unknown(self):
+        code, _ = self._run(["table", "7"])
+        assert code == 2
+
+    def test_headline(self):
+        code, text = self._run(["headline"])
+        assert code == 0
+        assert "40" in text
+
+    def test_calibrate(self):
+        code, text = self._run(["calibrate", "--mb", "1"])
+        assert code == 0
+        assert "gaussian2d" in text
+
+    def test_main_entry(self, capsys):
+        assert main(["table", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "sum" in captured.out

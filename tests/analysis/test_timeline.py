@@ -1,0 +1,132 @@
+"""Request timelines and Gantt rendering."""
+
+import pytest
+
+from repro.cluster.config import MB
+from repro.core import Scheme, WorkloadSpec, run_plan, run_scheme
+from repro.analysis import (
+    RequestRecord,
+    records_from_plan_result,
+    records_from_scheme_result,
+    render_gantt,
+)
+from repro.workload import ArrivalPattern, BatchApplication, WorkloadGenerator
+
+
+class TestRequestRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestRecord("r", start=2.0, end=1.0, disposition="normal")
+        with pytest.raises(ValueError):
+            RequestRecord("r", start=0.0, end=1.0, disposition="mystery")
+
+    def test_duration(self):
+        assert RequestRecord("r", 1.0, 3.5, "demoted").duration == 2.5
+
+
+class TestRecordsFromResults:
+    def test_scheme_result_counts_match(self):
+        r = run_scheme(Scheme.DOSAS, WorkloadSpec(n_requests=8,
+                                                  request_bytes=32 * MB))
+        records = records_from_scheme_result(r)
+        assert len(records) == 8
+        offloaded = sum(1 for rec in records if rec.disposition == "offloaded")
+        demoted = sum(1 for rec in records
+                      if rec.disposition in ("demoted", "migrated"))
+        assert offloaded == r.served_active
+        assert demoted == r.demoted
+
+    def test_ts_records_all_normal(self):
+        r = run_scheme(Scheme.TS, WorkloadSpec(n_requests=4,
+                                               request_bytes=32 * MB))
+        records = records_from_scheme_result(r)
+        assert all(rec.disposition == "normal" for rec in records)
+
+    def test_spacing_staggered_starts(self):
+        r = run_scheme(Scheme.AS, WorkloadSpec(n_requests=4,
+                                               request_bytes=32 * MB,
+                                               arrival_spacing=1.0))
+        records = records_from_scheme_result(r)
+        starts = [rec.start for rec in records]
+        assert starts == [0.0, 1.0, 2.0, 3.0]
+
+    def test_plan_result_records(self):
+        apps = [BatchApplication("a", 3, 16 * MB, operation="sum"),
+                BatchApplication("b", 1, 16 * MB)]
+        plan = WorkloadGenerator(0).plan(apps, ArrivalPattern.BATCH)
+        r = run_plan(Scheme.DOSAS, plan)
+        records = records_from_plan_result(r)
+        assert len(records) == 4
+        assert any(rec.disposition == "normal" for rec in records)  # app b
+
+
+class TestRenderGantt:
+    RECORDS = [
+        RequestRecord("r0", 0.0, 5.0, "offloaded"),
+        RequestRecord("r1", 1.0, 8.0, "demoted"),
+        RequestRecord("r2", 2.0, 9.0, "migrated"),
+    ]
+
+    def test_contains_lanes_and_legend(self):
+        out = render_gantt(self.RECORDS, width=40, title="T")
+        assert "T" in out
+        assert "█" in out and "░" in out and "▓" in out
+        assert "offloaded" in out and "migrated" in out
+        assert "0 .. 9 s" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt([])
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_gantt(self.RECORDS, width=4)
+
+    def test_zero_duration_record_still_draws(self):
+        out = render_gantt([RequestRecord("r", 1.0, 1.0, "normal")], width=20)
+        assert "─" in out
+
+
+class TestGanttCLI:
+    def test_gantt_command(self):
+        import io
+        from repro.cli import build_parser
+
+        out = io.StringIO()
+        args = build_parser().parse_args(
+            ["gantt", "--requests", "4", "--mb", "32", "--scheme", "as"]
+        )
+        assert args.func(args, out=out) == 0
+        assert "█" in out.getvalue()
+
+    def test_trace_roundtrip_cli(self, tmp_path):
+        import io
+        from repro.cli import build_parser
+
+        trace = tmp_path / "t.jsonl"
+        parser = build_parser()
+        args = parser.parse_args([
+            "trace", "generate", "--apps", "a:2:32:sum", "b:1:64",
+            "--out", str(trace),
+        ])
+        assert args.func(args, out=io.StringIO()) == 0
+
+        out = io.StringIO()
+        args = parser.parse_args(["trace", "show", str(trace)])
+        assert args.func(args, out=out) == 0
+        assert "sum" in out.getvalue()
+
+        out = io.StringIO()
+        args = parser.parse_args(["trace", "run", str(trace),
+                                  "--scheme", "dosas"])
+        assert args.func(args, out=out) == 0
+        assert "dosas" in out.getvalue()
+
+    def test_trace_bad_app_spec(self):
+        import io
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "trace", "generate", "--apps", "oops", "--out", "/tmp/x.jsonl",
+        ])
+        assert args.func(args, out=io.StringIO()) == 2

@@ -1,0 +1,104 @@
+"""System probes and cluster topology."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.cluster import (
+    ClusterTopology,
+    FairShareLink,
+    NodeProber,
+    NodeSpec,
+    StorageNode,
+    SystemProbe,
+    discfarm_config,
+)
+
+MB = 1024 * 1024
+
+
+class TestSystemProbe:
+    def _probe(self, **overrides):
+        base = dict(
+            time=0.0, cpu_utilization=0.5, memory_utilization=0.25,
+            io_queue_length=10, active_queue_length=4,
+            queued_bytes=1000.0, active_bytes=400.0,
+        )
+        base.update(overrides)
+        return SystemProbe(**base)
+
+    def test_normal_bytes_derived(self):
+        p = self._probe()
+        assert p.normal_bytes == 600.0
+
+    def test_saturation(self):
+        assert self._probe(cpu_utilization=1.0).is_saturated
+        assert not self._probe(cpu_utilization=0.9).is_saturated
+
+    @pytest.mark.parametrize("overrides", [
+        {"cpu_utilization": 1.5},
+        {"memory_utilization": -0.1},
+        {"io_queue_length": -1},
+        {"active_queue_length": 11},  # exceeds io_queue_length
+    ])
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            self._probe(**overrides)
+
+
+class TestNodeProber:
+    def test_probe_reads_node_and_queue(self, env):
+        node = StorageNode(env, "sn0", NodeSpec(cores=2))
+        prober = NodeProber(node, lambda: (5, 2, 640 * MB, 256 * MB))
+
+        def busy(env, node):
+            yield from node.cpu.compute(80 * MB, 80 * MB)
+
+        def sample(env, prober):
+            yield env.timeout(0.5)
+            return prober.probe()
+
+        env.process(busy(env, node))
+        probe = env.run(until=env.process(sample(env, prober)))
+        assert probe.cpu_utilization == 0.5
+        assert probe.io_queue_length == 5
+        assert probe.active_queue_length == 2
+        assert probe.active_bytes == 256 * MB
+        assert prober.latest() is probe
+        assert len(prober.history) == 1
+
+    def test_latest_none_before_first(self, env):
+        node = StorageNode(env, "sn0", NodeSpec())
+        assert NodeProber(node).latest() is None
+
+
+class TestClusterTopology:
+    def test_counts_from_config(self, env):
+        topo = ClusterTopology(env, discfarm_config(n_storage=2))
+        assert len(topo.storage_nodes) == 2
+        assert len(topo.compute_nodes) == 128
+        assert len(topo.links) == 2
+
+    def test_link_lookup(self, env):
+        topo = ClusterTopology(env, discfarm_config())
+        sn = topo.storage_node(0)
+        assert topo.link_for(sn).name == "sn0.nic"
+
+    def test_graph_structure(self, env):
+        topo = ClusterTopology(env, discfarm_config(n_storage=2, n_compute=4))
+        # star topology: every node connects through the switch
+        assert topo.graph.number_of_nodes() == 2 + 4 + 1
+        assert topo.graph.number_of_edges() == 6
+        assert topo.path_bandwidth("cn0", "sn1") == 118 * MB
+
+    def test_assignment_round_robin(self, env):
+        topo = ClusterTopology(env, discfarm_config(n_storage=2, n_compute=4))
+        a = topo.assignment()
+        assert a == {"cn0": "sn0", "cn1": "sn1", "cn2": "sn0", "cn3": "sn1"}
+
+    def test_alternate_link_class(self, env):
+        topo = ClusterTopology(env, discfarm_config(), link_cls=FairShareLink)
+        assert isinstance(topo.link_for(topo.storage_node(0)), FairShareLink)
+
+    def test_jitter_config_propagates(self, env):
+        topo = ClusterTopology(env, discfarm_config(jitter=True))
+        assert topo.link_for(topo.storage_node(0)).jitter > 0

@@ -1,0 +1,23 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng():
+    """Seeded numpy generator for deterministic test data."""
+    return np.random.default_rng(20120924)
+
+
+def run_process(env, generator):
+    """Run ``generator`` as a process to completion; return its value."""
+    return env.run(until=env.process(generator))

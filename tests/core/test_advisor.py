@@ -1,0 +1,81 @@
+"""The offline what-if advisor."""
+
+import pytest
+
+from repro.cluster.config import MB, NodeSpec, discfarm_config
+from repro.core import Advisor, Scheme
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return Advisor()
+
+
+class TestPredictions:
+    def test_gaussian_low_contention_recommends_active(self, advisor):
+        p = advisor.predict("gaussian2d", [128 * MB] * 2)
+        assert p.recommended in (Scheme.AS, Scheme.DOSAS)
+        assert p.t_active < p.t_traditional
+        assert p.n_offloaded == 2
+
+    def test_gaussian_high_contention_recommends_demotion(self, advisor):
+        p = advisor.predict("gaussian2d", [128 * MB] * 16)
+        assert p.t_traditional < p.t_active
+        assert p.n_offloaded == 0
+        assert p.t_dosas == pytest.approx(p.t_traditional, rel=1e-9)
+
+    def test_dosas_never_worse_than_either_static(self, advisor):
+        for n in (1, 3, 4, 10, 50):
+            p = advisor.predict("gaussian2d", [256 * MB] * n)
+            assert p.t_dosas <= p.t_traditional + 1e-9
+            assert p.t_dosas <= p.t_active + 1e-9
+            assert p.dosas_gain_vs_best_static >= -1e-12
+
+    def test_heterogeneous_sizes_mixed_offload(self, advisor):
+        # A few small requests next to one huge one: the solver keeps
+        # the cheap ones active and demotes nothing blindly.
+        sizes = [16 * MB] * 3 + [1024 * MB]
+        p = advisor.predict("gaussian2d", sizes)
+        assert 0 < p.n_offloaded <= 4
+
+    def test_background_traffic_penalises_everything(self, advisor):
+        quiet = advisor.predict("gaussian2d", [128 * MB] * 2)
+        busy = advisor.predict("gaussian2d", [128 * MB] * 2,
+                               normal_bytes=1024 * MB)
+        assert busy.t_traditional > quiet.t_traditional
+        assert busy.t_active > quiet.t_active
+        assert busy.t_dosas > quiet.t_dosas
+
+    def test_empty_workload_rejected(self, advisor):
+        with pytest.raises(ValueError):
+            advisor.predict("sum", [])
+
+
+class TestCrossover:
+    def test_gaussian_crossover_is_four(self, advisor):
+        assert advisor.crossover("gaussian2d", 128 * MB) == 4
+
+    def test_sum_never_crosses(self, advisor):
+        assert advisor.crossover("sum", 128 * MB, max_requests=256) is None
+
+    def test_faster_clients_move_crossover_left(self):
+        cfg = discfarm_config().with_(
+            compute_spec=NodeSpec(cores=8, core_speed=4.0)
+        )
+        fast_clients = Advisor(cfg)
+        # With 4x faster clients the z-term shrinks: demoting pays off
+        # sooner, so the crossover happens at fewer requests.
+        assert fast_clients.crossover("gaussian2d", 128 * MB) <= 4
+
+
+class TestSweepAndError:
+    def test_sweep_shape(self, advisor):
+        rows = advisor.sweep("gaussian2d", 128 * MB, counts=(1, 4, 16))
+        assert [n for n, _p in rows] == [1, 4, 16]
+
+    def test_model_matches_simulation_on_homogeneous_batches(self, advisor):
+        """For the paper's workloads the additive model is exact
+        against the event simulator (no overlap exists to ignore)."""
+        for n in (1, 4, 16):
+            errors = advisor.predict_error("gaussian2d", n, 128 * MB)
+            assert max(errors.values()) < 0.01, (n, errors)

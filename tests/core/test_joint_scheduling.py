@@ -1,0 +1,159 @@
+"""Joint multi-operation scheduling (extension over the paper).
+
+The paper's Eq. 4 covers one operation.  The joint objective
+
+    t = Σ [x_i a_i + y_i (1 − a_i)] + max_i w_i (1 − a_i)
+
+uses per-request client weights w_i = d_i / C_{C,op_i}; these tests
+show (a) single-op instances reduce exactly to Eq. 4, (b) all exact
+solvers agree on mixed instances, (c) the joint solve is never worse
+than per-op splitting, (d) the estimator's mixed-queue policies use it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import CostModel, RequestCost, SchedulingInstance
+from repro.core.scheduler import (
+    BranchAndBoundScheduler,
+    ExhaustiveScheduler,
+    ThresholdScheduler,
+)
+from repro.kernels.costs import MB, make_paper_model
+
+BW = 118 * MB
+EXACT = [ExhaustiveScheduler, ThresholdScheduler, BranchAndBoundScheduler]
+
+
+def _model(op):
+    k = make_paper_model(op)
+    return CostModel(kernel=k, storage_capability=k.rate,
+                     compute_capability=k.rate, bandwidth=BW)
+
+
+def mixed_instance(gauss_sizes, sum_sizes):
+    costs = []
+    rid = 0
+    for op, sizes in (("gaussian2d", gauss_sizes), ("sum", sum_sizes)):
+        m = _model(op)
+        for d in sizes:
+            costs.append(RequestCost(
+                rid=rid, d_i=float(d), x_i=m.x_i(d), y_i=m.y_i(d),
+                w_i=float(d) / m.compute_capability,
+            ))
+            rid += 1
+    return SchedulingInstance.from_costs(costs)
+
+
+class TestSingleOpEquivalence:
+    def test_instance_value_matches_eq4(self):
+        m = _model("gaussian2d")
+        sizes = [64 * MB, 128 * MB, 256 * MB]
+        inst = SchedulingInstance.from_sizes(m, sizes)
+        for assignment in ([1, 1, 1], [0, 0, 0], [1, 0, 1], [0, 1, 0]):
+            assert inst.value(assignment) == pytest.approx(
+                m.objective(sizes, assignment)
+            )
+
+    def test_assignment_length_checked(self):
+        inst = SchedulingInstance.from_sizes(_model("sum"), [1.0])
+        with pytest.raises(ValueError):
+            inst.value([1, 0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RequestCost(rid=0, d_i=1.0, x_i=0, y_i=0, w_i=-1.0)
+
+
+class TestMixedInstances:
+    def test_sum_requests_stay_active_in_a_gaussian_crowd(self):
+        """SUM is cheap on storage; a crowded queue of Gaussians must
+        not drag the SUMs down with it."""
+        inst = mixed_instance([128 * MB] * 8, [128 * MB] * 8)
+        d = ThresholdScheduler().solve(inst)
+        gauss_assign = d.assignment[:8]
+        sum_assign = d.assignment[8:]
+        assert all(a == 0 for a in gauss_assign)  # crowd demoted
+        assert all(a == 1 for a in sum_assign)    # reductions offloaded
+
+    def test_joint_never_worse_than_per_op_split(self):
+        """Per-op splitting double-charges the z term; joint wins."""
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            gauss = [float(s) * MB for s in rng.integers(32, 512, 4)]
+            sums = [float(s) * MB for s in rng.integers(32, 512, 4)]
+            joint = ThresholdScheduler().solve(mixed_instance(gauss, sums))
+
+            per_op = 0.0
+            for op, sizes in (("gaussian2d", gauss), ("sum", sums)):
+                inst = SchedulingInstance.from_sizes(_model(op), sizes)
+                per_op += ThresholdScheduler().solve(inst).value
+            assert joint.value <= per_op + 1e-9
+
+    def test_joint_strictly_better_when_both_halves_demote(self):
+        """Splitting a demoting queue into two subproblems pays the
+        max-term twice; the joint solve pays it once."""
+        gauss = [512.0 * MB] * 16  # deep queue: everything demotes
+        joint = ThresholdScheduler().solve(
+            SchedulingInstance.from_sizes(_model("gaussian2d"), gauss)
+        )
+        half = ThresholdScheduler().solve(
+            SchedulingInstance.from_sizes(_model("gaussian2d"), gauss[:8])
+        )
+        split_total = 2 * half.value
+        assert joint.value < split_total - 1e-9
+
+
+@given(
+    gauss=st.lists(st.floats(min_value=1.0, max_value=2e9), min_size=0,
+                   max_size=5),
+    sums=st.lists(st.floats(min_value=1.0, max_value=2e9), min_size=0,
+                  max_size=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_exact_solvers_agree_on_mixed_instances(gauss, sums):
+    inst = mixed_instance(gauss, sums)
+    if inst.k == 0:
+        return
+    values = [cls().solve(inst).value for cls in EXACT]
+    assert values[0] == pytest.approx(values[1], rel=1e-12)
+    assert values[0] == pytest.approx(values[2], rel=1e-12)
+
+
+class TestEstimatorUsesJointSolve:
+    def test_mixed_queue_policy(self, env):
+        from repro.cluster import NodeProber, NodeSpec, StorageNode
+        from repro.core.estimator import DOSASEstimator
+        from repro.core.policy import Decision
+        from repro.core.schemes import cost_models_from_registry
+        from repro.kernels.registry import default_registry
+        from repro.pvfs import IOKind, IORequest, MetadataServer
+        from repro.pvfs.requests import next_request_id
+
+        node = StorageNode(env, "sn0", NodeSpec(cores=2))
+        prober = NodeProber(node, lambda: (0, 0, 0.0, 0.0))
+        mds = MetadataServer(1, 4 * MB)
+        mds.create("/a", size=2048 * MB)
+        fh = mds.open("/a")
+        est = DOSASEstimator(
+            prober=prober,
+            kernel_models=cost_models_from_registry(default_registry),
+            bandwidth=BW,
+            probe_period=None,
+        )
+
+        def req(op):
+            return IORequest(
+                rid=next_request_id(), parent_id=0, kind=IOKind.ACTIVE,
+                fh=fh, offset=0, size=128 * MB, operation=op,
+                client_name="c", reply=env.event(), submitted_at=0.0,
+            )
+
+        sums = [req("sum") for _ in range(8)]
+        gausses = [req("gaussian2d") for _ in range(8)]
+        policy = est.evaluate(sums + gausses, [])
+        assert all(policy.decisions[r.rid] is Decision.ACTIVE for r in sums)
+        assert all(policy.decisions[r.rid] is Decision.NORMAL for r in gausses)
+        # One joint objective value, not a sum of per-op solutions.
+        assert policy.objective_value > 0

@@ -1,0 +1,137 @@
+"""The analytic cost model: Table II primitives and Eq. 1–7."""
+
+import pytest
+
+from repro.core.model import CostModel, RequestCost, SchedulingInstance
+from repro.kernels.costs import MB, make_paper_model
+
+BW = 118 * MB
+
+
+@pytest.fixture
+def gauss_model():
+    k = make_paper_model("gaussian2d")
+    return CostModel(kernel=k, storage_capability=k.rate,
+                     compute_capability=k.rate, bandwidth=BW)
+
+
+@pytest.fixture
+def sum_model():
+    k = make_paper_model("sum")
+    return CostModel(kernel=k, storage_capability=k.rate,
+                     compute_capability=k.rate, bandwidth=BW)
+
+
+class TestPrimitives:
+    def test_f_and_g(self, gauss_model):
+        assert gauss_model.f_storage(80 * MB) == pytest.approx(1.0)
+        assert gauss_model.f_compute(160 * MB) == pytest.approx(2.0)
+        assert gauss_model.g(118 * MB) == pytest.approx(1.0)
+
+    def test_h_delegates_to_kernel(self, gauss_model, sum_model):
+        assert gauss_model.h(512 * MB) == 4096.0
+        assert sum_model.h(512 * MB) == 8.0
+
+    def test_validation(self):
+        k = make_paper_model("sum")
+        with pytest.raises(ValueError):
+            CostModel(kernel=k, storage_capability=0,
+                      compute_capability=1, bandwidth=1)
+        with pytest.raises(ValueError):
+            CostModel(kernel=k, storage_capability=1,
+                      compute_capability=1, bandwidth=-1)
+
+
+class TestWholeQueueEstimates:
+    def test_t_all_active_eq1(self, gauss_model):
+        """T_A = f(D_A) + g(D_N) + g(h(D_A))."""
+        sizes = [128 * MB] * 4
+        expected = (4 * 128 / 80) + 0 + (4 * 4096 / BW)
+        assert gauss_model.t_all_active(sizes) == pytest.approx(expected)
+
+    def test_t_all_active_with_normal_traffic(self, gauss_model):
+        t0 = gauss_model.t_all_active([128 * MB])
+        t1 = gauss_model.t_all_active([128 * MB], normal_bytes=118 * MB)
+        assert t1 - t0 == pytest.approx(1.0)
+
+    def test_t_all_normal_eq3(self, gauss_model):
+        """T_N = g(D) + f(IO_size), IO_size = max d_i."""
+        sizes = [128 * MB, 256 * MB]
+        expected = (384 / 118) + (256 / 80)
+        assert gauss_model.t_all_normal(sizes) == pytest.approx(expected)
+
+    def test_t_all_normal_empty_active(self, gauss_model):
+        assert gauss_model.t_all_normal([], normal_bytes=118 * MB) == pytest.approx(1.0)
+
+
+class TestPerRequestTerms:
+    def test_x_i_eq5(self, gauss_model):
+        d = 128 * MB
+        assert gauss_model.x_i(d) == pytest.approx(128 / 80 + 4096 / BW)
+
+    def test_y_i_eq6(self, gauss_model):
+        assert gauss_model.y_i(118 * MB) == pytest.approx(1.0)
+
+    def test_z_eq7(self, gauss_model):
+        assert gauss_model.z([]) == 0.0
+        assert gauss_model.z([80 * MB, 160 * MB]) == pytest.approx(2.0)
+
+    def test_objective_eq4(self, gauss_model):
+        sizes = [128 * MB, 128 * MB]
+        # one active, one demoted
+        t = gauss_model.objective(sizes, [1, 0])
+        expected = gauss_model.x_i(sizes[0]) + gauss_model.y_i(sizes[1]) + \
+            gauss_model.z([sizes[1]])
+        assert t == pytest.approx(expected)
+
+    def test_objective_validation(self, gauss_model):
+        with pytest.raises(ValueError):
+            gauss_model.objective([1.0], [1, 0])
+        with pytest.raises(ValueError):
+            gauss_model.objective([1.0], [2])
+
+
+class TestSchedulingInstance:
+    def test_from_sizes(self, gauss_model):
+        inst = SchedulingInstance.from_sizes(gauss_model, [10.0, 20.0], rids=[7, 8])
+        assert inst.k == 2
+        assert inst.costs[0].rid == 7
+        assert list(inst.sizes) == [10.0, 20.0]
+        assert inst.x[0] == pytest.approx(gauss_model.x_i(10.0))
+        assert inst.y[1] == pytest.approx(gauss_model.y_i(20.0))
+
+    def test_value_matches_objective(self, gauss_model):
+        inst = SchedulingInstance.from_sizes(gauss_model, [10.0, 20.0, 30.0])
+        a = [1, 0, 1]
+        assert inst.value(a) == pytest.approx(
+            gauss_model.objective([10.0, 20.0, 30.0], a)
+        )
+
+    def test_rid_size_mismatch(self, gauss_model):
+        with pytest.raises(ValueError):
+            SchedulingInstance.from_sizes(gauss_model, [1.0], rids=[1, 2])
+
+    def test_negative_request_cost_rejected(self):
+        with pytest.raises(ValueError):
+            RequestCost(rid=0, d_i=-1.0, x_i=0, y_i=0)
+
+
+class TestPaperCrossover:
+    """The model must predict the paper's crossover: Gaussian active
+    wins for k ≤ 3 and loses for k ≥ 4 (2-core node, 118 MB/s)."""
+
+    def test_gaussian_crossover_at_four(self, gauss_model):
+        for k in (1, 2, 3):
+            t_a = gauss_model.t_all_active([128 * MB] * k)
+            t_n = gauss_model.t_all_normal([128 * MB] * k)
+            assert t_a < t_n, f"k={k}: active should win"
+        for k in (4, 8, 16, 64):
+            t_a = gauss_model.t_all_active([128 * MB] * k)
+            t_n = gauss_model.t_all_normal([128 * MB] * k)
+            assert t_n < t_a, f"k={k}: normal should win"
+
+    def test_sum_active_always_wins(self, sum_model):
+        for k in (1, 2, 4, 8, 16, 32, 64):
+            t_a = sum_model.t_all_active([128 * MB] * k)
+            t_n = sum_model.t_all_normal([128 * MB] * k)
+            assert t_a < t_n, f"k={k}: SUM active must always win (Fig. 6)"

@@ -1,0 +1,100 @@
+"""Property-based invariants of the cost model and its optimum."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import CostModel, SchedulingInstance
+from repro.core.scheduler import ThresholdScheduler
+from repro.kernels.costs import MB, make_paper_model
+
+sizes_strategy = st.lists(
+    st.floats(min_value=1.0, max_value=2e9, allow_nan=False),
+    min_size=1, max_size=10,
+)
+
+
+def _instance(sizes, bw=118 * MB, s_factor=1.0, c_factor=1.0):
+    k = make_paper_model("gaussian2d")
+    model = CostModel(
+        kernel=k,
+        storage_capability=k.rate * s_factor,
+        compute_capability=k.rate * c_factor,
+        bandwidth=bw,
+    )
+    return SchedulingInstance.from_sizes(model, sizes)
+
+
+def _optimum(sizes, **kw) -> float:
+    return ThresholdScheduler().solve(_instance(sizes, **kw)).value
+
+
+@given(sizes=sizes_strategy,
+       extra=st.floats(min_value=1.0, max_value=2e9, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_adding_a_request_never_speeds_things_up(sizes, extra):
+    """Optimum t is monotone in workload: more requests, more time."""
+    assert _optimum(sizes + [extra]) >= _optimum(sizes) - 1e-9
+
+
+@given(sizes=sizes_strategy)
+@settings(max_examples=50, deadline=None)
+def test_more_bandwidth_never_hurts(sizes):
+    slow = _optimum(sizes, bw=50 * MB)
+    fast = _optimum(sizes, bw=200 * MB)
+    assert fast <= slow + 1e-9
+
+
+@given(sizes=sizes_strategy)
+@settings(max_examples=50, deadline=None)
+def test_faster_storage_never_hurts(sizes):
+    weak = _optimum(sizes, s_factor=0.5)
+    strong = _optimum(sizes, s_factor=4.0)
+    assert strong <= weak + 1e-9
+
+
+@given(sizes=sizes_strategy)
+@settings(max_examples=50, deadline=None)
+def test_faster_clients_never_hurt(sizes):
+    weak = _optimum(sizes, c_factor=0.5)
+    strong = _optimum(sizes, c_factor=4.0)
+    assert strong <= weak + 1e-9
+
+
+@given(sizes=sizes_strategy, scale=st.floats(min_value=1.1, max_value=10))
+@settings(max_examples=50, deadline=None)
+def test_objective_scales_linearly_with_sizes(sizes, scale):
+    """Every term of Eq. 4 is linear in bytes, so scaling all request
+    sizes scales the optimum (with h(x) constant, exactly for the
+    compute/transfer parts; the tiny ack term keeps it ≤)."""
+    base = _optimum(sizes)
+    scaled = _optimum([s * scale for s in sizes])
+    assert scaled <= base * scale + 1e-6
+    assert scaled >= base  # and never shrinks
+
+
+@given(sizes=sizes_strategy)
+@settings(max_examples=50, deadline=None)
+def test_whole_queue_estimates_bracket_the_optimum(sizes):
+    """T_A and T_N (Eq. 1–3) are feasible solutions, so the optimum
+    is ≤ both — and equals one of them or improves on both."""
+    inst = _instance(sizes)
+    model = inst.model
+    t = ThresholdScheduler().solve(inst).value
+    assert t <= model.t_all_active(sizes) + 1e-9
+    assert t <= model.t_all_normal(sizes) + 1e-9
+
+
+@given(sizes=sizes_strategy)
+@settings(max_examples=50, deadline=None)
+def test_demoting_the_largest_request_determines_z(sizes):
+    """If any request is demoted in the optimum, z equals the largest
+    demoted w — verify through a direct recomputation."""
+    inst = _instance(sizes)
+    decision = ThresholdScheduler().solve(inst)
+    demoted_w = [c.w_i for c, a in zip(inst.costs, decision.assignment)
+                 if a == 0]
+    recomputed = sum(
+        c.x_i if a else c.y_i
+        for c, a in zip(inst.costs, decision.assignment)
+    ) + (max(demoted_w) if demoted_w else 0.0)
+    assert decision.value == pytest.approx(recomputed)

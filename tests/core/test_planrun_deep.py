@@ -1,0 +1,88 @@
+"""Deeper plan-runner coverage: streaming rounds, multiple storage
+nodes, mixed traffic, and timing sanity."""
+
+import pytest
+
+from repro.cluster.config import MB
+from repro.core import Scheme, WorkloadSpec, run_plan
+from repro.workload import (
+    ArrivalPattern,
+    BatchApplication,
+    MixedApplication,
+    StreamingApplication,
+    WorkloadGenerator,
+)
+from repro.workload.apps import RequestTemplate
+
+
+class TestStreamingRounds:
+    def test_rounds_execute_sequentially_per_process(self):
+        apps = [StreamingApplication("s", 1, 59 * MB, rounds=3,
+                                     think_time=2.0, operation="sum")]
+        plan = WorkloadGenerator(0).plan(apps)
+        r = run_plan(Scheme.AS, plan)
+        finishes = sorted(o.finished_at for o in r.outcomes)
+        # Round i cannot start before its arrival (2 s apart) and each
+        # takes ~0.57 s: strictly increasing, ≥ think-time spacing of
+        # the later rounds.
+        assert len(finishes) == 3
+        assert finishes[1] >= 2.0 and finishes[2] >= 4.0
+
+    def test_think_time_gaps_respected(self):
+        apps = [StreamingApplication("s", 1, 8 * MB, rounds=2,
+                                     think_time=10.0, operation="sum")]
+        plan = WorkloadGenerator(0).plan(apps)
+        r = run_plan(Scheme.AS, plan)
+        starts = sorted(o.started_at for o in r.outcomes)
+        assert starts[1] - starts[0] >= 10.0 - 1e-9
+
+
+class TestMultiStorage:
+    def test_requests_spread_over_storage_nodes(self):
+        apps = [BatchApplication("a", 8, 59 * MB)]  # normal reads
+        plan = WorkloadGenerator(0).plan(apps)
+        one = run_plan(Scheme.TS, plan, WorkloadSpec(n_storage=1))
+        two = run_plan(Scheme.TS, plan, WorkloadSpec(n_storage=2))
+        # Two NICs halve the serialisation.
+        assert two.makespan == pytest.approx(one.makespan / 2, rel=0.05)
+
+
+class TestMixedTraffic:
+    def test_normal_and_active_interleave(self):
+        templates = [
+            RequestTemplate(size=16 * MB, active=True, operation="sum"),
+            RequestTemplate(size=16 * MB, active=False),
+            RequestTemplate(size=16 * MB, active=True, operation="minmax"),
+        ]
+        apps = [MixedApplication("m", 2, templates)]
+        plan = WorkloadGenerator(0).plan(apps)
+        r = run_plan(Scheme.DOSAS, plan)
+        assert len(r.outcomes) == 6
+        # 4 active requests (2 procs × 2 active templates) accounted.
+        assert r.served_active + r.demoted == 4
+
+    def test_ts_treats_active_as_read_plus_client_compute(self):
+        apps = [BatchApplication("a", 1, 118 * MB, operation="gaussian2d")]
+        plan = WorkloadGenerator(0).plan(apps)
+        r = run_plan(Scheme.TS, plan)
+        # 1 s transfer + 118/80 s client compute.
+        assert r.makespan == pytest.approx(1.0 + 118 / 80, rel=1e-3)
+
+    def test_per_outcome_latency_positive_and_ordered(self):
+        apps = [BatchApplication("a", 4, 32 * MB, operation="sum")]
+        plan = WorkloadGenerator(1).plan(apps, ArrivalPattern.UNIFORM,
+                                         window=3.0)
+        r = run_plan(Scheme.DOSAS, plan)
+        for o in r.outcomes:
+            assert o.latency > 0
+            assert o.finished_at >= o.request.arrival_time
+
+
+class TestJitteredPlans:
+    def test_jitter_deterministic_per_seed(self):
+        apps = [BatchApplication("a", 4, 32 * MB, operation="gaussian2d")]
+        plan = WorkloadGenerator(2).plan(apps)
+        spec = WorkloadSpec(jitter=True, seed=9)
+        a = run_plan(Scheme.AS, plan, spec)
+        b = run_plan(Scheme.AS, plan, spec)
+        assert a.makespan == b.makespan

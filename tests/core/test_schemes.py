@@ -1,0 +1,136 @@
+"""Scheme runner: spec validation, scheme semantics, bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import MB
+from repro.core import Scheme, SchemeResult, WorkloadSpec, run_scheme
+from repro.core.planrun import run_plan
+from repro.pvfs.filehandle import SyntheticData
+from repro.workload import ArrivalPattern, BatchApplication, WorkloadGenerator
+
+
+class TestWorkloadSpec:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_requests": 0},
+        {"request_bytes": 0},
+        {"n_storage": 0},
+        {"arrival_spacing": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+    def test_totals(self):
+        spec = WorkloadSpec(n_requests=4, request_bytes=10, n_storage=3)
+        assert spec.total_requests == 12
+        assert spec.total_bytes == 120
+
+
+class TestSchemeSemantics:
+    def test_ts_never_offloads(self):
+        r = run_scheme(Scheme.TS, WorkloadSpec(n_requests=4, request_bytes=8 * MB))
+        assert r.served_active == 0
+        assert r.demoted == 4
+
+    def test_as_always_offloads(self):
+        r = run_scheme(Scheme.AS, WorkloadSpec(n_requests=8, request_bytes=8 * MB))
+        assert r.served_active == 8
+        assert r.demoted == 0
+
+    def test_dosas_accounting_consistent(self):
+        r = run_scheme(Scheme.DOSAS, WorkloadSpec(n_requests=8, request_bytes=8 * MB))
+        assert r.served_active + r.demoted == 8
+
+    def test_per_request_times_sorted_and_bounded(self):
+        r = run_scheme(Scheme.TS, WorkloadSpec(n_requests=4, request_bytes=8 * MB))
+        assert r.per_request_times == sorted(r.per_request_times)
+        assert r.per_request_times[-1] == r.makespan
+        assert len(r.per_request_times) == 4
+
+    def test_bandwidth_definition(self):
+        spec = WorkloadSpec(n_requests=4, request_bytes=8 * MB)
+        r = run_scheme(Scheme.TS, spec)
+        assert r.bandwidth == pytest.approx(spec.total_bytes / r.makespan)
+
+    def test_mean_latency(self):
+        r = run_scheme(Scheme.TS, WorkloadSpec(n_requests=2, request_bytes=8 * MB))
+        assert r.mean_latency == pytest.approx(sum(r.per_request_times) / 2)
+
+    def test_multiple_storage_nodes_scale_throughput(self):
+        one = run_scheme(Scheme.TS, WorkloadSpec(n_requests=8, request_bytes=8 * MB,
+                                                 n_storage=1))
+        two = run_scheme(Scheme.TS, WorkloadSpec(n_requests=8, request_bytes=8 * MB,
+                                                 n_storage=2))
+        # Two NICs serve 8+8 requests: same makespan as one NIC with 8.
+        assert two.spec.total_requests == 16
+        assert two.makespan == pytest.approx(one.makespan, rel=1e-6)
+
+    def test_arrival_spacing_delays_completion(self):
+        batch = run_scheme(Scheme.AS, WorkloadSpec(n_requests=2, request_bytes=8 * MB))
+        spaced = run_scheme(Scheme.AS, WorkloadSpec(n_requests=2, request_bytes=8 * MB,
+                                                    arrival_spacing=10.0))
+        assert spaced.makespan > batch.makespan
+
+    def test_deterministic_given_seed(self):
+        spec = WorkloadSpec(n_requests=8, request_bytes=8 * MB, jitter=True, seed=5)
+        a = run_scheme(Scheme.TS, spec)
+        b = run_scheme(Scheme.TS, spec)
+        assert a.makespan == b.makespan
+
+    def test_jitter_changes_times(self):
+        a = run_scheme(Scheme.TS, WorkloadSpec(n_requests=8, request_bytes=8 * MB))
+        b = run_scheme(Scheme.TS, WorkloadSpec(n_requests=8, request_bytes=8 * MB,
+                                               jitter=True))
+        assert a.makespan != b.makespan
+
+
+class TestRealExecutionAcrossSchemes:
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_sum_results_exact(self, scheme):
+        spec = WorkloadSpec(kernel="sum", n_requests=3, request_bytes=1 * MB,
+                            execute_kernels=True)
+        r = run_scheme(scheme, spec)
+        for i in range(3):
+            expected = SyntheticData(i).read(0, 1 * MB).sum()
+            assert r.results[i] == pytest.approx(float(expected))
+
+
+class TestPlanRunner:
+    def _plan(self, n=3, size=8 * MB, op="sum"):
+        apps = [BatchApplication("app", n, size, operation=op)]
+        return WorkloadGenerator(seed=0).plan(apps, ArrivalPattern.BATCH)
+
+    def test_empty_plan_rejected(self):
+        from repro.workload.generator import RequestPlan
+        with pytest.raises(ValueError):
+            run_plan(Scheme.AS, RequestPlan())
+
+    def test_plan_matches_scheme_runner(self):
+        """A homogeneous batch plan reproduces run_scheme's makespan."""
+        plan = self._plan(n=4, size=64 * MB, op="gaussian2d")
+        spec = WorkloadSpec()
+        pr = run_plan(Scheme.AS, plan, spec)
+        sr = run_scheme(Scheme.AS, WorkloadSpec(kernel="gaussian2d",
+                                                n_requests=4,
+                                                request_bytes=64 * MB))
+        assert pr.makespan == pytest.approx(sr.makespan, rel=1e-6)
+
+    def test_outcome_accounting(self):
+        plan = self._plan(n=3)
+        r = run_plan(Scheme.AS, plan)
+        assert len(r.outcomes) == 3
+        assert r.served_active == 3
+        assert all(o.latency > 0 for o in r.outcomes)
+
+    def test_latencies_by_app(self):
+        plan = self._plan(n=2)
+        r = run_plan(Scheme.TS, plan)
+        by_app = r.latencies_by_app()
+        assert set(by_app) == {"app"} and len(by_app["app"]) == 2
+
+    def test_normal_requests_never_touch_kernels(self):
+        apps = [BatchApplication("reader", 2, 8 * MB)]  # no operation
+        plan = WorkloadGenerator(0).plan(apps)
+        r = run_plan(Scheme.DOSAS, plan)
+        assert r.served_active == 0 and r.demoted == 0

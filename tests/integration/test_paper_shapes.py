@@ -1,0 +1,128 @@
+"""The paper's evaluation shapes, asserted as integration tests.
+
+These are the claims the reproduction must uphold (EXPERIMENTS.md
+records the quantitative comparison):
+
+- Fig. 2/4/5: AS beats TS at small scale, TS beats AS beyond ~4
+  concurrent Gaussian requests per 2-core storage node.
+- Fig. 6: AS beats TS at *every* scale for SUM.
+- Table IV: the scheduling algorithm's decision accuracy is high with
+  misjudgments only near the crossover.
+- Figs. 7–10: DOSAS ≈ min(AS, TS) at every point and size.
+- Figs. 11–12: bandwidth curves are the mirror image.
+- Sec. IV-B.3: ~40 % improvement vs TS at low contention, ~21 % vs AS
+  at high contention.
+"""
+
+import pytest
+
+from repro.cluster.config import GB, MB
+from repro.core import Scheme, WorkloadSpec, run_scheme
+from repro.analysis import headline_improvements
+from repro.analysis.figures import (
+    algorithm_decision,
+    bandwidth_figure,
+    figure_series,
+    table4_accuracy,
+    table4_rows,
+)
+
+COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def gauss_128():
+    return figure_series("gaussian2d", 128 * MB,
+                         [Scheme.TS, Scheme.AS, Scheme.DOSAS], counts=COUNTS)
+
+
+class TestFig2CrossoverGaussian:
+    def test_as_wins_small_ts_wins_large(self, gauss_128):
+        ts = dict(gauss_128["ts"])
+        as_ = dict(gauss_128["as"])
+        for n in (1, 2):
+            assert as_[n] < ts[n], f"AS must win at n={n}"
+        for n in (4, 8, 16, 32, 64):
+            assert ts[n] < as_[n], f"TS must win at n={n}"
+
+    def test_as_grows_linearly_with_requests(self, gauss_128):
+        as_ = dict(gauss_128["as"])
+        assert as_[64] / as_[1] == pytest.approx(64, rel=0.05)
+
+    def test_crossover_also_at_512mb(self):
+        series = figure_series("gaussian2d", 512 * MB, [Scheme.TS, Scheme.AS],
+                               counts=(2, 8))
+        ts, as_ = dict(series["ts"]), dict(series["as"])
+        assert as_[2] < ts[2]
+        assert ts[8] < as_[8]
+
+
+class TestFig6SumAlwaysWins:
+    def test_as_beats_ts_everywhere(self):
+        series = figure_series("sum", 128 * MB, [Scheme.TS, Scheme.AS],
+                               counts=COUNTS)
+        ts, as_ = dict(series["ts"]), dict(series["as"])
+        for n in COUNTS:
+            assert as_[n] < ts[n], f"SUM: AS must win at n={n} (Fig. 6)"
+
+
+class TestFigs7to10DosasTracksWinner:
+    @pytest.mark.parametrize("size", [128 * MB, 256 * MB, 512 * MB, 1 * GB])
+    def test_dosas_within_tolerance_of_best(self, size):
+        counts = (1, 4, 16, 64)
+        series = figure_series("gaussian2d", size,
+                               [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+                               counts=counts)
+        ts, as_, dosas = (dict(series[s]) for s in ("ts", "as", "dosas"))
+        for n in counts:
+            best = min(ts[n], as_[n])
+            assert dosas[n] <= best * 1.05 + 1e-9, (
+                f"size={size}, n={n}: DOSAS {dosas[n]:.2f} vs best {best:.2f}"
+            )
+
+
+class TestFigs11and12Bandwidth:
+    def test_bandwidth_mirrors_time(self):
+        bw = bandwidth_figure(256 * MB, counts=(1, 8, 64))
+        ts, as_, dosas = (dict(bw[s]) for s in ("ts", "as", "dosas"))
+        # AS tops out at the kernel rate (80 MB/s); TS near the wire.
+        assert as_[1] > ts[1]
+        assert ts[64] > as_[64]
+        for n in (1, 8, 64):
+            assert dosas[n] >= max(ts[n], as_[n]) * 0.95
+
+    def test_as_bandwidth_saturates_at_kernel_rate(self):
+        bw = bandwidth_figure(512 * MB, counts=(8,))
+        (n, as_bw), = bw["as"]
+        assert as_bw == pytest.approx(80.0, rel=0.05)
+
+
+class TestTable4Accuracy:
+    def test_accuracy_in_paper_band(self):
+        rows = table4_rows(jitter=True)
+        acc = table4_accuracy(rows)
+        assert 0.90 <= acc <= 1.0
+        # Misjudgments (if any) cluster at the small/large boundary.
+        for row in rows:
+            if not row.judgment:
+                n = int(row.label.split("/")[1].split("x")[0])
+                assert 3 <= n <= 5, f"misjudgment away from boundary: {row}"
+                assert row.margin < 0.1, "misjudgments must be close calls"
+
+    def test_algorithm_decision_matches_crossover(self):
+        assert algorithm_decision("gaussian2d", 1, 128 * MB) == "Active"
+        assert algorithm_decision("gaussian2d", 8, 128 * MB) == "Normal"
+        assert algorithm_decision("sum", 64, 128 * MB) == "Active"
+
+
+class TestHeadlineClaims:
+    def test_low_and_high_contention_improvements(self):
+        h = headline_improvements()
+        # Paper: "about 40% performance improvement compared to TS".
+        assert 0.30 <= h["low_vs_ts"] <= 0.50
+        # Paper: "about 21% performance improvement compared to AS";
+        # our substrate gives the same direction, 15–35 %.
+        assert 0.15 <= h["high_vs_as"] <= 0.40
+        # And DOSAS ties the matching baseline at each end.
+        assert abs(h["low_vs_as"]) <= 0.05
+        assert abs(h["high_vs_ts"]) <= 0.05

@@ -1,0 +1,137 @@
+"""Property-based checkpoint/restore equivalence for every kernel.
+
+The DOSAS migration protocol is only sound if a kernel interrupted at
+*any* chunk boundary and resumed elsewhere produces exactly the result
+of an uninterrupted run.  Hypothesis drives arbitrary split points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    Gaussian2DKernel,
+    HistogramKernel,
+    MeanKernel,
+    MinMaxKernel,
+    SobelKernel,
+    SumKernel,
+    ThresholdCountKernel,
+    VarianceKernel,
+    WordCountKernel,
+)
+
+FLAT_KERNELS = [
+    SumKernel, MinMaxKernel, MeanKernel, VarianceKernel,
+    HistogramKernel, ThresholdCountKernel,
+]
+
+
+def _as_tuple(value):
+    if isinstance(value, np.ndarray):
+        return tuple(np.asarray(value).ravel().tolist())
+    if isinstance(value, tuple):
+        return value
+    return (value,)
+
+
+@pytest.mark.parametrize("kernel_cls", FLAT_KERNELS)
+@given(
+    n=st.integers(min_value=1, max_value=2000),
+    split_frac=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_flat_kernel_split_resume_equivalence(kernel_cls, n, split_frac, seed):
+    kernel = kernel_cls()
+    data = np.random.default_rng(seed).random(n)
+    split = int(n * split_frac)
+
+    reference = kernel.apply(data)
+
+    state = kernel.init_state()
+    kernel.process_chunk(state, data[:split])
+    checkpoint = kernel.checkpoint(state, split * 8)
+    resumed = kernel.resume(checkpoint)
+    kernel.process_chunk(resumed, data[split:])
+    result = kernel.finalize(resumed)
+
+    assert np.allclose(_as_tuple(result), _as_tuple(reference), rtol=1e-9)
+    assert checkpoint.bytes_done == split * 8
+
+
+@pytest.mark.parametrize("kernel_cls", [Gaussian2DKernel, SobelKernel])
+@given(
+    rows=st.integers(min_value=1, max_value=40),
+    width=st.integers(min_value=1, max_value=32),
+    split_frac=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_stencil_kernel_split_resume_equivalence(
+    kernel_cls, rows, width, split_frac, seed
+):
+    """Stencil kernels carry halos across the split — any element
+    split point (even mid-row) must reproduce the one-shot filter."""
+    kernel = kernel_cls()
+    img = np.random.default_rng(seed).random((rows, width))
+    flat = img.reshape(-1)
+    split = int(flat.size * split_frac)
+
+    reference = kernel.reference(img)
+
+    state = kernel.init_state({"width": width})
+    kernel.process_chunk(state, flat[:split])
+    checkpoint = kernel.checkpoint(state, split * 8)
+    resumed = kernel.resume(checkpoint)
+    kernel.process_chunk(resumed, flat[split:])
+    result = kernel.finalize(resumed)
+
+    assert result.shape == reference.shape
+    assert np.allclose(result, reference)
+
+
+@given(
+    text=st.binary(min_size=0, max_size=500),
+    split_frac=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_wordcount_split_resume_equivalence(text, split_frac):
+    kernel = WordCountKernel()
+    data = np.frombuffer(text, dtype=np.uint8)
+    split = int(data.size * split_frac)
+
+    reference = kernel.apply(data) if data.size else 0
+
+    state = kernel.init_state()
+    kernel.process_chunk(state, data[:split])
+    checkpoint = kernel.checkpoint(state, split)
+    resumed = kernel.resume(checkpoint)
+    kernel.process_chunk(resumed, data[split:])
+    assert kernel.finalize(resumed) == reference
+
+
+@given(
+    n=st.integers(min_value=10, max_value=500),
+    splits=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_repeated_migration_chain(n, splits, seed):
+    """A kernel bounced through several checkpoints stays exact —
+    the request may be demoted, partially run, and demoted again."""
+    kernel = VarianceKernel()
+    data = np.random.default_rng(seed).random(n)
+    reference = kernel.apply(data)
+
+    points = sorted({int(n * f) for f in splits})
+    state = kernel.init_state()
+    prev = 0
+    for point in points:
+        kernel.process_chunk(state, data[prev:point])
+        state = kernel.resume(kernel.checkpoint(state, point * 8))
+        prev = point
+    kernel.process_chunk(state, data[prev:])
+    result = kernel.finalize(state)
+    assert np.allclose(_as_tuple(result), _as_tuple(reference), rtol=1e-9)

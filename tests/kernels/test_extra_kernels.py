@@ -1,0 +1,155 @@
+"""Extended kernel library correctness."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    HistogramKernel,
+    MeanKernel,
+    MinMaxKernel,
+    SobelKernel,
+    ThresholdCountKernel,
+    VarianceKernel,
+    WordCountKernel,
+)
+from repro.kernels.base import KernelExecutionError
+
+
+class TestMinMax:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(size=10_000)
+        k = MinMaxKernel()
+        lo, hi = k.apply(data, chunk_elems=333)
+        assert lo == data.min() and hi == data.max()
+
+    def test_combine(self):
+        k = MinMaxKernel()
+        assert k.combine([(0, 5), (-3, 2), (1, 9)]) == (-3, 9)
+
+
+class TestMean:
+    def test_matches_numpy(self, rng):
+        data = rng.random(5_000)
+        mean, count = MeanKernel().apply(data, chunk_elems=77)
+        assert mean == pytest.approx(float(data.mean()))
+        assert count == data.size
+
+    def test_combine_weighted(self):
+        k = MeanKernel()
+        mean, count = k.combine([(1.0, 100), (3.0, 300)])
+        assert mean == pytest.approx(2.5)
+        assert count == 400
+
+    def test_empty(self):
+        mean, count = MeanKernel().apply(np.empty(0))
+        assert (mean, count) == (0.0, 0)
+
+
+class TestVariance:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(5, 3, size=20_000)
+        var, mean, n = VarianceKernel().apply(data, chunk_elems=1009)
+        assert var == pytest.approx(float(data.var()), rel=1e-10)
+        assert mean == pytest.approx(float(data.mean()), rel=1e-10)
+        assert n == data.size
+
+    def test_combine_equals_whole(self, rng):
+        k = VarianceKernel()
+        a, b = rng.random(4000), rng.random(6000)
+        pa = k.apply(a)
+        pb = k.apply(b)
+        var, mean, n = k.combine([pa, pb])
+        whole = np.concatenate([a, b])
+        assert var == pytest.approx(float(whole.var()), rel=1e-10)
+        assert mean == pytest.approx(float(whole.mean()), rel=1e-10)
+        assert n == 10_000
+
+    def test_combine_skips_empty_partials(self):
+        k = VarianceKernel()
+        assert k.combine([(0.0, 0.0, 0), (2.0, 1.0, 10)]) == (2.0, 1.0, 10)
+
+
+class TestHistogram:
+    def test_counts_match_numpy(self, rng):
+        data = rng.random(8_000)
+        k = HistogramKernel(bins=32)
+        counts = k.apply(data, chunk_elems=511)
+        expected, _ = np.histogram(data, bins=32, range=(0.0, 1.0))
+        assert np.array_equal(counts, expected)
+
+    def test_combine_adds(self, rng):
+        k = HistogramKernel(bins=8)
+        a = k.apply(rng.random(100))
+        b = k.apply(rng.random(200))
+        assert np.array_equal(k.combine([a, b]), a + b)
+
+    def test_result_bytes_scale_with_bins(self):
+        assert HistogramKernel(bins=64).result_bytes(1) == 512
+
+    def test_validation(self):
+        with pytest.raises(KernelExecutionError):
+            HistogramKernel(bins=0)
+        with pytest.raises(KernelExecutionError):
+            HistogramKernel(lo=1.0, hi=0.5)
+
+
+class TestThresholdCount:
+    def test_matches_numpy(self, rng):
+        data = rng.random(5_000)
+        k = ThresholdCountKernel(threshold=0.7)
+        assert k.apply(data, chunk_elems=99) == int((data > 0.7).sum())
+
+    def test_combine(self):
+        assert ThresholdCountKernel().combine([3, 4]) == 7
+
+
+class TestSobel:
+    def test_matches_reference(self, rng):
+        img = rng.random((19, 24))
+        k = SobelKernel()
+        out = k.apply(img, meta={"width": 24}, chunk_elems=55)
+        assert np.allclose(out, k.reference(img))
+
+    def test_requires_width(self):
+        with pytest.raises(KernelExecutionError):
+            SobelKernel().init_state()
+
+    def test_edges_detected_on_step_image(self):
+        img = np.zeros((10, 10))
+        img[:, 5:] = 1.0
+        out = SobelKernel().apply(img, meta={"width": 10})
+        # Gradient magnitude peaks at the step column, zero far away.
+        assert out[:, 4:6].max() > 0
+        assert out[:, 0].max() == 0
+
+
+class TestWordCount:
+    def _arr(self, text: bytes):
+        return np.frombuffer(text, dtype=np.uint8)
+
+    @pytest.mark.parametrize("text,expected", [
+        (b"hello world", 2),
+        (b"  leading and trailing  ", 3),
+        (b"one", 1),
+        (b"", 0),
+        (b"   ", 0),
+        (b"a\tb\nc\rd", 4),
+    ])
+    def test_counts(self, text, expected):
+        assert WordCountKernel().apply(self._arr(text)) == expected
+
+    def test_chunk_boundary_inside_word(self):
+        k = WordCountKernel()
+        text = self._arr(b"split middle of word")
+        state = k.init_state()
+        k.process_chunk(state, text[:8])   # "split mi"
+        k.process_chunk(state, text[8:])
+        assert k.finalize(state) == 4
+
+    def test_chunk_boundary_between_words(self):
+        k = WordCountKernel()
+        text = self._arr(b"alpha beta")
+        state = k.init_state()
+        k.process_chunk(state, text[:6])   # "alpha "
+        k.process_chunk(state, text[6:])
+        assert k.finalize(state) == 2

@@ -1,0 +1,99 @@
+"""The paper's two benchmark kernels: SUM and 2-D Gaussian filter."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import Gaussian2DKernel, SumKernel
+from repro.kernels.base import KernelExecutionError
+from repro.kernels.costs import MB, PAPER_RATES
+
+
+class TestSumKernel:
+    def setup_method(self):
+        self.k = SumKernel()
+
+    def test_paper_rate_default(self):
+        assert self.k.rate == 860 * MB == PAPER_RATES["sum"]
+
+    def test_sum_matches_numpy(self, rng):
+        data = rng.random(100_000)
+        assert self.k.apply(data) == pytest.approx(float(data.sum()))
+
+    def test_chunk_size_does_not_matter(self, rng):
+        data = rng.random(10_000)
+        a = self.k.apply(data, chunk_elems=1)
+        b = self.k.apply(data, chunk_elems=977)
+        c = self.k.apply(data, chunk_elems=10_000)
+        assert a == pytest.approx(b) == pytest.approx(c)
+
+    def test_empty_input(self):
+        assert self.k.apply(np.empty(0)) == 0.0
+
+    def test_result_bytes_constant(self):
+        assert self.k.result_bytes(1) == self.k.result_bytes(10**12) == 8.0
+
+    def test_combine_partials(self):
+        assert self.k.combine([1.5, 2.5, -1.0]) == 3.0
+
+    def test_count_tracked(self, rng):
+        data = rng.random(500)
+        state = self.k.init_state()
+        self.k.process_chunk(state, data)
+        assert state["count"] == 500
+
+
+class TestGaussianKernel:
+    def setup_method(self):
+        self.k = Gaussian2DKernel()
+
+    def test_paper_rate_default(self):
+        assert self.k.rate == 80 * MB == PAPER_RATES["gaussian2d"]
+
+    def test_requires_width_meta(self):
+        with pytest.raises(KernelExecutionError):
+            self.k.init_state()
+        with pytest.raises(KernelExecutionError):
+            self.k.init_state({"width": 0})
+
+    def test_matches_reference(self, rng):
+        img = rng.random((23, 40))
+        out = self.k.apply(img, meta={"width": 40})
+        assert np.allclose(out, self.k.reference(img))
+
+    def test_streaming_equals_oneshot(self, rng):
+        img = rng.random((50, 32))
+        flat = img.reshape(-1)
+        ref = self.k.reference(img)
+        for chunk in (7, 31, 32, 100, 1600):
+            state = self.k.init_state({"width": 32})
+            for i in range(0, flat.size, chunk):
+                self.k.process_chunk(state, flat[i:i + chunk])
+            out = self.k.finalize(state)
+            assert np.allclose(out, ref), f"chunk={chunk}"
+
+    def test_single_row_image(self, rng):
+        img = rng.random((1, 16))
+        out = self.k.apply(img, meta={"width": 16})
+        assert out.shape == (1, 16)
+        assert np.allclose(out, self.k.reference(img))
+
+    def test_kernel_mass_preserved_on_constant_image(self):
+        img = np.full((10, 10), 3.0)
+        out = self.k.apply(img, meta={"width": 10})
+        assert np.allclose(out, 3.0)  # 3x3 Gaussian of a constant is the constant
+
+    def test_partial_row_leftover_rejected_at_finalize(self, rng):
+        state = self.k.init_state({"width": 10})
+        self.k.process_chunk(state, rng.random(15))  # 1.5 rows
+        with pytest.raises(KernelExecutionError, match="whole number of rows"):
+            self.k.finalize(state)
+
+    def test_result_is_small_ack(self):
+        assert self.k.result_bytes(512 * MB) == 4096.0
+
+    def test_operation_count_docstring_consistency(self):
+        """Table III: 9 multiplies + 9 adds + 1 divide per item —
+        i.e. a 3x3 mask with normalisation, which GAUSS3 encodes."""
+        from repro.kernels.gaussian import GAUSS3, GAUSS3_NORM
+        assert GAUSS3.shape == (3, 3)
+        assert GAUSS3.sum() == GAUSS3_NORM

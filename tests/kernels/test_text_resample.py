@@ -1,0 +1,160 @@
+"""Grep, entropy and downsample kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import DownsampleKernel, EntropyKernel, GrepKernel
+from repro.kernels.base import KernelExecutionError
+
+
+def _bytes(text: bytes) -> np.ndarray:
+    return np.frombuffer(text, dtype=np.uint8)
+
+
+class TestGrep:
+    def test_basic_counts(self):
+        k = GrepKernel(pattern=b"ab")
+        assert k.apply(_bytes(b"abxabab")) == 3
+
+    def test_overlapping_matches(self):
+        k = GrepKernel(pattern=b"aa")
+        assert k.apply(_bytes(b"aaaa")) == 3  # overlapping
+
+    def test_no_match(self):
+        assert GrepKernel(pattern=b"zzz").apply(_bytes(b"abcdef")) == 0
+
+    def test_single_byte_pattern(self):
+        assert GrepKernel(pattern=b"x").apply(_bytes(b"xyxyx")) == 3
+
+    def test_match_spanning_chunks(self):
+        k = GrepKernel(pattern=b"needle")
+        data = _bytes(b"hay needle hay")
+        state = k.init_state()
+        k.process_chunk(state, data[:7])   # splits inside "needle"
+        k.process_chunk(state, data[7:])
+        assert k.finalize(state) == 1
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(KernelExecutionError):
+            GrepKernel(pattern=b"")
+
+    def test_combine_sums(self):
+        assert GrepKernel().combine([2, 3]) == 5
+
+    @given(
+        data=st.binary(min_size=0, max_size=400),
+        pattern=st.binary(min_size=1, max_size=4),
+        split_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_equals_oneshot(self, data, pattern, split_frac):
+        k = GrepKernel(pattern=pattern)
+        arr = _bytes(data)
+        split = int(arr.size * split_frac)
+        reference = k.reference(arr)
+        state = k.init_state()
+        k.process_chunk(state, arr[:split])
+        resumed = k.resume(k.checkpoint(state, split))
+        k.process_chunk(resumed, arr[split:])
+        assert k.finalize(resumed) == reference
+
+
+class TestEntropy:
+    def test_uniform_bytes_max_entropy(self):
+        data = np.arange(256, dtype=np.uint8).repeat(4)
+        entropy, counts = EntropyKernel().apply(data)
+        assert entropy == pytest.approx(8.0)
+        assert counts.sum() == data.size
+
+    def test_constant_bytes_zero_entropy(self):
+        entropy, _ = EntropyKernel().apply(np.zeros(100, dtype=np.uint8))
+        assert entropy == 0.0
+
+    def test_empty_input(self):
+        entropy, counts = EntropyKernel().apply(np.empty(0, dtype=np.uint8))
+        assert entropy == 0.0 and counts.sum() == 0
+
+    def test_combine_exact(self):
+        k = EntropyKernel()
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 500).astype(np.uint8)
+        b = rng.integers(0, 256, 500).astype(np.uint8)
+        combined = k.combine([k.apply(a), k.apply(b)])
+        whole = k.apply(np.concatenate([a, b]))
+        assert combined[0] == pytest.approx(whole[0])
+        assert np.array_equal(combined[1], whole[1])
+
+    def test_chunking_invariant(self):
+        k = EntropyKernel()
+        data = np.random.default_rng(2).integers(0, 256, 3000).astype(np.uint8)
+        one = k.apply(data, chunk_elems=3000)
+        many = k.apply(data, chunk_elems=7)
+        assert one[0] == pytest.approx(many[0])
+
+
+class TestDownsample:
+    def test_factor_one_is_identity(self, rng):
+        data = rng.random(100)
+        out = DownsampleKernel(factor=1).apply(data)
+        assert np.array_equal(out, data)
+
+    def test_basic_decimation(self):
+        data = np.arange(20, dtype=np.float64)
+        out = DownsampleKernel(factor=4).apply(data)
+        assert np.array_equal(out, [0, 4, 8, 12, 16])
+
+    def test_result_bytes_scaled(self):
+        k = DownsampleKernel(factor=8)
+        assert k.result_bytes(800.0) == 100.0
+
+    def test_bad_factor(self):
+        with pytest.raises(KernelExecutionError):
+            DownsampleKernel(factor=0)
+
+    @given(
+        n=st.integers(min_value=0, max_value=500),
+        factor=st.integers(min_value=1, max_value=16),
+        split_frac=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_phase_exact_across_splits(self, n, factor, split_frac, seed):
+        k = DownsampleKernel(factor=factor)
+        data = np.random.default_rng(seed).random(n)
+        split = int(n * split_frac)
+        reference = k.reference(data)
+        state = k.init_state()
+        k.process_chunk(state, data[:split])
+        resumed = k.resume(k.checkpoint(state, split * 8))
+        k.process_chunk(resumed, data[split:])
+        assert np.array_equal(k.finalize(resumed), reference)
+
+
+class TestEndToEndNewKernels:
+    def test_grep_through_dosas(self):
+        """grep over real bytes end-to-end (uint8 file content)."""
+        from repro.core import Scheme, WorkloadSpec, run_scheme
+        MB = 1024 * 1024
+        spec = WorkloadSpec(kernel="grep", n_requests=2, request_bytes=1 * MB,
+                            execute_kernels=True)
+        r = run_scheme(Scheme.DOSAS, spec)
+        from repro.pvfs.filehandle import SyntheticData
+        from repro.kernels import get_kernel
+        k = get_kernel("grep")
+        for i in range(2):
+            raw = SyntheticData(i).read(0, 1 * MB).view(np.uint8)
+            assert r.results[i] == k.reference(raw)
+
+    def test_downsample_through_dosas(self):
+        from repro.core import Scheme, WorkloadSpec, run_scheme
+        MB = 1024 * 1024
+        spec = WorkloadSpec(kernel="downsample", n_requests=2,
+                            request_bytes=1 * MB, execute_kernels=True)
+        r = run_scheme(Scheme.DOSAS, spec)
+        from repro.pvfs.filehandle import SyntheticData
+        from repro.kernels import get_kernel
+        k = get_kernel("downsample")
+        for i in range(2):
+            data = SyntheticData(i).read(0, 1 * MB)
+            assert np.array_equal(r.results[i], k.reference(data))

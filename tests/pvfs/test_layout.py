@@ -1,0 +1,98 @@
+"""Stripe layout correctness, including property-based round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pvfs import StripeLayout
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            StripeLayout(0, 1)
+        with pytest.raises(ValueError):
+            StripeLayout(1, 0)
+        with pytest.raises(ValueError):
+            StripeLayout(1, 2, first_server=2)
+        with pytest.raises(ValueError):
+            StripeLayout(1, 2, server_list=[0])  # wrong length
+        with pytest.raises(ValueError):
+            StripeLayout(1, 1, server_list=[-1])
+
+    def test_negative_extent_rejected(self):
+        layout = StripeLayout(10, 2)
+        with pytest.raises(ValueError):
+            layout.map_extent(-1, 5)
+        with pytest.raises(ValueError):
+            layout.map_extent(0, -5)
+        with pytest.raises(ValueError):
+            layout.server_of(-1)
+
+
+class TestRoundRobin:
+    def test_server_of_walks_stripes(self):
+        layout = StripeLayout(stripe_size=10, n_servers=3)
+        assert [layout.server_of(i * 10) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_first_server_rotation(self):
+        layout = StripeLayout(stripe_size=10, n_servers=3, first_server=2)
+        assert [layout.server_of(i * 10) for i in range(3)] == [2, 0, 1]
+
+    def test_server_list_remaps_to_global(self):
+        layout = StripeLayout(stripe_size=10, n_servers=2, server_list=[5, 9])
+        assert layout.server_of(0) == 5
+        assert layout.server_of(10) == 9
+        assert layout.server_of(20) == 5
+
+    def test_map_extent_pieces(self):
+        layout = StripeLayout(stripe_size=10, n_servers=2)
+        pieces = layout.map_extent(5, 20)  # crosses two boundaries
+        assert [(p.server, p.logical_offset, p.length) for p in pieces] == [
+            (0, 5, 5), (1, 10, 10), (0, 20, 5),
+        ]
+
+    def test_bytes_per_server(self):
+        layout = StripeLayout(stripe_size=10, n_servers=2)
+        assert layout.bytes_per_server(0, 40) == {0: 20, 1: 20}
+        assert layout.bytes_per_server(0, 15) == {0: 10, 1: 5}
+
+    def test_empty_extent(self):
+        layout = StripeLayout(10, 2)
+        assert layout.map_extent(7, 0) == []
+        assert layout.bytes_per_server(7, 0) == {}
+
+
+@given(
+    stripe_size=st.integers(min_value=1, max_value=1 << 20),
+    n_servers=st.integers(min_value=1, max_value=16),
+    offset=st.integers(min_value=0, max_value=1 << 30),
+    stripes_covered=st.integers(min_value=0, max_value=200),
+    tail=st.integers(min_value=0, max_value=1 << 20),
+)
+@settings(max_examples=200, deadline=None)
+def test_extent_partition_property(stripe_size, n_servers, offset,
+                                   stripes_covered, tail):
+    # Bound the extent in *stripes*, not raw bytes, so a 1-byte stripe
+    # cannot blow the piece list up to millions of objects.
+    size = min(stripes_covered * stripe_size + tail, 300 * stripe_size)
+    """Pieces tile [offset, offset+size) exactly: contiguous, in
+    order, no gap, no overlap, each within one stripe, and every
+    byte's server agrees with server_of."""
+    layout = StripeLayout(stripe_size, n_servers)
+    pieces = layout.map_extent(offset, size)
+
+    assert sum(p.length for p in pieces) == size
+    position = offset
+    for p in pieces:
+        assert p.logical_offset == position
+        assert p.length > 0
+        assert p.server == layout.server_of(p.logical_offset)
+        # A piece never crosses a stripe boundary.
+        assert (p.logical_offset // stripe_size) == (
+            (p.logical_end - 1) // stripe_size
+        )
+        position = p.logical_end
+    assert position == offset + size
+
+    per_server = layout.bytes_per_server(offset, size)
+    assert sum(per_server.values()) == size

@@ -1,0 +1,192 @@
+"""I/O server + client: normal path, queue stats, striping behaviour."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.cluster import ClusterTopology, discfarm_config
+from repro.pvfs import (
+    IOKind,
+    IORequest,
+    IOServer,
+    MetadataServer,
+    PVFSClient,
+    PVFSError,
+)
+from repro.pvfs.requests import next_request_id
+
+MB = 1024 * 1024
+
+
+def build(n_storage=1, n_compute=2, stripe=4 * MB, **cfg_overrides):
+    env = Environment()
+    config = discfarm_config(n_storage=n_storage, n_compute=n_compute)
+    if cfg_overrides:
+        config = config.with_(**cfg_overrides)
+    topo = ClusterTopology(env, config)
+    mds = MetadataServer(n_storage, stripe)
+    servers = [
+        IOServer(env, sn, topo.link_for(sn), mds, config, server_index=i)
+        for i, sn in enumerate(topo.storage_nodes)
+    ]
+    return env, topo, mds, servers
+
+
+class TestNormalRead:
+    def test_read_duration_matches_bandwidth(self):
+        env, topo, mds, servers = build()
+        mds.create("/a", size=118 * MB)
+        client = PVFSClient(env, topo.compute_node(0), servers, mds)
+
+        def app():
+            replies = yield from client.read(client.open("/a"))
+            return env.now, replies
+
+        t, replies = env.run(until=env.process(app()))
+        assert t == pytest.approx(1.0)
+        assert sum(r.bytes_streamed for r in replies) == 118 * MB
+        assert all(r.completed for r in replies)
+
+    def test_reads_serialise_on_one_nic(self):
+        env, topo, mds, servers = build()
+        mds.create("/a", size=118 * MB)
+        mds.create("/b", size=118 * MB)
+        client0 = PVFSClient(env, topo.compute_node(0), servers, mds)
+        client1 = PVFSClient(env, topo.compute_node(1), servers, mds)
+
+        def app(client, name):
+            yield from client.read(client.open(name))
+            return env.now
+
+        p0 = env.process(app(client0, "/a"))
+        p1 = env.process(app(client1, "/b"))
+        env.run()
+        assert sorted([p0.value, p1.value]) == pytest.approx([1.0, 2.0])
+
+    def test_striped_read_uses_both_servers(self):
+        env, topo, mds, servers = build(n_storage=2, stripe=1 * MB)
+        mds.create("/a", size=8 * MB)  # 4 stripes each
+        client = PVFSClient(env, topo.compute_node(0), servers, mds)
+
+        def app():
+            replies = yield from client.read(client.open("/a"))
+            return env.now, replies
+
+        t, replies = env.run(until=env.process(app()))
+        assert len(replies) == 2
+        # Both NICs work in parallel: 4 MB each at 118 MB/s.
+        assert t == pytest.approx(4 / 118)
+        assert servers[0].monitor.get_counter("bytes_streamed") == 4 * MB
+        assert servers[1].monitor.get_counter("bytes_streamed") == 4 * MB
+
+    def test_partial_extent_read(self):
+        env, topo, mds, servers = build()
+        mds.create("/a", size=100 * MB)
+        client = PVFSClient(env, topo.compute_node(0), servers, mds)
+
+        def app():
+            replies = yield from client.read(client.open("/a"), offset=10 * MB,
+                                             size=20 * MB)
+            return sum(r.bytes_streamed for r in replies)
+
+        assert env.run(until=env.process(app())) == 20 * MB
+
+    def test_out_of_bounds_read_rejected(self):
+        env, topo, mds, servers = build()
+        mds.create("/a", size=10)
+        client = PVFSClient(env, topo.compute_node(0), servers, mds)
+        with pytest.raises(PVFSError):
+            # generator raises at construction time inside the call
+            list(client.read(client.open("/a"), offset=0, size=11))
+
+    def test_disk_stage_when_modelled(self):
+        env, topo, mds, servers = build(model_disk=True)
+        mds.create("/a", size=118 * MB)
+        client = PVFSClient(env, topo.compute_node(0), servers, mds)
+
+        def app():
+            yield from client.read(client.open("/a"))
+            return env.now
+
+        t = env.run(until=env.process(app()))
+        disk_time = 118 / 500  # default disk bandwidth 500 MB/s
+        assert t == pytest.approx(1.0 + disk_time)
+
+
+class TestServerBookkeeping:
+    def test_queue_stats_shapes(self):
+        env, topo, mds, servers = build()
+        server = servers[0]
+        mds.create("/a", size=10 * MB)
+        fh = mds.open("/a")
+
+        def make(kind, op):
+            return IORequest(
+                rid=next_request_id(), parent_id=0, kind=kind, fh=fh,
+                offset=0, size=10 * MB, operation=op, client_name="cn0",
+                reply=env.event(), submitted_at=env.now,
+            )
+
+        server.submit(make(IOKind.NORMAL, None))
+        n, k, total, active = server.queue_stats()
+        assert (n, k) == (1, 0)
+        assert total == 10 * MB and active == 0
+
+    def test_duplicate_rid_rejected(self):
+        env, topo, mds, servers = build()
+        mds.create("/a", size=1 * MB)
+        fh = mds.open("/a")
+        req = IORequest(
+            rid=next_request_id(), parent_id=0, kind=IOKind.NORMAL, fh=fh,
+            offset=0, size=1 * MB, operation=None, client_name="cn0",
+            reply=env.event(), submitted_at=0.0,
+        )
+        servers[0].submit(req)
+        with pytest.raises(PVFSError):
+            servers[0].submit(req)
+
+    def test_active_without_handler_rejected(self):
+        env, topo, mds, servers = build()
+        mds.create("/a", size=1 * MB)
+        fh = mds.open("/a")
+        req = IORequest(
+            rid=next_request_id(), parent_id=0, kind=IOKind.ACTIVE, fh=fh,
+            offset=0, size=1 * MB, operation="sum", client_name="cn0",
+            reply=env.event(), submitted_at=0.0,
+        )
+        with pytest.raises(PVFSError, match="no active storage server"):
+            servers[0].submit(req)
+
+    def test_request_validation(self):
+        env, topo, mds, servers = build()
+        mds.create("/a", size=1 * MB)
+        fh = mds.open("/a")
+        with pytest.raises(ValueError):
+            IORequest(rid=1, parent_id=0, kind=IOKind.ACTIVE, fh=fh, offset=0,
+                      size=1, operation=None, client_name="c",
+                      reply=env.event(), submitted_at=0.0)
+        with pytest.raises(ValueError):
+            IORequest(rid=1, parent_id=0, kind=IOKind.NORMAL, fh=fh, offset=-1,
+                      size=1, operation=None, client_name="c",
+                      reply=env.event(), submitted_at=0.0)
+
+    def test_monitor_counts(self):
+        env, topo, mds, servers = build()
+        mds.create("/a", size=5 * MB)
+        client = PVFSClient(env, topo.compute_node(0), servers, mds)
+
+        def app():
+            yield from client.read(client.open("/a"))
+
+        env.run(until=env.process(app()))
+        m = servers[0].monitor
+        assert m.get_counter("requests_received") == 1
+        assert m.get_counter("requests_completed") == 1
+        assert m.get_counter("bytes_streamed") == 5 * MB
+
+    def test_empty_deployment_rejected(self):
+        env = Environment()
+        mds = MetadataServer(1, 1024)
+        from repro.cluster import ComputeNode, NodeSpec
+        node = ComputeNode(env, "cn0", NodeSpec())
+        with pytest.raises(PVFSError):
+            PVFSClient(env, node, [], mds)

@@ -1,0 +1,102 @@
+"""Runtime ↔ kernel channel and the terminate handshake."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import KernelState
+from repro.shm import Channel, SharedRegion, Signal, records_from_state
+
+
+class TestSharedRegion:
+    def test_write_read_records(self):
+        region = SharedRegion()
+        state = KernelState()
+        state["acc"] = 5.0
+        n = region.write_records(records_from_state(state))
+        assert n == region.used > 0
+        out = region.read_records()
+        assert out[0].name == "acc" and out[0].value == 5.0
+
+    def test_empty_region_reads_nothing(self):
+        assert SharedRegion().read_records() == []
+
+    def test_capacity_enforced(self):
+        region = SharedRegion(capacity=16)
+        state = KernelState()
+        state["big"] = np.zeros(100)
+        with pytest.raises(MemoryError):
+            region.write_records(records_from_state(state))
+
+    def test_clear(self):
+        region = SharedRegion()
+        state = KernelState()
+        state["x"] = 1
+        region.write_records(records_from_state(state))
+        region.clear()
+        assert region.used == 0 and region.read_records() == []
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SharedRegion(capacity=0)
+
+
+class TestChannel:
+    def test_terminate_handshake(self, env):
+        """Full paper protocol: R sends TERMINATE; kernel writes its
+        variables to shared memory and answers TERMINATED; R reads the
+        records back."""
+        channel = Channel(env)
+
+        def kernel_side(env, channel):
+            signal, _ = yield channel.recv_from_runtime()
+            assert signal is Signal.TERMINATE
+            state = KernelState()
+            state["acc"] = 3.25
+            state["rows_done"] = 17
+            channel.region.write_records(records_from_state(state))
+            yield channel.send_to_runtime(Signal.TERMINATED)
+
+        def runtime_side(env, channel):
+            records = yield from channel.terminate_handshake()
+            return {r.name: r.value for r in records}
+
+        env.process(kernel_side(env, channel))
+        result = env.run(until=env.process(runtime_side(env, channel)))
+        assert result == {"acc": 3.25, "rows_done": 17}
+
+    def test_unexpected_signal_raises(self, env):
+        channel = Channel(env)
+
+        def kernel_side(env, channel):
+            yield channel.recv_from_runtime()
+            yield channel.send_to_runtime(Signal.RESULT_READY)
+
+        def runtime_side(env, channel):
+            yield from channel.terminate_handshake()
+
+        env.process(kernel_side(env, channel))
+        with pytest.raises(RuntimeError, match="expected TERMINATED"):
+            env.run(until=env.process(runtime_side(env, channel)))
+
+    def test_pending_counter(self, env):
+        channel = Channel(env)
+
+        def proc(env, channel):
+            yield channel.send_to_kernel(Signal.TERMINATE)
+            return channel.pending_for_kernel()
+
+        assert env.run(until=env.process(proc(env, channel))) == 1
+
+    def test_payloads_travel(self, env):
+        channel = Channel(env)
+
+        def sender(env, channel):
+            yield channel.send_to_kernel(Signal.RESULT_READY, {"rid": 9})
+
+        def receiver(env, channel):
+            signal, payload = yield channel.recv_from_runtime()
+            return signal, payload
+
+        env.process(sender(env, channel))
+        signal, payload = env.run(until=env.process(receiver(env, channel)))
+        assert signal is Signal.RESULT_READY and payload == {"rid": 9}

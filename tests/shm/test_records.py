@@ -1,0 +1,141 @@
+"""Variable-record codec: round trips, malformed input, typing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.base import KernelState
+from repro.shm import (
+    VariableRecord,
+    decode_records,
+    encode_records,
+    records_from_state,
+    state_from_records,
+)
+from repro.shm.records import RecordCodecError
+
+
+class TestScalarRoundTrips:
+    @pytest.mark.parametrize("tag,value", [
+        ("int", 42),
+        ("int", -(1 << 40)),
+        ("bool", True),
+        ("bool", False),
+        ("float", 3.14159),
+        ("str", "variable naming"),
+        ("str", "ünïcödé ⚡"),
+        ("bytes", b"\x00\xff raw"),
+    ])
+    def test_roundtrip(self, tag, value):
+        rec = VariableRecord("v", tag, value)
+        out = decode_records(encode_records([rec]))
+        assert out[0].name == "v"
+        assert out[0].type_tag == tag
+        assert out[0].value == value
+
+    def test_numpy_scalar(self):
+        rec = VariableRecord("s", "scalar:float64", np.float64(2.5))
+        out = decode_records(encode_records([rec]))
+        assert out[0].value == np.float64(2.5)
+
+
+class TestArrayRoundTrips:
+    @pytest.mark.parametrize("arr", [
+        np.arange(10, dtype=np.float64),
+        np.arange(12, dtype=np.int64).reshape(3, 4),
+        np.zeros((0,), dtype=np.float64),
+        np.random.default_rng(0).random((5, 7, 2)),
+        np.array([1, 2, 3], dtype=np.uint8),
+    ])
+    def test_roundtrip(self, arr):
+        rec = VariableRecord("a", f"ndarray:{arr.dtype}", arr)
+        out = decode_records(encode_records([rec]))
+        assert np.array_equal(out[0].value, arr)
+        assert out[0].value.dtype == arr.dtype
+        assert out[0].value.shape == arr.shape
+
+    def test_list_encoded_as_float_array(self):
+        rec = VariableRecord("l", "list", [1.0, 2.0, 3.0])
+        out = decode_records(encode_records([rec]))
+        assert np.array_equal(out[0].value, [1.0, 2.0, 3.0])
+
+
+class TestStateRoundTrip:
+    def test_full_state_roundtrip(self):
+        state = KernelState()
+        state["acc"] = 1.5
+        state["count"] = 7
+        state["flag"] = True
+        state["halo"] = np.arange(4, dtype=np.float64)
+        state["name"] = "gaussian"
+
+        records = records_from_state(state)
+        assert [(r.name, r.type_tag) for r in records] == [
+            ("acc", "float"), ("count", "int"), ("flag", "bool"),
+            ("halo", "ndarray:float64"), ("name", "str"),
+        ]
+        wire = encode_records(records)
+        restored = state_from_records(decode_records(wire))
+        assert restored["acc"] == 1.5
+        assert restored["count"] == 7
+        assert restored["flag"] is True
+        assert np.array_equal(restored["halo"], np.arange(4))
+        assert restored["name"] == "gaussian"
+
+
+class TestMalformedInput:
+    def test_truncated_buffer(self):
+        with pytest.raises(RecordCodecError):
+            decode_records(b"\x01")
+
+    def test_truncated_payload(self):
+        good = encode_records([VariableRecord("v", "int", 1)])
+        with pytest.raises(RecordCodecError):
+            decode_records(good[:-3])
+
+    def test_unknown_tag_on_encode(self):
+        with pytest.raises(RecordCodecError):
+            encode_records([VariableRecord("v", "mystery", 1)])
+
+    def test_unencodable_value_type(self):
+        state = KernelState()
+        state["x"] = 1
+        records = records_from_state(state)
+        assert records[0].type_tag == "int"
+        from repro.shm.records import _type_tag
+        with pytest.raises(RecordCodecError):
+            _type_tag(object())
+
+
+@given(
+    names=st.lists(
+        st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1, max_size=10),
+        min_size=0, max_size=8, unique=True,
+    ),
+    seed=st.integers(min_value=0, max_value=1 << 30),
+)
+@settings(max_examples=50, deadline=None)
+def test_codec_roundtrip_property(names, seed):
+    """Arbitrary mixed-type record bags survive encode/decode."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for i, name in enumerate(names):
+        kind = i % 4
+        if kind == 0:
+            records.append(VariableRecord(name, "int", int(rng.integers(-1e9, 1e9))))
+        elif kind == 1:
+            records.append(VariableRecord(name, "float", float(rng.random())))
+        elif kind == 2:
+            arr = rng.random(int(rng.integers(0, 50)))
+            records.append(VariableRecord(name, f"ndarray:{arr.dtype}", arr))
+        else:
+            records.append(VariableRecord(name, "str", name * 3))
+    out = decode_records(encode_records(records))
+    assert len(out) == len(records)
+    for a, b in zip(records, out):
+        assert a.name == b.name and a.type_tag == b.type_tag
+        if isinstance(a.value, np.ndarray):
+            assert np.array_equal(a.value, b.value)
+        else:
+            assert a.value == b.value

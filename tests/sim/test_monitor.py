@@ -1,0 +1,113 @@
+"""Statistics helpers: TimeSeries, TimeWeightedStat, Monitor, percentile."""
+
+import pytest
+
+from repro.sim import Monitor, TimeSeries, TimeWeightedStat
+from repro.sim.monitor import percentile
+
+
+class TestTimeSeries:
+    def test_record_and_query(self):
+        ts = TimeSeries("q")
+        ts.record(0, 5)
+        ts.record(1, 7)
+        assert len(ts) == 2
+        assert ts.last() == 7
+        assert ts.mean() == 6
+
+    def test_non_monotonic_time_rejected(self):
+        ts = TimeSeries()
+        ts.record(5, 1)
+        with pytest.raises(ValueError):
+            ts.record(4, 1)
+
+    def test_empty_series_stats_raise(self):
+        ts = TimeSeries()
+        assert ts.last() is None
+        with pytest.raises(ValueError):
+            ts.mean()
+        with pytest.raises(ValueError):
+            ts.time_weighted_mean()
+
+    def test_time_weighted_mean_piecewise(self):
+        ts = TimeSeries()
+        ts.record(0, 0)   # 0 for [0, 2)
+        ts.record(2, 10)  # 10 for [2, 4)
+        assert ts.time_weighted_mean(until=4) == 5
+
+    def test_time_weighted_mean_until_before_last_raises(self):
+        ts = TimeSeries()
+        ts.record(0, 1)
+        ts.record(5, 2)
+        with pytest.raises(ValueError):
+            ts.time_weighted_mean(until=3)
+
+
+class TestTimeWeightedStat:
+    def test_constant_signal(self):
+        s = TimeWeightedStat(initial=3)
+        assert s.mean(10) == 3
+
+    def test_step_signal(self):
+        s = TimeWeightedStat()
+        s.update(5, 2)  # 0 for [0,5), 2 afterwards
+        assert s.mean(10) == 1
+
+    def test_current_value(self):
+        s = TimeWeightedStat()
+        s.update(1, 7)
+        assert s.current == 7
+
+    def test_backwards_time_rejected(self):
+        s = TimeWeightedStat()
+        s.update(5, 1)
+        with pytest.raises(ValueError):
+            s.update(4, 1)
+        with pytest.raises(ValueError):
+            s.mean(3)
+
+
+class TestMonitor:
+    def test_counters(self):
+        m = Monitor()
+        m.count("x")
+        m.count("x", 2)
+        assert m.get_counter("x") == 3
+        assert m.get_counter("missing") == 0
+
+    def test_series_created_on_demand(self):
+        m = Monitor()
+        m.record("lat", 0, 1.0)
+        m.record("lat", 1, 3.0)
+        assert m.get_series("lat").mean() == 2.0
+
+    def test_summary_merges(self):
+        m = Monitor()
+        m.count("n", 5)
+        m.record("q", 0, 2.0)
+        s = m.summary()
+        assert s["n"] == 5
+        assert s["q.mean"] == 2.0
+        assert s["q.last"] == 2.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_bounds(self):
+        data = [3, 1, 2]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_single_element(self):
+        assert percentile([42], 77) == 42

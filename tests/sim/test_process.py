@@ -1,0 +1,179 @@
+"""Process semantics: joins, interrupts, failure handling."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError, StopProcess
+
+
+class TestBasics:
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_return_value_is_event_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 99
+
+        assert env.run(until=env.process(proc(env))) == 99
+
+    def test_is_alive_lifecycle(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_yield_non_event_fails_process(self, env):
+        def proc(env):
+            yield "not an event"
+
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run(until=env.process(proc(env)))
+
+    def test_stop_process_exception_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise StopProcess("early")
+
+        assert env.run(until=env.process(proc(env))) == "early"
+
+    def test_join_other_process(self, env):
+        def worker(env):
+            yield env.timeout(3)
+            return "worker-result"
+
+        def boss(env, w):
+            result = yield w
+            return (env.now, result)
+
+        w = env.process(worker(env))
+        assert env.run(until=env.process(boss(env, w))) == (3, "worker-result")
+
+    def test_join_failed_process_reraises(self, env):
+        def worker(env):
+            yield env.timeout(1)
+            raise ValueError("worker died")
+
+        def boss(env, w):
+            try:
+                yield w
+            except ValueError as exc:
+                return f"caught: {exc}"
+
+        w = env.process(worker(env))
+        assert env.run(until=env.process(boss(env, w))) == "caught: worker died"
+
+    def test_immediate_return_process(self, env):
+        def proc(env):
+            return "instant"
+            yield  # pragma: no cover
+
+        assert env.run(until=env.process(proc(env))) == "instant"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as intr:
+                return (env.now, intr.cause)
+
+        def attacker(env, v):
+            yield env.timeout(4)
+            v.interrupt({"reason": "demote"})
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        assert env.run(until=v) == (4, {"reason": "demote"})
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(2)  # keeps living after the interrupt
+            return env.now
+
+        def attacker(env, v):
+            yield env.timeout(1)
+            v.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        assert env.run(until=v) == 3
+
+    def test_interrupt_detaches_from_waited_event(self, env):
+        """The original wait target must not resume the process twice."""
+        def victim(env, t):
+            try:
+                yield t
+                return "normal"
+            except Interrupt:
+                yield env.timeout(10)
+                return "interrupted-path"
+
+        def attacker(env, v):
+            yield env.timeout(1)
+            v.interrupt()
+
+        t = env.timeout(5)
+        v = env.process(victim(env, t))
+        env.process(attacker(env, v))
+        assert env.run(until=v) == "interrupted-path"
+        assert env.now == 11
+
+    def test_interrupt_dead_process_raises(self, env):
+        def victim(env):
+            yield env.timeout(1)
+
+        v = env.process(victim(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            v.interrupt()
+
+    def test_self_interrupt_forbidden(self, env):
+        def proc(env):
+            me = env.active_process
+            me.interrupt()
+            yield env.timeout(1)
+
+        with pytest.raises(SimulationError, match="interrupt itself"):
+            env.run(until=env.process(proc(env)))
+
+    def test_unhandled_interrupt_fails_process(self, env):
+        def victim(env):
+            yield env.timeout(100)
+
+        def attacker(env, v):
+            yield env.timeout(1)
+            v.interrupt("boom")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        with pytest.raises(Interrupt):
+            env.run(until=v)
+
+    def test_multiple_interrupts_in_sequence(self, env):
+        hits = []
+
+        def victim(env):
+            for _ in range(3):
+                try:
+                    yield env.timeout(100)
+                except Interrupt as intr:
+                    hits.append((env.now, intr.cause))
+            return hits
+
+        def attacker(env, v):
+            for i in range(3):
+                yield env.timeout(1)
+                v.interrupt(i)
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        assert env.run(until=v) == [(1, 0), (2, 1), (3, 2)]

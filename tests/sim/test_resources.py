@@ -1,0 +1,232 @@
+"""Resource, PriorityResource and Container semantics."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, SimulationError
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_under_capacity(self, env):
+        res = Resource(env, capacity=2)
+
+        def proc(env, res):
+            req = res.request()
+            yield req
+            return env.now
+
+        assert env.run(until=env.process(proc(env, res))) == 0
+
+    def test_queueing_over_capacity(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def proc(env, res, name, hold):
+            with res.request() as req:
+                yield req
+                order.append((name, env.now))
+                yield env.timeout(hold)
+
+        env.process(proc(env, res, "a", 2))
+        env.process(proc(env, res, "b", 3))
+        env.process(proc(env, res, "c", 1))
+        env.run()
+        assert order == [("a", 0), ("b", 2), ("c", 5)]
+
+    def test_count_and_queue_length(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def snooper(env, res, out):
+            yield env.timeout(1)
+            out["count"] = res.count
+            out["queued"] = res.queue_length
+
+        out = {}
+        env.process(holder(env, res))
+        env.process(holder(env, res))
+        env.process(snooper(env, res, out))
+        env.run()
+        assert out == {"count": 1, "queued": 1}
+
+    def test_release_unowned_request_raises(self, env):
+        res = Resource(env, capacity=1)
+
+        def proc(env, res):
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)  # second release: not a user any more
+            yield env.timeout(0)
+
+        with pytest.raises(SimulationError):
+            env.run(until=env.process(proc(env, res)))
+
+    def test_cancel_pending_request_dequeues(self, env):
+        res = Resource(env, capacity=1)
+        got = []
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        def impatient(env, res):
+            req = res.request()
+            yield env.timeout(1)
+            req.cancel()  # give up before grant
+
+        def patient(env, res):
+            req = res.request()
+            yield req
+            got.append(env.now)
+
+        env.process(holder(env, res))
+        env.process(impatient(env, res))
+        env.process(patient(env, res))
+        env.run()
+        assert got == [5]  # impatient's slot went to patient
+
+    def test_context_manager_releases(self, env):
+        res = Resource(env, capacity=1)
+        times = []
+
+        def proc(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+            # released here
+            times.append(env.now)
+
+        env.process(proc(env, res))
+        env.process(proc(env, res))
+        env.run()
+        assert times == [1, 2]
+
+
+class TestPriorityResource:
+    def test_priority_order(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def proc(env, res, name, prio, arrive):
+            yield env.timeout(arrive)
+            req = res.request(priority=prio)
+            yield req
+            order.append(name)
+            yield env.timeout(10)
+            res.release(req)
+
+        env.process(proc(env, res, "holder", 0, 0))
+        env.process(proc(env, res, "low", 5, 1))
+        env.process(proc(env, res, "high", 0, 2))
+        env.process(proc(env, res, "mid", 2, 3))
+        env.run()
+        assert order == ["holder", "high", "mid", "low"]
+
+    def test_fifo_within_priority(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def proc(env, res, name, arrive):
+            yield env.timeout(arrive)
+            req = res.request(priority=1)
+            yield req
+            order.append(name)
+            yield env.timeout(10)
+            res.release(req)
+
+        env.process(proc(env, res, "first", 0))
+        env.process(proc(env, res, "second", 1))
+        env.process(proc(env, res, "third", 2))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_cancel_from_priority_queue(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env, res):
+            req = res.request(priority=0)
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+
+        def quitter(env, res):
+            req = res.request(priority=0)
+            yield env.timeout(1)
+            req.cancel()
+
+        def last(env, res):
+            yield env.timeout(2)
+            req = res.request(priority=9)
+            yield req
+            order.append(env.now)
+
+        env.process(holder(env, res))
+        env.process(quitter(env, res))
+        env.process(last(env, res))
+        env.run()
+        assert order == [5]
+
+
+class TestContainer:
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=6)
+
+    def test_put_get_levels(self, env):
+        c = Container(env, capacity=100, init=10)
+
+        def proc(env, c):
+            yield c.put(30)
+            yield c.get(15)
+            return c.level
+
+        assert env.run(until=env.process(proc(env, c))) == 25
+
+    def test_get_blocks_until_available(self, env):
+        c = Container(env, capacity=100)
+
+        def consumer(env, c):
+            yield c.get(50)
+            return env.now
+
+        def producer(env, c):
+            yield env.timeout(3)
+            yield c.put(50)
+
+        p = env.process(consumer(env, c))
+        env.process(producer(env, c))
+        assert env.run(until=p) == 3
+
+    def test_put_blocks_when_full(self, env):
+        c = Container(env, capacity=10, init=10)
+
+        def producer(env, c):
+            yield c.put(5)
+            return env.now
+
+        def consumer(env, c):
+            yield env.timeout(2)
+            yield c.get(7)
+
+        p = env.process(producer(env, c))
+        env.process(consumer(env, c))
+        assert env.run(until=p) == 2
+
+    def test_nonpositive_amounts_rejected(self, env):
+        c = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            c.put(0)
+        with pytest.raises(ValueError):
+            c.get(-1)

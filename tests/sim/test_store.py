@@ -1,0 +1,155 @@
+"""Store, PriorityStore and FilterStore semantics."""
+
+import pytest
+
+from repro.sim import Environment, FilterStore, PriorityStore, Store
+from repro.sim.store import PriorityItem
+
+
+class TestStore:
+    def test_fifo_order(self, env):
+        st = Store(env)
+
+        def producer(env, st):
+            for i in range(3):
+                yield st.put(i)
+
+        def consumer(env, st):
+            got = []
+            for _ in range(3):
+                item = yield st.get()
+                got.append(item)
+            return got
+
+        env.process(producer(env, st))
+        assert env.run(until=env.process(consumer(env, st))) == [0, 1, 2]
+
+    def test_get_blocks_until_put(self, env):
+        st = Store(env)
+
+        def consumer(env, st):
+            item = yield st.get()
+            return (env.now, item)
+
+        def producer(env, st):
+            yield env.timeout(4)
+            yield st.put("late")
+
+        c = env.process(consumer(env, st))
+        env.process(producer(env, st))
+        assert env.run(until=c) == (4, "late")
+
+    def test_capacity_blocks_put(self, env):
+        st = Store(env, capacity=1)
+
+        def producer(env, st):
+            yield st.put("a")
+            yield st.put("b")
+            return env.now
+
+        def consumer(env, st):
+            yield env.timeout(5)
+            yield st.get()
+
+        p = env.process(producer(env, st))
+        env.process(consumer(env, st))
+        assert env.run(until=p) == 5
+
+    def test_len_reflects_items(self, env):
+        st = Store(env)
+
+        def proc(env, st):
+            yield st.put(1)
+            yield st.put(2)
+            return len(st)
+
+        assert env.run(until=env.process(proc(env, st))) == 2
+
+    def test_get_cancel_is_idempotent(self, env):
+        st = Store(env)
+
+        def proc(env, st):
+            get = st.get()
+            get.cancel()
+            get.cancel()
+            yield st.put("x")
+            return st.items
+
+        # The cancelled get must not consume the item.
+        assert env.run(until=env.process(proc(env, st))) == ["x"]
+
+    def test_bad_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+
+class TestPriorityStore:
+    def test_lowest_priority_first(self, env):
+        st = PriorityStore(env)
+
+        def proc(env, st):
+            yield st.put(PriorityItem(3, "c"))
+            yield st.put(PriorityItem(1, "a"))
+            yield st.put(PriorityItem(2, "b"))
+            out = []
+            for _ in range(3):
+                item = yield st.get()
+                out.append(item.item)
+            return out
+
+        assert env.run(until=env.process(proc(env, st))) == ["a", "b", "c"]
+
+    def test_fifo_within_priority(self, env):
+        st = PriorityStore(env)
+
+        def proc(env, st):
+            yield st.put(PriorityItem(1, "first"))
+            yield st.put(PriorityItem(1, "second"))
+            a = yield st.get()
+            b = yield st.get()
+            return [a.item, b.item]
+
+        assert env.run(until=env.process(proc(env, st))) == ["first", "second"]
+
+
+class TestFilterStore:
+    def test_predicate_selects_item(self, env):
+        st = FilterStore(env)
+
+        def proc(env, st):
+            yield st.put({"id": 1})
+            yield st.put({"id": 2})
+            item = yield st.get(lambda it: it["id"] == 2)
+            return (item["id"], len(st))
+
+        assert env.run(until=env.process(proc(env, st))) == (2, 1)
+
+    def test_blocked_head_does_not_starve_matchers(self, env):
+        st = FilterStore(env)
+        got = []
+
+        def want(env, st, target):
+            item = yield st.get(lambda it: it == target)
+            got.append((env.now, target))
+
+        def producer(env, st):
+            yield env.timeout(1)
+            yield st.put("b")  # satisfies the *second* waiter
+            yield env.timeout(1)
+            yield st.put("a")
+
+        env.process(want(env, st, "a"))
+        env.process(want(env, st, "b"))
+        env.process(producer(env, st))
+        env.run()
+        assert got == [(1, "b"), (2, "a")]
+
+    def test_default_filter_matches_anything(self, env):
+        st = FilterStore(env)
+
+        def proc(env, st):
+            yield st.put(123)
+            item = yield st.get()
+            return item
+
+        assert env.run(until=env.process(proc(env, st))) == 123

@@ -1,0 +1,147 @@
+"""Applications, generator, sweep grids, trace persistence."""
+
+import pytest
+
+from repro.cluster.config import GB, MB
+from repro.workload import (
+    ArrivalPattern,
+    BatchApplication,
+    MixedApplication,
+    PAPER_REQUEST_COUNTS,
+    PAPER_REQUEST_SIZES,
+    StreamingApplication,
+    WorkloadGenerator,
+    load_trace,
+    paper_grid,
+    save_trace,
+    table4_situations,
+)
+from repro.workload.apps import RequestTemplate
+
+
+class TestApplications:
+    def test_batch_one_request_per_process(self):
+        app = BatchApplication("a", 5, 128 * MB, operation="sum")
+        assert app.total_requests() == 5
+        reqs = list(app.requests_for(0))
+        assert len(reqs) == 1 and reqs[0].active and reqs[0].operation == "sum"
+
+    def test_batch_normal_io(self):
+        app = BatchApplication("a", 2, 1 * MB)
+        assert not next(app.requests_for(0)).active
+
+    def test_streaming_rounds(self):
+        app = StreamingApplication("s", 2, 1 * MB, rounds=3, think_time=1.0,
+                                   operation="sum")
+        assert app.total_requests() == 6
+        assert all(r.think_time == 1.0 for r in app.requests_for(0))
+
+    def test_mixed_sequence(self):
+        templates = [
+            RequestTemplate(size=1 * MB, active=True, operation="sum"),
+            RequestTemplate(size=2 * MB, active=False),
+        ]
+        app = MixedApplication("m", 1, templates)
+        got = list(app.requests_for(0))
+        assert [r.size for r in got] == [1 * MB, 2 * MB]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchApplication("a", 0, 1)
+        with pytest.raises(ValueError):
+            RequestTemplate(size=0, active=False)
+        with pytest.raises(ValueError):
+            RequestTemplate(size=1, active=True)  # active without op
+        with pytest.raises(ValueError):
+            StreamingApplication("s", 1, 1, rounds=0)
+        with pytest.raises(ValueError):
+            MixedApplication("m", 1, [])
+
+
+class TestGenerator:
+    def _apps(self):
+        return [
+            BatchApplication("a", 3, 1 * MB, operation="sum"),
+            StreamingApplication("b", 2, 2 * MB, rounds=2, think_time=1.0),
+        ]
+
+    def test_batch_arrivals_at_zero(self):
+        plan = WorkloadGenerator(0).plan(self._apps(), ArrivalPattern.BATCH)
+        assert len(plan) == 3 + 4
+        assert all(r.arrival_time in (0.0, 1.0) for r in plan)
+
+    def test_think_time_spaces_sequences(self):
+        plan = WorkloadGenerator(0).plan(self._apps())
+        b_reqs = plan.by_process()[("b", 0)]
+        assert [r.arrival_time for r in b_reqs] == [0.0, 1.0]
+
+    def test_uniform_window_bounds(self):
+        plan = WorkloadGenerator(7).plan(self._apps(), ArrivalPattern.UNIFORM,
+                                         window=5.0)
+        firsts = [reqs[0].arrival_time for reqs in plan.by_process().values()]
+        assert all(0 <= t <= 5 for t in firsts)
+        assert len(set(firsts)) > 1  # actually spread
+
+    def test_poisson_deterministic_per_seed(self):
+        p1 = WorkloadGenerator(3).plan(self._apps(), ArrivalPattern.POISSON, rate=1)
+        p2 = WorkloadGenerator(3).plan(self._apps(), ArrivalPattern.POISSON, rate=1)
+        assert [r.arrival_time for r in p1] == [r.arrival_time for r in p2]
+
+    def test_plan_stats(self):
+        plan = WorkloadGenerator(0).plan(self._apps())
+        assert plan.total_bytes == 3 * MB + 4 * 2 * MB
+        assert plan.active_fraction == pytest.approx(3 / 7)
+
+    def test_requests_sorted_by_arrival(self):
+        plan = WorkloadGenerator(1).plan(self._apps(), ArrivalPattern.UNIFORM,
+                                         window=10)
+        times = [r.arrival_time for r in plan]
+        assert times == sorted(times)
+
+
+class TestSweeps:
+    def test_paper_constants(self):
+        assert PAPER_REQUEST_COUNTS == (1, 2, 4, 8, 16, 32, 64)
+        assert PAPER_REQUEST_SIZES == (128 * MB, 256 * MB, 512 * MB, 1 * GB)
+
+    def test_paper_grid_size(self):
+        assert len(list(paper_grid("gaussian2d"))) == 28
+
+    def test_table4_has_64_situations(self):
+        situations = table4_situations()
+        assert len(situations) == 64
+        assert len({s.index for s in situations}) == 64
+        # canonical grid plus boundary probes
+        labels = {s.label() for s in situations}
+        assert "gaussian2d/3x128MB" in labels
+        assert "sum/64x1024MB" in labels
+
+
+class TestTraces:
+    def test_save_load_roundtrip(self, tmp_path):
+        apps = [BatchApplication("a", 3, 1 * MB, operation="sum")]
+        plan = WorkloadGenerator(0).plan(apps, ArrivalPattern.UNIFORM, window=2)
+        path = tmp_path / "trace.jsonl"
+        n = save_trace(plan, path)
+        assert n == 3
+        loaded = load_trace(path)
+        assert len(loaded) == 3
+        for a, b in zip(plan, loaded):
+            assert (a.app, a.process_index, a.size, a.active, a.operation,
+                    a.arrival_time) == (
+                b.app, b.process_index, b.size, b.active, b.operation,
+                b.arrival_time)
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="bad JSON"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        apps = [BatchApplication("a", 1, 1 * MB)]
+        plan = WorkloadGenerator(0).plan(apps)
+        path = tmp_path / "t.jsonl"
+        save_trace(plan, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_trace(path)) == 1
