@@ -12,6 +12,11 @@ from repro.analysis.metrics import (
     summarize_run,
 )
 from repro.analysis.bandwidth import achieved_bandwidth, bandwidth_series
+from repro.analysis.faults import (
+    FaultRunMetrics,
+    recovery_latencies,
+    summarize_fault_run,
+)
 from repro.analysis.charts import render_chart
 from repro.analysis.timeline import (
     RequestRecord,
@@ -29,6 +34,7 @@ from repro.analysis.figures import (
 )
 
 __all__ = [
+    "FaultRunMetrics",
     "RequestRecord",
     "RunMetrics",
     "achieved_bandwidth",
@@ -40,10 +46,12 @@ __all__ = [
     "improvement",
     "records_from_plan_result",
     "records_from_scheme_result",
+    "recovery_latencies",
     "render_chart",
     "render_gantt",
     "render_series",
     "speedup",
+    "summarize_fault_run",
     "summarize_run",
     "table3_rows",
     "table4_rows",

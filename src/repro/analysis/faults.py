@@ -1,0 +1,110 @@
+"""Fault-run metrics: goodput, recovery latency, retries, wasted work.
+
+A fault run (``run_scheme(..., fault_schedule=...)``) completes the
+same workload as a fault-free run — the recovery invariant guarantees
+every byte is eventually delivered — so the interesting numbers are
+*how much* the failures cost:
+
+goodput
+    Useful bytes per second of makespan.  Each requested byte counts
+    once no matter how often a retry re-read it, so goodput degrades
+    with every second recovery adds.
+recovery latency
+    Per recovered request: time from its first retry-triggering event
+    (timeout or failed reply) until the attempt that finally succeeded
+    was issued.  Measures how long the client-side retry loop needed
+    to route around the failure.
+retries / timeouts / failures
+    Raw counts from the retry loop.
+wasted bytes
+    Kernel progress discarded on the storage side (work a crash or a
+    stall destroyed before a checkpoint could save it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.core.schemes import SchemeResult
+
+
+@dataclass(frozen=True)
+class FaultRunMetrics:
+    """Summary statistics of one scheme run under a fault schedule."""
+
+    scheme: str
+    kernel: str
+    makespan: float
+    #: Useful MB/s (every requested byte counted once).
+    goodput_mb_s: float
+    #: Fraction of the fault-free goodput retained (1.0 = unaffected).
+    #: Only set when a baseline is supplied to :func:`summarize_fault_run`.
+    goodput_retention: float
+    retries: int
+    retry_timeouts: int
+    failed_requests: int
+    wasted_mb: float
+    #: Requests that needed at least one retry to complete.
+    recovered_requests: int
+    #: Mean seconds between a request's first failure signal and its
+    #: final (successful) re-issue.  0.0 when nothing needed recovery.
+    mean_recovery_latency: float
+    max_recovery_latency: float
+    #: Injected fault actions, as the injector logged them.
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def recovery_latencies(retry_events: List[Dict[str, Any]]) -> List[float]:
+    """Per-parent-request recovery spans from a retry log.
+
+    The retry log has one entry per *failed attempt* (timeout or
+    failed reply) with ``time``/``parent``/``attempt``.  For each
+    parent request the recovery latency is the span from its first
+    failure to its last — i.e. how long the backoff loop churned
+    before the attempt that went on to succeed.  A request whose first
+    attempt failed exactly once recovers "instantly" (span 0.0) —
+    the next re-issue succeeded.
+    """
+    by_parent: Dict[Any, List[float]] = {}
+    for entry in retry_events:
+        by_parent.setdefault(entry["parent"], []).append(entry["time"])
+    return [max(times) - min(times) for times in by_parent.values()]
+
+
+def summarize_fault_run(
+    result: SchemeResult,
+    baseline: SchemeResult = None,
+) -> FaultRunMetrics:
+    """Flatten a fault run into reportable numbers.
+
+    ``baseline`` is the matching fault-free run of the *same* scheme
+    and spec; when given, ``goodput_retention`` reports the fraction
+    of healthy goodput the scheme kept under the schedule.
+    """
+    mb = 1024 * 1024
+    retention = float("nan")
+    if baseline is not None:
+        if baseline.spec.total_bytes != result.spec.total_bytes:
+            raise ValueError("baseline covers a different workload")
+        if baseline.goodput > 0:
+            retention = result.goodput / baseline.goodput
+    latencies = recovery_latencies(result.retry_events)
+    recovered = len({e["parent"] for e in result.retry_events})
+    return FaultRunMetrics(
+        scheme=result.scheme.value,
+        kernel=result.spec.kernel,
+        makespan=result.makespan,
+        goodput_mb_s=result.goodput / mb,
+        goodput_retention=retention,
+        retries=result.retries,
+        retry_timeouts=result.retry_timeouts,
+        failed_requests=result.failed_requests,
+        wasted_mb=result.wasted_bytes / mb,
+        recovered_requests=recovered,
+        mean_recovery_latency=(
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        max_recovery_latency=max(latencies) if latencies else 0.0,
+        fault_events=list(result.fault_log),
+    )

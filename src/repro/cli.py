@@ -9,6 +9,7 @@ kernels, and record/replay workload traces without writing code:
     $ python -m repro figure 7 --chart         # as a terminal line chart
     $ python -m repro table 4                  # decision accuracy
     $ python -m repro run --kernel sum --requests 16 --mb 512
+    $ python -m repro run --faults degraded-node   # same, under failures
     $ python -m repro calibrate                # Table III on this host
     $ python -m repro sweep --kernel gaussian2d --mb 256
     $ python -m repro headline                 # the 40 % / 21 % claims
@@ -118,7 +119,12 @@ def cmd_table(args, out=None) -> int:
 
 
 def cmd_run(args, out=None) -> int:
-    """Run one custom workload point under all three schemes."""
+    """Run one custom workload point under all three schemes.
+
+    With ``--faults <scenario>`` the point runs under that failure
+    schedule (see ``repro.faults``) and the table switches to the
+    fault metrics: goodput, retries, recovery latency, wasted work.
+    """
     out = out if out is not None else sys.stdout
     if args.kernel not in list_kernels():
         print(f"error: unknown kernel {args.kernel!r}; known: "
@@ -133,6 +139,8 @@ def cmd_run(args, out=None) -> int:
         seed=args.seed,
         kernel_slots=args.kernel_slots,
     )
+    if getattr(args, "faults", None):
+        return _run_with_faults(args, spec, out)
     rows = []
     for scheme in Scheme:
         r = run_scheme(scheme, spec)
@@ -141,6 +149,43 @@ def cmd_run(args, out=None) -> int:
     print(format_table(
         ["scheme", "makespan (s)", "bandwidth (MB/s)",
          "offloaded", "demoted", "migrated"],
+        rows,
+    ), file=out)
+    return 0
+
+
+def _run_with_faults(args, spec: WorkloadSpec, out) -> int:
+    from repro.analysis.faults import summarize_fault_run
+    from repro.faults import SCENARIOS, scenario
+
+    if args.faults not in SCENARIOS:
+        print(f"error: unknown fault scenario {args.faults!r}; known: "
+              f"{sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.fault_at is not None:
+        overrides["at"] = args.fault_at
+    if args.faults == "chaos":
+        overrides.setdefault("seed", args.seed)
+        overrides["n_targets"] = spec.n_storage
+    sched = scenario(args.faults, **overrides)
+    print(f"scenario: {sched.name}  "
+          f"(events={len(sched.timeline())}, horizon={sched.horizon}s, "
+          f"retry timeout={sched.retry.timeout}s "
+          f"x{sched.retry.max_retries})", file=out)
+    rows = []
+    for scheme in Scheme:
+        healthy = run_scheme(scheme, spec)
+        faulty = run_scheme(scheme, spec, fault_schedule=sched)
+        m = summarize_fault_run(faulty, baseline=healthy)
+        rows.append([
+            scheme.value, f"{m.makespan:.3f}", f"{m.goodput_mb_s:.1f}",
+            f"{m.goodput_retention:.1%}", m.retries, m.recovered_requests,
+            f"{m.mean_recovery_latency:.3f}", f"{m.wasted_mb:.1f}",
+        ])
+    print(format_table(
+        ["scheme", "makespan (s)", "goodput (MB/s)", "retention",
+         "retries", "recovered", "mean recovery (s)", "wasted (MB)"],
         rows,
     ), file=out)
     return 0
@@ -314,6 +359,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel-slots", type=int, default=1)
     p.add_argument("--jitter", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", metavar="SCENARIO",
+                   help="inject a failure scenario (degraded-node, "
+                        "crash-restart, partition, kernel-stall, "
+                        "probe-loss, chaos)")
+    p.add_argument("--fault-at", type=float, default=None,
+                   help="override the scenario's first-fault time (s)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep request counts")

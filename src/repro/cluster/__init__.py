@@ -17,7 +17,14 @@ from repro.cluster.config import (
     GB,
     KB,
 )
-from repro.cluster.node import ComputeNode, CpuCores, Node, StorageNode
+from repro.cluster.node import (
+    ComputeNode,
+    ComputeInterrupted,
+    CpuCores,
+    FailedCompute,
+    Node,
+    StorageNode,
+)
 from repro.cluster.network import FairShareLink, Link, SerialLink
 from repro.cluster.probe import NodeProber, SystemProbe
 from repro.cluster.topology import ClusterTopology
@@ -25,8 +32,10 @@ from repro.cluster.topology import ClusterTopology
 __all__ = [
     "ClusterConfig",
     "ClusterTopology",
+    "ComputeInterrupted",
     "ComputeNode",
     "CpuCores",
+    "FailedCompute",
     "FairShareLink",
     "GB",
     "KB",

@@ -62,13 +62,50 @@ class Link:
         #: Total bytes ever accepted for transfer.
         self.bytes_transferred = 0.0
         self.utilization = TimeWeightedStat(env.now)
+        #: Fault state: bandwidth multiplier in (0, 1] and hard cut-off.
+        self._derate = 1.0
+        self._partitioned = False
+
+    # -- failure hooks (see repro.faults) ------------------------------------
+    @property
+    def derate_factor(self) -> float:
+        """Current degradation factor (1.0 = healthy)."""
+        return self._derate
+
+    @property
+    def partitioned(self) -> bool:
+        """True while the link is cut."""
+        return self._partitioned
+
+    def degrade(self, factor: float) -> None:
+        """Reduce deliverable bandwidth to ``factor`` × nominal."""
+        if not 0 < factor <= 1:
+            raise ValueError(f"degrade factor must lie in (0, 1], got {factor}")
+        self._apply_rate(float(factor))
+
+    def restore(self) -> None:
+        """Return the link to nominal bandwidth."""
+        self._apply_rate(1.0)
+
+    def partition(self) -> None:
+        """Cut the link: no new data crosses until :meth:`heal`."""
+        self._partitioned = True
+
+    def heal(self) -> None:
+        """Reconnect a partitioned link."""
+        self._partitioned = False
+
+    def _apply_rate(self, factor: float) -> None:
+        """Subclass hook — fluid models must re-plan in-flight flows."""
+        self._derate = factor
 
     def effective_bandwidth(self) -> float:
         """Draw this transfer's bandwidth from the jitter envelope."""
+        bw = self.bandwidth * self._derate
         if self.jitter == 0.0:
-            return self.bandwidth
-        lo = self.bandwidth * (1 - self.jitter)
-        hi = self.bandwidth * (1 + self.jitter)
+            return bw
+        lo = bw * (1 - self.jitter)
+        hi = bw * (1 + self.jitter)
         return self._rng.uniform(lo, hi)
 
     def transfer(self, size: float, priority: int = 1) -> Event:
@@ -101,6 +138,17 @@ class SerialLink(Link):
     def active_transfers(self) -> int:
         """Transfers in flight or queued."""
         return self._pipe.count + self._pipe.queue_length
+
+    def partition(self) -> None:
+        """Cut the link: the in-flight transfer drains, queued ones wait."""
+        if not self._partitioned:
+            self._partitioned = True
+            self._pipe.suspend()
+
+    def heal(self) -> None:
+        if self._partitioned:
+            self._partitioned = False
+            self._pipe.resume_service()
 
     def transfer(self, size: float, priority: int = 1) -> Event:
         if size < 0:
@@ -184,9 +232,32 @@ class FairShareLink(Link):
         self.utilization.update(self.env.now, 1.0)
         self._reschedule()
 
+    # -- failure hooks -------------------------------------------------------
+    def partition(self) -> None:
+        """Freeze every flow: progress stops, nothing completes."""
+        if self._partitioned:
+            return
+        self._advance()  # credit progress up to the cut at the old rate
+        self._partitioned = True
+        self._reschedule()  # bump generation → disarm pending wake-ups
+
+    def heal(self) -> None:
+        if not self._partitioned:
+            return
+        self._advance()  # zero-rate interval: only moves _last_update
+        self._partitioned = False
+        self._reschedule()
+
+    def _apply_rate(self, factor: float) -> None:
+        self._advance()  # old rate applies up to now
+        self._derate = factor
+        self._reschedule()
+
     # -- fluid bookkeeping ---------------------------------------------------
     def _per_flow_rate(self, flow: _Flow) -> float:
-        return self.bandwidth * flow.scale / len(self._flows)
+        if self._partitioned:
+            return 0.0
+        return self.bandwidth * self._derate * flow.scale / len(self._flows)
 
     def _advance(self) -> None:
         """Drain bytes for the time elapsed since the last update."""
@@ -216,7 +287,7 @@ class FairShareLink(Link):
         timers without cancellation support in the engine.
         """
         self._generation += 1
-        if not self._flows:
+        if not self._flows or self._partitioned:
             return
         generation = self._generation
         eta = min(f.remaining / self._per_flow_rate(f) for f in self._flows)

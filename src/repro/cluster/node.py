@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.sim.engine import Environment
-from repro.sim.exceptions import Interrupt
+from repro.sim.exceptions import Failure, Interrupt
 from repro.sim.monitor import TimeWeightedStat
 from repro.sim.resources import Container, PriorityResource
 from repro.cluster.config import NodeSpec
@@ -48,6 +48,12 @@ class CpuCores:
         self.name = name
         self._pool = PriorityResource(env, capacity=spec.cores)
         self.busy = TimeWeightedStat(env.now, 0.0)
+        #: Straggler model: fraction of nominal per-core speed currently
+        #: delivered, in (0, 1].  Applies to computations that *start*
+        #: while derated; in-flight work keeps its original rate (the
+        #: injector interrupts running kernels so they re-enter
+        #: scheduling at the new speed).
+        self._derate = 1.0
 
     @property
     def cores(self) -> int:
@@ -72,9 +78,24 @@ class CpuCores:
         """Time-weighted mean utilisation since creation."""
         return self.busy.mean(self.env.now) / self._pool.capacity
 
+    @property
+    def derate_factor(self) -> float:
+        """Current straggler slowdown factor (1.0 = healthy)."""
+        return self._derate
+
+    def derate(self, factor: float) -> None:
+        """Slow every core to ``factor`` × nominal speed (failure hook)."""
+        if not 0 < factor <= 1:
+            raise ValueError(f"derate factor must lie in (0, 1], got {factor}")
+        self._derate = float(factor)
+
+    def restore(self) -> None:
+        """Return cores to nominal speed."""
+        self._derate = 1.0
+
     def effective_rate(self, base_rate: float) -> float:
         """Single-core processing rate for a kernel on this node."""
-        return base_rate * self.spec.core_speed
+        return base_rate * self.spec.core_speed * self._derate
 
     def compute(
         self,
@@ -106,7 +127,7 @@ class CpuCores:
             yield req
         except Interrupt as intr:
             req.cancel()
-            raise ComputeInterrupted(intr.cause, already_done) from None
+            raise _wrap_interrupt(intr, already_done) from None
 
         self.busy.update(self.env.now, float(self._pool.count))
         started = self.env.now
@@ -118,7 +139,7 @@ class CpuCores:
             done = min(nbytes, already_done + progressed)
             req.cancel()
             self.busy.update(self.env.now, float(self._pool.count))
-            raise ComputeInterrupted(intr.cause, done) from None
+            raise _wrap_interrupt(intr, done) from None
 
         req.cancel()
         self.busy.update(self.env.now, float(self._pool.count))
@@ -131,6 +152,21 @@ class ComputeInterrupted(Interrupt):
     def __init__(self, cause, bytes_done: float) -> None:
         super().__init__(cause)
         self.bytes_done = bytes_done
+
+
+class FailedCompute(ComputeInterrupted, Failure):
+    """A compute preempted by a component *failure*, not a scheduler.
+
+    Inherits both :class:`ComputeInterrupted` (bytes done) and
+    :class:`~repro.sim.exceptions.Failure` so handlers can distinguish
+    demotion (checkpoint + migrate) from failure (checkpoint or drop).
+    """
+
+
+def _wrap_interrupt(intr: Interrupt, bytes_done: float) -> ComputeInterrupted:
+    """Preserve failure-ness when enriching an interrupt with progress."""
+    cls = FailedCompute if isinstance(intr, Failure) else ComputeInterrupted
+    return cls(intr.cause, bytes_done)
 
 
 class Node:

@@ -8,7 +8,7 @@ produces one from a storage node plus its attached I/O queue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.node import StorageNode
@@ -36,6 +36,14 @@ class SystemProbe:
         D_A — data requested by active I/Os.
     running_kernels:
         Kernels presently executing on the node's cores.
+    stale:
+        True when this snapshot is a *replay* of an older probe because
+        the live probe was lost (node unreachable / prober suppressed).
+        Estimators should treat stale state as degradation.
+    cpu_derate:
+        Fraction of nominal core speed the node currently delivers,
+        in (0, 1] — below 1.0 the node is a straggler and its
+        processing capability must be scaled down accordingly.
     """
 
     time: float
@@ -46,6 +54,8 @@ class SystemProbe:
     queued_bytes: float
     active_bytes: float
     running_kernels: int = 0
+    stale: bool = False
+    cpu_derate: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0 <= self.cpu_utilization <= 1 + 1e-9:
@@ -92,9 +102,41 @@ class NodeProber:
         self.queue_inspector = queue_inspector or (lambda: (0, 0, 0.0, 0.0))
         #: Retained history of probes (most recent last).
         self.history: List[SystemProbe] = []
+        #: Until this simulated time, live probes are lost (fault
+        #: injection): :meth:`probe` replays the last snapshot marked
+        #: ``stale`` instead of sampling the node.
+        self._suppressed_until = float("-inf")
+
+    def suppress_until(self, time: float) -> None:
+        """Drop live probes until ``time`` (probe-loss fault)."""
+        self._suppressed_until = max(self._suppressed_until, time)
+
+    @property
+    def suppressed(self) -> bool:
+        """True while live probes are being lost."""
+        return self.node.env.now < self._suppressed_until
 
     def probe(self) -> SystemProbe:
-        """Take and record a snapshot now."""
+        """Take and record a snapshot now.
+
+        While suppressed, returns a ``stale`` replay of the last real
+        snapshot (or an empty stale snapshot if none exists yet) and
+        does *not* append to :attr:`history` — the estimator sees old
+        state exactly as it would if the probe message were dropped.
+        """
+        if self.suppressed:
+            if self.history:
+                return replace(self.history[-1], stale=True)
+            return SystemProbe(
+                time=self.node.env.now,
+                cpu_utilization=0.0,
+                memory_utilization=0.0,
+                io_queue_length=0,
+                active_queue_length=0,
+                queued_bytes=0.0,
+                active_bytes=0.0,
+                stale=True,
+            )
         n, k, total_bytes, active_bytes = self.queue_inspector()
         snap = SystemProbe(
             time=self.node.env.now,
@@ -105,6 +147,7 @@ class NodeProber:
             queued_bytes=float(total_bytes),
             active_bytes=float(active_bytes),
             running_kernels=self.node.cpu.busy_cores,
+            cpu_derate=self.node.cpu.derate_factor,
         )
         self.history.append(snap)
         return snap

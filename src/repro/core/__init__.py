@@ -46,7 +46,12 @@ from repro.core.estimator import (
 )
 from repro.core.runtime import ActiveIORuntime, RuntimeConfig
 from repro.core.ass import ActiveStorageServer
-from repro.core.asc import ActiveStorageClient, ActiveReadOutcome
+from repro.core.asc import (
+    ActiveReadOutcome,
+    ActiveStorageClient,
+    RetryExhausted,
+    RetryPolicy,
+)
 from repro.core.schemes import (
     Scheme,
     SchemeResult,
@@ -81,6 +86,8 @@ __all__ = [
     "PlanResult",
     "RequestCost",
     "RequestOutcome",
+    "RetryExhausted",
+    "RetryPolicy",
     "RuntimeConfig",
     "Scheduler",
     "SchedulerDecision",

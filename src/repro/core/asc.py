@@ -20,12 +20,64 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf
 from repro.cluster.node import ComputeNode
 from repro.kernels.base import Kernel, KernelCheckpoint
 from repro.kernels.registry import KernelRegistry, default_registry
 from repro.pvfs.client import PVFSClient
 from repro.pvfs.filehandle import FileHandle
-from repro.pvfs.requests import IOReply, read_extent_stream, slice_extents
+from repro.pvfs.metadata import PVFSError
+from repro.pvfs.requests import (
+    IOKind,
+    IOReply,
+    IORequest,
+    read_extent_stream,
+    slice_extents,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side fault tolerance: timeout + bounded exponential backoff.
+
+    Attributes
+    ----------
+    timeout:
+        Seconds the ASC waits for each per-server reply before
+        declaring the attempt lost.
+    max_retries:
+        Re-issues allowed per piece (total attempts = max_retries + 1).
+    backoff_base:
+        Delay before the first re-issue.
+    backoff_factor:
+        Multiplier per further re-issue.
+    backoff_cap:
+        Upper bound on any single backoff delay.
+    """
+
+    timeout: float = 5.0
+    max_retries: int = 5
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_cap: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before re-issue number ``attempt`` (0-based)."""
+        return min(self.backoff_cap, self.backoff_base * self.backoff_factor ** attempt)
+
+
+class RetryExhausted(PVFSError):
+    """A per-server piece failed/timed out beyond ``max_retries``."""
 
 
 @dataclass
@@ -94,6 +146,16 @@ class ActiveStorageClient:
         self.client_speed_factor = float(client_speed_factor)
         #: rid-independent registration log (operation, size, fh).
         self.registrations: List[_Registration] = []
+        #: Fault-recovery counters for the analysis layer.
+        self.stats: Dict[str, int] = {
+            "retries": 0,
+            "retry_timeouts": 0,
+            "retry_failures": 0,
+            "requests_recovered": 0,
+        }
+        #: One entry per abandoned attempt: time, rid, parent, attempt,
+        #: reason — the analysis layer derives recovery latency from it.
+        self.retry_log: List[Dict[str, Any]] = []
 
     # -- application-facing API ---------------------------------------------------
     def read_ex(
@@ -103,6 +165,7 @@ class ActiveStorageClient:
         offset: int = 0,
         size: Optional[int] = None,
         meta: Optional[dict] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         """Active read: the engine behind ``MPI_File_read_ex``.
 
@@ -110,14 +173,24 @@ class ActiveStorageClient:
         Every per-server reply with ``completed == 0`` is finished
         locally: normal read of the remaining extent, then the
         client-side kernel (resuming any checkpoint).
+
+        With a :class:`RetryPolicy`, each per-server piece is driven
+        independently through timeout/cancel/re-issue recovery, so a
+        crashed or hung server delays only its own stripes.
         """
         size = fh.size - offset if size is None else size
         self.registrations.append(
             _Registration(operation=operation, size=size, fh=fh, meta=dict(meta or {}))
         )
-        replies: List[IOReply] = yield from self.pvfs.read_active(
-            fh, operation, offset=offset, size=size, meta=meta
-        )
+        if retry is None:
+            replies: List[IOReply] = yield from self.pvfs.read_active(
+                fh, operation, offset=offset, size=size, meta=meta
+            )
+        else:
+            requests = self.pvfs._build_requests(
+                fh, offset, size, IOKind.ACTIVE, operation, meta
+            )
+            replies = yield from self._gather_with_retry(requests, retry)
 
         kernel = self.registry.get(operation)
         partials: List[Any] = []
@@ -137,7 +210,7 @@ class ActiveStorageClient:
             served_flags.append(False)
             demotions += 1
             partial, nread, ncomp = yield from self._finish_demoted(
-                kernel, reply, operation, meta
+                kernel, reply, operation, meta, retry
             )
             partials.append(partial)
             client_bytes += nread
@@ -154,10 +227,94 @@ class ActiveStorageClient:
             output_files=output_files,
         )
 
-    def read(self, fh: FileHandle, offset: int = 0, size: Optional[int] = None):
-        """Plain read passthrough (simulation process)."""
-        replies = yield from self.pvfs.read(fh, offset=offset, size=size)
+    def read(
+        self,
+        fh: FileHandle,
+        offset: int = 0,
+        size: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        """Plain read passthrough (simulation process).
+
+        With a :class:`RetryPolicy`, per-server pieces recover from
+        crashes and hangs the same way active reads do.
+        """
+        if retry is None:
+            replies = yield from self.pvfs.read(fh, offset=offset, size=size)
+            return replies
+        size = fh.size - offset if size is None else size
+        requests = self.pvfs._build_requests(fh, offset, size, IOKind.NORMAL, None, None)
+        replies = yield from self._gather_with_retry(requests, retry)
         return replies
+
+    # -- fault recovery (see repro.faults) ----------------------------------
+    def _gather_with_retry(self, requests: List[IORequest], retry: RetryPolicy):
+        """Drive every per-server piece through recovery (process)."""
+        procs = [
+            self.env.process(self._recover_piece(r, retry)) for r in requests
+        ]
+        try:
+            yield AllOf(self.env, procs)
+        except PVFSError:
+            # One piece gave up: the others keep running — defuse them
+            # so a second late RetryExhausted cannot crash the engine.
+            for proc in procs:
+                proc.defuse()
+            raise
+        return [p.value for p in procs]
+
+    def _recover_piece(self, request: IORequest, retry: RetryPolicy):
+        """Complete one per-server request under faults (process).
+
+        Per attempt: submit, then wait for the reply or the timeout.
+        On timeout or a failed reply, abandon the attempt (cancel
+        server-side so no late answer races the retry), back off
+        exponentially, and re-issue carrying the newest checkpoint —
+        bytes a previous attempt completed are never re-read.
+        """
+        checkpoint: Optional[KernelCheckpoint] = request.resume_from
+        for attempt in range(retry.max_retries + 1):
+            if attempt > 0:
+                self.stats["retries"] += 1
+                yield self.env.timeout(retry.backoff(attempt - 1))
+                request = self.pvfs.reissue(request, resume_from=checkpoint)
+            self.pvfs.submit(request)
+            # Preemptive defuse: if the reply fails *after* the timeout
+            # below already decided the race, nobody would otherwise
+            # handle the failure and the engine would crash the run.
+            request.reply.defuse()
+            deadline = self.env.timeout(retry.timeout)
+            reason = None
+            try:
+                yield AnyOf(self.env, [request.reply, deadline])
+            except PVFSError as err:
+                reason = f"failed: {err}"
+            if reason is None and request.reply.processed and request.reply.ok:
+                # Also covers the same-timestamp race where the timeout
+                # decided the AnyOf but the real reply landed anyway.
+                reply: IOReply = request.reply.value
+                if attempt > 0:
+                    self.stats["requests_recovered"] += 1
+                return reply
+            if reason is None:
+                reason = "timeout"
+                self.stats["retry_timeouts"] += 1
+            else:
+                self.stats["retry_failures"] += 1
+            self.pvfs.server_for(request).cancel(request.rid)
+            self.retry_log.append(
+                {
+                    "time": self.env.now,
+                    "rid": request.rid,
+                    "parent": request.parent_id,
+                    "attempt": attempt,
+                    "reason": reason,
+                }
+            )
+        raise RetryExhausted(
+            f"request {request.rid} ({request.operation or 'normal'}) gave up "
+            f"after {retry.max_retries + 1} attempts"
+        )
 
     # -- demotion completion (paper: "manage the rest of the processing") ----------
     def _finish_demoted(
@@ -166,6 +323,7 @@ class ActiveStorageClient:
         reply: IOReply,
         operation: str,
         meta: Optional[dict],
+        retry: Optional[RetryPolicy] = None,
     ):
         """Normal-read the remaining data and run the client-side PK.
 
@@ -180,7 +338,8 @@ class ActiveStorageClient:
         pieces = slice_extents(reply.extents, done, remaining)
 
         for file_offset, nbytes in pieces:
-            yield from self.pvfs.read(reply.fh, offset=file_offset, size=nbytes)
+            yield from self.read(reply.fh, offset=file_offset, size=nbytes,
+                                 retry=retry)
 
         # Client-side compute at C_{C,op} on this node's cores.
         if remaining > 0:

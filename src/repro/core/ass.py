@@ -62,6 +62,19 @@ class ActiveStorageServer:
         """Route an active request into the runtime."""
         self.runtime.submit(request)
 
+    # -- failure hooks (see repro.faults) ----------------------------------------
+    def on_crash(self, cause: str = "node-crash") -> None:
+        """Forwarded by the I/O server when the node crashes."""
+        self.runtime.on_crash(cause)
+
+    def on_degrade(self, cause: str = "node-degrade") -> None:
+        """Checkpoint/migrate running kernels after a CPU derate."""
+        self.runtime.on_degrade(cause)
+
+    def abort(self, rid: int) -> bool:
+        """Forwarded by the I/O server on client cancellation."""
+        return self.runtime.abort(rid)
+
     @property
     def stats(self) -> dict:
         """Runtime counters (served/demoted/interrupted)."""

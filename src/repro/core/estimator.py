@@ -95,6 +95,14 @@ class DOSASEstimator(ContentionEstimator):
     client_speed_factor:
         Compute-node core speed relative to storage ("the storage node
         and the compute node have the same processing capability" ⇒ 1).
+    stale_probe_timeout:
+        Seconds of probe staleness the CE tolerates before treating
+        the node as unreachable.  When probes are being lost (fault
+        injection) the prober replays old snapshots marked ``stale``;
+        once the newest real data is older than this, the CE stops
+        trusting the node and demotes everything to client-side
+        processing — lost telemetry reads as degradation, never as
+        health.  ``None`` (default) disables the check.
     account_normal_traffic:
         Extension (off by default — the paper's Eq. 4 ignores D_N):
         when the probe shows queued normal-I/O bytes, demoted requests
@@ -117,6 +125,7 @@ class DOSASEstimator(ContentionEstimator):
         degrade_by_cpu: bool = False,
         client_speed_factor: float = 1.0,
         account_normal_traffic: bool = False,
+        stale_probe_timeout: Optional[float] = None,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -129,14 +138,22 @@ class DOSASEstimator(ContentionEstimator):
         self.degrade_by_cpu = degrade_by_cpu
         self.client_speed_factor = float(client_speed_factor)
         self.account_normal_traffic = account_normal_traffic
+        if stale_probe_timeout is not None and stale_probe_timeout <= 0:
+            raise ValueError("stale_probe_timeout must be positive")
+        self.stale_probe_timeout = stale_probe_timeout
         #: Policies generated, for tracing/accuracy evaluation.
         self.policy_log: List[SchedulingPolicy] = []
 
     # -- capability estimation -------------------------------------------------
     def storage_capability(self, op: str, probe: SystemProbe) -> float:
-        """S_{C,op}: max rate, optionally degraded by probed CPU load."""
+        """S_{C,op}: max rate, optionally degraded by probed CPU load.
+
+        Always scaled by the probed core speed fraction: a straggler
+        node honestly advertises less processing capability, which is
+        what steers DOSAS away from offloading to degraded nodes.
+        """
         model = self._model(op)
-        rate = model.rate
+        rate = model.rate * probe.cpu_derate
         if self.degrade_by_cpu:
             # Cores busy with *other* work reduce the share available
             # to a newly scheduled kernel; never below 10 % of max so
@@ -174,6 +191,19 @@ class DOSASEstimator(ContentionEstimator):
         """
         probe = self.prober.probe()
         everything = list(running) + list(requests)
+        if self._node_unreachable(probe):
+            # Telemetry loss reads as degradation: demote everything so
+            # clients stop depending on a node whose state is unknown.
+            policy = SchedulingPolicy(
+                generated_at=self.prober.node.env.now,
+                default=Decision.NORMAL,
+                probe=probe,
+            )
+            for req in everything:
+                policy.decisions[req.rid] = Decision.NORMAL
+            policy.interrupt_running = bool(running)
+            self.policy_log.append(policy)
+            return policy
         if not everything:
             policy = SchedulingPolicy(
                 generated_at=probe.time, default=Decision.ACTIVE, probe=probe
@@ -249,6 +279,13 @@ class DOSASEstimator(ContentionEstimator):
         )
         self.policy_log.append(policy)
         return policy
+
+    def _node_unreachable(self, probe: SystemProbe) -> bool:
+        """True when probe loss has outlasted the staleness budget."""
+        if self.stale_probe_timeout is None or not probe.stale:
+            return False
+        age = self.prober.node.env.now - probe.time
+        return age > self.stale_probe_timeout
 
     @staticmethod
     def _remaining_bytes(req: IORequest) -> float:

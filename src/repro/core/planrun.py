@@ -10,7 +10,7 @@ benchmarks exercise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.sim.engine import Environment
 from repro.sim.events import AllOf
@@ -21,11 +21,14 @@ from repro.kernels.registry import default_registry
 from repro.pvfs.client import PVFSClient
 from repro.pvfs.metadata import MetadataServer
 from repro.pvfs.server import IOServer
-from repro.core.asc import ActiveStorageClient
+from repro.core.asc import ActiveStorageClient, RetryPolicy
 from repro.core.ass import ActiveStorageServer
 from repro.core.runtime import RuntimeConfig
 from repro.core.schemes import Scheme, WorkloadSpec, _build_estimator
 from repro.workload.generator import PlannedRequest, RequestPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.schedule import FaultSchedule
 
 
 @dataclass
@@ -55,6 +58,13 @@ class PlanResult:
     served_active: int = 0
     demoted: int = 0
     interrupted: int = 0
+    #: Fault-run extras (all zero/empty for fault-free runs).
+    retries: int = 0
+    retry_timeouts: int = 0
+    failed_requests: int = 0
+    wasted_bytes: int = 0
+    fault_log: List[Dict[str, Any]] = field(default_factory=list)
+    retry_events: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -78,6 +88,9 @@ def run_plan(
     scheme: Scheme,
     plan: RequestPlan,
     spec: Optional[WorkloadSpec] = None,
+    fault_schedule: Optional["FaultSchedule"] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    max_virtual_time: Optional[float] = None,
 ) -> PlanResult:
     """Run ``plan`` under ``scheme``.
 
@@ -85,10 +98,18 @@ def run_plan(
     jitter…); its per-request fields (kernel, count, size) are ignored
     in favour of the plan's own.  Files are created per request,
     round-robin across storage nodes.
+
+    ``fault_schedule`` / ``retry_policy`` / ``max_virtual_time`` behave
+    as in :func:`~repro.core.schemes.run_scheme`: faults are injected
+    per the schedule, clients retry per the policy, and the run is
+    bounded in virtual time by a watchdog.
     """
     if not len(plan):
         raise ValueError("empty plan")
     spec = spec or WorkloadSpec()
+    retry = retry_policy or (
+        fault_schedule.retry if fault_schedule is not None else None
+    )
 
     env = Environment()
     by_process = plan.by_process()
@@ -117,12 +138,24 @@ def run_plan(
         )
         for server in servers:
             prober = NodeProber(server.node, server.queue_stats)
-            estimator = _build_estimator(scheme, spec, prober, config, registry)
+            estimator = _build_estimator(
+                scheme, spec, prober, config, registry,
+                stale_probe_timeout=(
+                    fault_schedule.stale_probe_timeout
+                    if fault_schedule is not None else None
+                ),
+            )
             asses.append(
                 ActiveStorageServer(
                     env, server, estimator, registry=registry, config=runtime_config
                 )
             )
+
+    injector = None
+    if fault_schedule is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(env, servers, fault_schedule).start()
 
     # One file per planned request.
     handles = {}
@@ -143,6 +176,7 @@ def run_plan(
         handles[id(req)] = mds.open(f.name)
 
     outcomes: List[RequestOutcome] = []
+    ascs: List[ActiveStorageClient] = []
 
     def _process(proc_index: int, requests: List[PlannedRequest]):
         node = topo.compute_node(proc_index % len(topo.compute_nodes))
@@ -151,6 +185,7 @@ def run_plan(
             env, node, client, registry=registry,
             execute_kernels=spec.execute_kernels,
         )
+        ascs.append(asc)
         for req in requests:
             if env.now < req.arrival_time:
                 yield env.timeout(req.arrival_time - env.now)
@@ -159,7 +194,7 @@ def run_plan(
             result = None
             disposition = "normal"
             if req.active and scheme is not Scheme.TS:
-                outcome = yield from asc.read_ex(fh, req.operation)
+                outcome = yield from asc.read_ex(fh, req.operation, retry=retry)
                 result = outcome.result
                 if outcome.demotions == 0:
                     disposition = "offloaded"
@@ -168,7 +203,7 @@ def run_plan(
                 else:
                     disposition = "mixed"
             else:
-                yield from client.read(fh)
+                yield from asc.read(fh, retry=retry)
                 if req.active:
                     # TS: the kernel runs client-side after the read.
                     kernel = registry.get(req.operation)
@@ -184,7 +219,16 @@ def run_plan(
         env.process(_process(i, reqs))
         for i, ((_app, _pidx), reqs) in enumerate(sorted(by_process.items()))
     ]
-    env.run(until=AllOf(env, procs))
+    done = AllOf(env, procs)
+    deadline = max_virtual_time or (
+        fault_schedule.horizon if fault_schedule is not None else None
+    )
+    if deadline is not None:
+        from repro.faults.injector import run_with_watchdog
+
+        run_with_watchdog(env, done, deadline)
+    else:
+        env.run(until=done)
 
     result = PlanResult(scheme=scheme, outcomes=outcomes)
     for ass in asses:
@@ -198,4 +242,13 @@ def run_plan(
             + stats["interrupted"]
         )
         result.interrupted += stats["interrupted"]
+        result.failed_requests += stats["failed"]
+        result.wasted_bytes += stats["wasted_bytes"]
+    result.retries = sum(a.stats["retries"] for a in ascs)
+    result.retry_timeouts = sum(a.stats["retry_timeouts"] for a in ascs)
+    result.retry_events = sorted(
+        (e for a in ascs for e in a.retry_log),
+        key=lambda e: (e["time"], e["rid"], e["attempt"]),
+    )
+    result.fault_log = list(injector.log) if injector is not None else []
     return result

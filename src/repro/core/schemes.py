@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.sim.engine import Environment
 from repro.sim.events import AllOf
@@ -31,9 +31,12 @@ from repro.cluster.topology import ClusterTopology
 from repro.kernels.costs import KernelCostModel
 from repro.kernels.registry import KernelRegistry, default_registry
 from repro.pvfs.client import PVFSClient
-from repro.pvfs.metadata import MetadataServer
+from repro.pvfs.metadata import MetadataServer, PVFSError
 from repro.pvfs.server import IOServer
-from repro.core.asc import ActiveStorageClient
+from repro.core.asc import ActiveStorageClient, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.schedule import FaultSchedule
 from repro.core.ass import ActiveStorageServer
 from repro.core.estimator import (
     AlwaysOffloadEstimator,
@@ -144,11 +147,30 @@ class SchemeResult:
     interrupted: int
     results: List[Any] = field(default_factory=list)
     policy_values: List[float] = field(default_factory=list)
+    #: Fault-run extras (all zero/empty for fault-free runs).
+    retries: int = 0
+    retry_timeouts: int = 0
+    failed_requests: int = 0
+    wasted_bytes: int = 0
+    fault_log: List[Dict[str, Any]] = field(default_factory=list)
+    retry_events: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def mean_latency(self) -> float:
         """Mean per-request completion time."""
         return sum(self.per_request_times) / len(self.per_request_times)
+
+    @property
+    def goodput(self) -> float:
+        """Useful bytes per second of makespan.
+
+        "Useful" counts each requested byte once — retries that re-read
+        or re-process data add wall-clock but no goodput, which is what
+        makes this the headline metric under faults.
+        """
+        if self.makespan <= 0:
+            return float("inf")
+        return self.spec.total_bytes / self.makespan
 
 
 def cost_models_from_registry(registry: KernelRegistry) -> Dict[str, KernelCostModel]:
@@ -170,6 +192,7 @@ def _build_estimator(
     prober: NodeProber,
     config: ClusterConfig,
     registry: KernelRegistry,
+    stale_probe_timeout: Optional[float] = None,
 ) -> ContentionEstimator:
     if scheme is Scheme.AS:
         return AlwaysOffloadEstimator()
@@ -184,6 +207,7 @@ def _build_estimator(
             client_speed_factor=config.compute_spec.core_speed
             / config.storage_spec.core_speed,
             account_normal_traffic=spec.account_normal_traffic,
+            stale_probe_timeout=stale_probe_timeout,
         )
         if spec.estimator_variant == "smoothed":
             from repro.core.estimators_ext import SmoothedDOSASEstimator
@@ -197,9 +221,26 @@ def _build_estimator(
     raise ValueError(f"scheme {scheme} needs no estimator")
 
 
-def run_scheme(scheme: Scheme, spec: WorkloadSpec) -> SchemeResult:
-    """Build the machine, run the workload, collect the numbers."""
+def run_scheme(
+    scheme: Scheme,
+    spec: WorkloadSpec,
+    fault_schedule: Optional["FaultSchedule"] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    max_virtual_time: Optional[float] = None,
+) -> SchemeResult:
+    """Build the machine, run the workload, collect the numbers.
+
+    ``fault_schedule`` injects failures (see ``repro.faults``); the
+    schedule's suggested retry policy protects clients unless
+    ``retry_policy`` overrides it.  Fault runs (and any run with
+    ``max_virtual_time``) execute under a bounded-virtual-time
+    watchdog, so a recovery bug raises ``WatchdogTimeout`` instead of
+    hanging.
+    """
     env = Environment()
+    retry = retry_policy or (
+        fault_schedule.retry if fault_schedule is not None else None
+    )
     n_background = spec.background_readers * spec.n_storage
     config = discfarm_config(
         n_storage=spec.n_storage,
@@ -235,12 +276,24 @@ def run_scheme(scheme: Scheme, spec: WorkloadSpec) -> SchemeResult:
         )
         for server in servers:
             prober = NodeProber(server.node, server.queue_stats)
-            estimator = _build_estimator(scheme, spec, prober, config, registry)
+            estimator = _build_estimator(
+                scheme, spec, prober, config, registry,
+                stale_probe_timeout=(
+                    fault_schedule.stale_probe_timeout
+                    if fault_schedule is not None else None
+                ),
+            )
             asses.append(
                 ActiveStorageServer(
                     env, server, estimator, registry=registry, config=runtime_config
                 )
             )
+
+    injector = None
+    if fault_schedule is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(env, servers, fault_schedule).start()
 
     # One file per request, wholly resident on its home server.
     meta = (
@@ -263,22 +316,9 @@ def run_scheme(scheme: Scheme, spec: WorkloadSpec) -> SchemeResult:
     # One requesting process per compute node (paper: "each process
     # requests one I/O operation at a time").
     client_rate = kernel.rate * config.compute_spec.core_speed
+    ascs: List[ActiveStorageClient] = []
 
-    def _ts_request(i: int):
-        node = topo.compute_node(i)
-        client = PVFSClient(env, node, servers, mds)
-        if spec.arrival_spacing:
-            yield env.timeout(spec.arrival_spacing * i)
-        yield from client.read(handles[i])
-        yield from node.cpu.compute(float(spec.request_bytes), client_rate)
-        result = None
-        if spec.execute_kernels:
-            file = mds.lookup(handles[i].name)
-            data = file.read_bytes_as_array(0, spec.request_bytes, dtype=kernel.dtype)
-            result = kernel.apply(data, meta=meta)
-        return (env.now, result)
-
-    def _active_request(i: int):
+    def _make_asc(i: int) -> ActiveStorageClient:
         node = topo.compute_node(i)
         client = PVFSClient(env, node, servers, mds)
         asc = ActiveStorageClient(
@@ -288,9 +328,29 @@ def run_scheme(scheme: Scheme, spec: WorkloadSpec) -> SchemeResult:
             registry=registry,
             execute_kernels=spec.execute_kernels,
         )
+        ascs.append(asc)
+        return asc
+
+    def _ts_request(i: int):
+        asc = _make_asc(i)
         if spec.arrival_spacing:
             yield env.timeout(spec.arrival_spacing * i)
-        outcome = yield from asc.read_ex(handles[i], spec.kernel, meta=meta)
+        yield from asc.read(handles[i], retry=retry)
+        yield from asc.node.cpu.compute(float(spec.request_bytes), client_rate)
+        result = None
+        if spec.execute_kernels:
+            file = mds.lookup(handles[i].name)
+            data = file.read_bytes_as_array(0, spec.request_bytes, dtype=kernel.dtype)
+            result = kernel.apply(data, meta=meta)
+        return (env.now, result)
+
+    def _active_request(i: int):
+        asc = _make_asc(i)
+        if spec.arrival_spacing:
+            yield env.timeout(spec.arrival_spacing * i)
+        outcome = yield from asc.read_ex(
+            handles[i], spec.kernel, meta=meta, retry=retry
+        )
         return (env.now, outcome)
 
     # Background normal readers (Figure 1's normal-I/O share of the
@@ -310,7 +370,10 @@ def run_scheme(scheme: Scheme, spec: WorkloadSpec) -> SchemeResult:
     def _background_reader(j: int):
         node = topo.compute_node(spec.total_requests + j)
         client = PVFSClient(env, node, servers, mds)
-        yield from client.read(background_handles[j])
+        try:
+            yield from client.read(background_handles[j])
+        except PVFSError:
+            pass  # background traffic lost to an injected fault is just gone
         return env.now
 
     # Background readers are created FIRST so their transfers sit at
@@ -321,7 +384,16 @@ def run_scheme(scheme: Scheme, spec: WorkloadSpec) -> SchemeResult:
         env.process(_background_reader(j))
     maker = _ts_request if scheme is Scheme.TS else _active_request
     procs = [env.process(maker(i)) for i in range(spec.total_requests)]
-    env.run(until=AllOf(env, procs))
+    done = AllOf(env, procs)
+    deadline = max_virtual_time or (
+        fault_schedule.horizon if fault_schedule is not None else None
+    )
+    if deadline is not None:
+        from repro.faults.injector import run_with_watchdog
+
+        run_with_watchdog(env, done, deadline)
+    else:
+        env.run(until=done)
 
     finish_times = [p.value[0] for p in procs]
     outcomes = [p.value[1] for p in procs]
@@ -354,6 +426,17 @@ def run_scheme(scheme: Scheme, spec: WorkloadSpec) -> SchemeResult:
         else:
             results = [o.result for o in outcomes]
 
+    retries = sum(a.stats["retries"] for a in ascs)
+    retry_timeouts = sum(a.stats["retry_timeouts"] for a in ascs)
+    retry_events = sorted(
+        (e for a in ascs for e in a.retry_log),
+        key=lambda e: (e["time"], e["rid"], e["attempt"]),
+    )
+    failed_requests = wasted_bytes = 0
+    for ass in asses:
+        failed_requests += ass.stats["failed"]
+        wasted_bytes += ass.stats["wasted_bytes"]
+
     return SchemeResult(
         scheme=scheme,
         spec=spec,
@@ -365,4 +448,10 @@ def run_scheme(scheme: Scheme, spec: WorkloadSpec) -> SchemeResult:
         interrupted=interrupted,
         results=results,
         policy_values=policy_values,
+        retries=retries,
+        retry_timeouts=retry_timeouts,
+        failed_requests=failed_requests,
+        wasted_bytes=wasted_bytes,
+        fault_log=list(injector.log) if injector is not None else [],
+        retry_events=retry_events,
     )

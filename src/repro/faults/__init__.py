@@ -1,0 +1,59 @@
+"""Deterministic fault injection and the failure scenario library.
+
+The DOSAS paper treats resource contention as the enemy; this
+subpackage extends the reproduction with the *failure* side of a real
+deployment — crashed storage nodes, straggler CPUs, cut links, hung
+kernels and lost probes — so the recovery machinery (client retry with
+checkpointed re-issue, runtime checkpoint-and-migrate, estimator
+demotion on stale telemetry) can be exercised end to end.
+
+Layers (bottom-up):
+
+``repro.sim``
+    ``Failure`` interrupts, ``Resource.suspend``/``resume_service``.
+``repro.cluster``
+    ``CpuCores.derate``, ``Link.degrade/partition/heal``,
+    ``NodeProber.suppress_until`` + stale probes.
+``repro.pvfs``
+    ``IOServer.crash/restart/cancel``, failed replies.
+``repro.core``
+    Runtime ``on_crash/on_degrade/abort/stall_running``; ASC
+    ``RetryPolicy`` recovery; estimator staleness demotion.
+``repro.faults`` (this package)
+    :class:`FaultSchedule` + :class:`FaultInjector` + the scenario
+    library + the bounded-virtual-time watchdog.
+
+See ``docs/failure_model.md`` for the full design.
+"""
+
+from repro.faults.schedule import (
+    SCENARIOS,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    chaos,
+    crash_restart,
+    degraded_node,
+    kernel_stall,
+    partition,
+    probe_loss,
+    scenario,
+)
+from repro.faults.injector import FaultInjector, WatchdogTimeout, run_with_watchdog
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "SCENARIOS",
+    "WatchdogTimeout",
+    "chaos",
+    "crash_restart",
+    "degraded_node",
+    "kernel_stall",
+    "partition",
+    "probe_loss",
+    "run_with_watchdog",
+    "scenario",
+]

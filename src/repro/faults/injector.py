@@ -1,0 +1,171 @@
+"""The fault injector: turns a :class:`FaultSchedule` into failures.
+
+One :class:`FaultInjector` owns one deployment's I/O servers.  Its
+timeline process sleeps until each scheduled :class:`FaultEvent` and
+applies it through the failure hooks the rest of the stack exposes:
+
+========================  ====================================================
+kind                      mechanism
+========================  ====================================================
+``CRASH`` / ``RESTART``   :meth:`IOServer.crash` / :meth:`IOServer.restart`
+``CPU_DEGRADE``           :meth:`CpuCores.derate`, then the runtime's
+                          ``on_degrade`` checkpoint-and-migrate sweep
+``CPU_RESTORE``           :meth:`CpuCores.restore` + a policy refresh
+``LINK_DEGRADE``/…        :meth:`Link.degrade` / ``restore`` /
+                          ``partition`` / ``heal``
+``KERNEL_STALL``          the runtime's ``stall_running`` (kernels die
+                          silently; client timeouts recover the work)
+``PROBE_LOSS``            :meth:`NodeProber.suppress_until`
+========================  ====================================================
+
+Everything applied is recorded in :attr:`FaultInjector.log` for the
+analysis layer.
+
+:func:`run_with_watchdog` bounds a simulation in *virtual* time so a
+recovery bug shows up as a :class:`WatchdogTimeout`, never as a hung
+test run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sim.engine import Environment
+from repro.sim.events import AnyOf, Event
+from repro.sim.exceptions import SimulationError
+from repro.pvfs.server import IOServer
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+
+class WatchdogTimeout(SimulationError):
+    """The simulation failed to finish inside the virtual-time budget."""
+
+
+class FaultInjector:
+    """Applies a schedule's events to a set of I/O servers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        servers: Sequence[IOServer],
+        schedule: FaultSchedule,
+    ) -> None:
+        if not servers:
+            raise ValueError("need at least one I/O server to inject into")
+        self.env = env
+        self.servers = list(servers)
+        self.schedule = schedule
+        #: Applied events: dicts with time/kind/target/detail.
+        self.log: List[Dict[str, Any]] = []
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "FaultInjector":
+        """Launch the timeline process (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.env.process(self._timeline())
+        return self
+
+    def _timeline(self):
+        for ev in self.schedule.timeline():
+            if ev.at > self.env.now:
+                yield self.env.timeout(ev.at - self.env.now)
+            self._apply(ev)
+
+    # -- application ---------------------------------------------------------
+    def _server(self, ev: FaultEvent) -> IOServer:
+        return self.servers[ev.target % len(self.servers)]
+
+    @staticmethod
+    def _runtime(server: IOServer):
+        """The node's Active I/O Runtime, if an ASS is attached.
+
+        Duck-typed: anything exposing the failure hooks works, so the
+        injector needs no import of (and no dependency on) the core
+        layer.
+        """
+        handler = server.active_handler
+        if handler is None:
+            return None
+        return getattr(handler, "runtime", handler)
+
+    @staticmethod
+    def _prober(server: IOServer):
+        """The estimator's prober for this node, when discoverable."""
+        handler = server.active_handler
+        estimator = getattr(handler, "estimator", None)
+        return getattr(estimator, "prober", None)
+
+    def _apply(self, ev: FaultEvent) -> None:
+        server = self._server(ev)
+        runtime = self._runtime(server)
+        detail: Optional[str] = None
+        kind = ev.kind
+
+        if kind is FaultKind.CRASH:
+            server.crash()
+        elif kind is FaultKind.RESTART:
+            server.restart()
+        elif kind is FaultKind.CPU_DEGRADE:
+            server.node.cpu.derate(ev.factor)
+            detail = f"factor={ev.factor}"
+            if runtime is not None and hasattr(runtime, "on_degrade"):
+                runtime.on_degrade("node-degrade")
+        elif kind is FaultKind.CPU_RESTORE:
+            server.node.cpu.restore()
+            if runtime is not None and hasattr(runtime, "refresh_policy"):
+                runtime.refresh_policy()
+        elif kind is FaultKind.LINK_DEGRADE:
+            server.link.degrade(ev.factor)
+            detail = f"factor={ev.factor}"
+        elif kind is FaultKind.LINK_RESTORE:
+            server.link.restore()
+        elif kind is FaultKind.PARTITION:
+            server.link.partition()
+        elif kind is FaultKind.HEAL:
+            server.link.heal()
+        elif kind is FaultKind.KERNEL_STALL:
+            stalled = 0
+            if runtime is not None and hasattr(runtime, "stall_running"):
+                stalled = runtime.stall_running()
+            detail = f"stalled={stalled}"
+        elif kind is FaultKind.PROBE_LOSS:
+            prober = self._prober(server)
+            if prober is not None:
+                prober.suppress_until(self.env.now + float(ev.duration))
+                detail = f"until={self.env.now + float(ev.duration):.3f}"
+            else:
+                detail = "no-prober"
+        else:  # pragma: no cover - exhaustive over FaultKind
+            raise ValueError(f"unhandled fault kind {kind}")
+
+        entry: Dict[str, Any] = {
+            "time": self.env.now,
+            "kind": kind.value,
+            "target": ev.target % len(self.servers),
+        }
+        if detail:
+            entry["detail"] = detail
+        self.log.append(entry)
+
+
+def run_with_watchdog(env: Environment, done: Event, deadline: float):
+    """Run until ``done`` or declare a deadlock after ``deadline``.
+
+    The deadline is *virtual* seconds.  Returns ``done``'s value on
+    success; raises :class:`WatchdogTimeout` when the deadline passes
+    first — which is how the recovery-invariant tests turn a lost
+    reply or a stuck retry loop into a crisp failure instead of a
+    simulation that silently runs out of events.
+    """
+    if deadline <= 0:
+        raise ValueError("deadline must be positive")
+    timer = env.timeout(deadline)
+    env.run(until=AnyOf(env, [done, timer]))
+    if not done.processed:
+        raise WatchdogTimeout(
+            f"simulation did not complete within {deadline} virtual seconds "
+            f"(now={env.now})"
+        )
+    return done.value

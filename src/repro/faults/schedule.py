@@ -1,0 +1,351 @@
+"""Fault schedules: deterministic, seeded descriptions of *what breaks when*.
+
+A :class:`FaultSchedule` is pure data — a named, ordered list of
+:class:`FaultEvent` records plus the client-side
+:class:`~repro.core.asc.RetryPolicy` and watchdog horizon suggested for
+running under it.  The :class:`~repro.faults.injector.FaultInjector`
+turns the schedule into simulation processes that manipulate storage
+nodes, links, runtimes and probers through their failure hooks.
+
+The scenario library (:data:`SCENARIOS` / :func:`scenario`) provides
+the canonical end-to-end failure stories the tests, the CLI
+(``repro run --faults <name>``) and the degradation benchmark share:
+
+``degraded-node``
+    One storage node becomes a straggler (CPU derate) mid-run, then
+    recovers.  Running kernels checkpoint and migrate; DOSAS demotes
+    new work away from the slow node while AS keeps offloading to it.
+``crash-restart``
+    One storage node dies, failing its queue, and comes back later.
+    Clients retry with exponential backoff until the restart.
+``partition``
+    One node's NIC is cut and later healed; in-flight transfers stall.
+``kernel-stall``
+    Every kernel running at the fault instant hangs silently — only
+    the client timeout can recover the work.
+``probe-loss``
+    The Contention Estimator's probes are lost for a window; stale
+    telemetry must read as degradation (demote to TS).
+``chaos``
+    A seeded random mix of the above for soak-style testing.
+
+Everything is deterministic: the only randomness is a
+``random.Random(seed)`` inside :func:`chaos`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.asc import RetryPolicy
+
+
+class FaultKind(enum.Enum):
+    """Primitive fault actions the injector knows how to apply."""
+
+    #: Hard-fail a storage node: queue dies, intake stops.
+    CRASH = "crash"
+    #: Bring a crashed node back (empty queue).
+    RESTART = "restart"
+    #: Slow the node's cores to ``factor`` × nominal (straggler).
+    CPU_DEGRADE = "cpu-degrade"
+    #: Return the cores to nominal speed.
+    CPU_RESTORE = "cpu-restore"
+    #: Reduce the node's NIC to ``factor`` × nominal bandwidth.
+    LINK_DEGRADE = "link-degrade"
+    #: Return the NIC to nominal bandwidth.
+    LINK_RESTORE = "link-restore"
+    #: Cut the node's NIC entirely.
+    PARTITION = "partition"
+    #: Reconnect a partitioned NIC.
+    HEAL = "heal"
+    #: Hang every kernel running on the node right now (one-shot).
+    KERNEL_STALL = "kernel-stall"
+    #: Lose the estimator's probes for ``duration`` seconds.
+    PROBE_LOSS = "probe-loss"
+
+
+#: kind → the kind that undoes it (for ``duration`` expansion).
+_REVERSE: Dict[FaultKind, FaultKind] = {
+    FaultKind.CRASH: FaultKind.RESTART,
+    FaultKind.CPU_DEGRADE: FaultKind.CPU_RESTORE,
+    FaultKind.LINK_DEGRADE: FaultKind.LINK_RESTORE,
+    FaultKind.PARTITION: FaultKind.HEAL,
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    Attributes
+    ----------
+    at:
+        Simulated time the action fires.
+    kind:
+        What happens (see :class:`FaultKind`).
+    target:
+        Storage-node index the action hits (modulo the deployment
+        size, so schedules written for one topology run on any).
+    factor:
+        Derate factor for CPU/link degradation, in (0, 1].
+    duration:
+        For reversible kinds: the matching restore fires at
+        ``at + duration`` automatically.  For ``PROBE_LOSS`` it is the
+        suppression window itself.  ``None`` leaves the fault standing
+        (schedule an explicit reverse event to undo it).
+    """
+
+    at: float
+    kind: FaultKind
+    target: int = 0
+    factor: float = 0.5
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at}")
+        if not 0 < self.factor <= 1:
+            raise ValueError(f"factor must lie in (0, 1], got {self.factor}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.kind is FaultKind.PROBE_LOSS and self.duration is None:
+            raise ValueError("probe-loss needs a duration")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, immutable fault timeline plus suggested run parameters.
+
+    Attributes
+    ----------
+    name:
+        Scenario name (shows up in logs and result records).
+    events:
+        The fault actions, in any order; :meth:`timeline` sorts them.
+    retry:
+        Client-side retry policy sized for this scenario.
+    horizon:
+        Watchdog deadline in simulated seconds: a run that has not
+        completed by then is declared deadlocked.
+    stale_probe_timeout:
+        Suggested estimator staleness budget (see
+        :class:`~repro.core.estimator.DOSASEstimator`).
+    """
+
+    name: str
+    events: Tuple[FaultEvent, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    horizon: float = 300.0
+    stale_probe_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    def timeline(self) -> Tuple[FaultEvent, ...]:
+        """Primitive actions in firing order, ``duration`` expanded.
+
+        Reversible events with a duration contribute their automatic
+        restore action; ``PROBE_LOSS`` keeps its duration (consumed by
+        the injector directly).  Ties break on (kind, target) so the
+        ordering — and therefore the whole run — is deterministic.
+        """
+        expanded: List[FaultEvent] = []
+        for ev in self.events:
+            expanded.append(ev)
+            if ev.duration is not None and ev.kind in _REVERSE:
+                expanded.append(
+                    FaultEvent(
+                        at=ev.at + ev.duration,
+                        kind=_REVERSE[ev.kind],
+                        target=ev.target,
+                    )
+                )
+        expanded.sort(key=lambda e: (e.at, e.kind.value, e.target))
+        return tuple(expanded)
+
+
+# -- scenario library ---------------------------------------------------------
+
+def degraded_node(
+    at: float = 1.0,
+    duration: Optional[float] = None,
+    factor: float = 0.25,
+    target: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    horizon: float = 300.0,
+) -> FaultSchedule:
+    """One storage node turns straggler; optionally recovers later."""
+    return FaultSchedule(
+        name="degraded-node",
+        events=(
+            FaultEvent(
+                at=at, kind=FaultKind.CPU_DEGRADE, target=target,
+                factor=factor, duration=duration,
+            ),
+        ),
+        retry=retry or RetryPolicy(timeout=30.0, max_retries=4),
+        horizon=horizon,
+    )
+
+
+def crash_restart(
+    at: float = 1.0,
+    downtime: float = 2.0,
+    target: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    horizon: float = 300.0,
+) -> FaultSchedule:
+    """One storage node dies at ``at`` and restarts ``downtime`` later."""
+    return FaultSchedule(
+        name="crash-restart",
+        events=(
+            FaultEvent(
+                at=at, kind=FaultKind.CRASH, target=target, duration=downtime
+            ),
+        ),
+        retry=retry
+        or RetryPolicy(timeout=5.0, max_retries=6, backoff_base=0.25,
+                       backoff_cap=2.0),
+        horizon=horizon,
+    )
+
+
+def partition(
+    at: float = 1.0,
+    duration: float = 2.0,
+    target: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    horizon: float = 300.0,
+) -> FaultSchedule:
+    """One node's NIC is cut for ``duration`` seconds, then healed."""
+    return FaultSchedule(
+        name="partition",
+        events=(
+            FaultEvent(
+                at=at, kind=FaultKind.PARTITION, target=target, duration=duration
+            ),
+        ),
+        retry=retry
+        or RetryPolicy(timeout=max(4.0, 1.5 * duration), max_retries=4,
+                       backoff_base=0.5, backoff_cap=2.0),
+        horizon=horizon,
+    )
+
+
+def kernel_stall(
+    at: float = 1.0,
+    target: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    horizon: float = 300.0,
+) -> FaultSchedule:
+    """Kernels running at ``at`` hang; only client timeouts recover."""
+    return FaultSchedule(
+        name="kernel-stall",
+        events=(FaultEvent(at=at, kind=FaultKind.KERNEL_STALL, target=target),),
+        retry=retry
+        or RetryPolicy(timeout=4.0, max_retries=4, backoff_base=0.25,
+                       backoff_cap=1.0),
+        horizon=horizon,
+    )
+
+
+def probe_loss(
+    at: float = 1.0,
+    duration: float = 3.0,
+    target: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    horizon: float = 300.0,
+    stale_probe_timeout: float = 0.5,
+) -> FaultSchedule:
+    """Estimator probes are lost for a window; stale state must demote."""
+    return FaultSchedule(
+        name="probe-loss",
+        events=(
+            FaultEvent(
+                at=at, kind=FaultKind.PROBE_LOSS, target=target, duration=duration
+            ),
+        ),
+        retry=retry or RetryPolicy(timeout=30.0, max_retries=2),
+        horizon=horizon,
+        stale_probe_timeout=stale_probe_timeout,
+    )
+
+
+def chaos(
+    seed: int = 0,
+    n_events: int = 6,
+    span: float = 8.0,
+    n_targets: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    horizon: float = 600.0,
+) -> FaultSchedule:
+    """A seeded random mix of recoverable faults over ``span`` seconds.
+
+    Only self-healing events are drawn (everything carries a duration),
+    so any workload eventually completes — the recovery-invariant test
+    leans on that.
+    """
+    rng = random.Random(seed)
+    kinds = [
+        FaultKind.CRASH,
+        FaultKind.CPU_DEGRADE,
+        FaultKind.LINK_DEGRADE,
+        FaultKind.PARTITION,
+        FaultKind.KERNEL_STALL,
+    ]
+    events: List[FaultEvent] = []
+    for _ in range(n_events):
+        kind = rng.choice(kinds)
+        at = round(rng.uniform(0.2, span), 3)
+        target = rng.randrange(max(1, n_targets))
+        if kind is FaultKind.KERNEL_STALL:
+            events.append(FaultEvent(at=at, kind=kind, target=target))
+        else:
+            events.append(
+                FaultEvent(
+                    at=at,
+                    kind=kind,
+                    target=target,
+                    factor=round(rng.uniform(0.2, 0.8), 3),
+                    duration=round(rng.uniform(0.5, 2.5), 3),
+                )
+            )
+    return FaultSchedule(
+        name=f"chaos-{seed}",
+        events=tuple(events),
+        retry=retry
+        or RetryPolicy(timeout=4.0, max_retries=8, backoff_base=0.25,
+                       backoff_cap=2.0),
+        horizon=horizon,
+    )
+
+
+#: name → factory.  ``scenario(name, **overrides)`` is the front door.
+SCENARIOS: Dict[str, Callable[..., FaultSchedule]] = {
+    "degraded-node": degraded_node,
+    "crash-restart": crash_restart,
+    "partition": partition,
+    "kernel-stall": kernel_stall,
+    "probe-loss": probe_loss,
+    "chaos": chaos,
+}
+
+
+def scenario(name: str, **overrides) -> FaultSchedule:
+    """Build a library scenario, overriding factory parameters.
+
+    ``scenario("crash-restart", at=0.5, downtime=1.0)`` — tests use the
+    overrides to scale fault timings to small workloads.
+    """
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+    return factory(**overrides)

@@ -17,7 +17,12 @@ from repro.pvfs.layout import StripeLayout, StripeExtent
 from repro.pvfs.filehandle import FileHandle, PVFSFile, SyntheticData
 from repro.pvfs.metadata import MetadataServer, PVFSError
 from repro.pvfs.requests import IOKind, IOReply, IORequest
-from repro.pvfs.server import IOServer
+from repro.pvfs.server import (
+    IOServer,
+    ServerCrashed,
+    ServerFault,
+    ServerUnavailable,
+)
 from repro.pvfs.client import PVFSClient
 
 __all__ = [
@@ -30,6 +35,9 @@ __all__ = [
     "PVFSClient",
     "PVFSError",
     "PVFSFile",
+    "ServerCrashed",
+    "ServerFault",
+    "ServerUnavailable",
     "StripeExtent",
     "StripeLayout",
     "SyntheticData",

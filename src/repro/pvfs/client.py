@@ -164,11 +164,54 @@ class PVFSClient:
         return self._scatter_gather(requests)
 
     # -- transport -------------------------------------------------------------
+    def server_for(self, request: IORequest) -> IOServer:
+        """The I/O server that owns this request's stripes."""
+        server_idx = request.fh.layout.server_of(request.offset)
+        return self.servers[server_idx % len(self.servers)]
+
+    def submit(self, request: IORequest) -> IOServer:
+        """Route one request to its stripe server and return the server.
+
+        The retry machinery in the ASC submits pieces individually so
+        it can attach its own timeout to each reply.
+        """
+        server = self.server_for(request)
+        server.submit(request)
+        return server
+
+    def reissue(
+        self,
+        request: IORequest,
+        resume_from: Optional[KernelCheckpoint] = None,
+    ) -> IORequest:
+        """Clone ``request`` for a retry: fresh id, fresh reply event.
+
+        ``resume_from`` carries the latest checkpoint so the server
+        (or a demotion-finishing client) continues from exactly where
+        the failed attempt left off — completed bytes are never
+        re-read.  Without one, the original request's checkpoint (if
+        any) is preserved.
+        """
+        return IORequest(
+            rid=next_request_id(),
+            parent_id=request.parent_id,
+            kind=request.kind,
+            fh=request.fh,
+            offset=request.offset,
+            size=request.size,
+            operation=request.operation,
+            client_name=request.client_name,
+            reply=self.env.event(),
+            submitted_at=self.env.now,
+            meta=dict(request.meta),
+            resume_from=resume_from if resume_from is not None else request.resume_from,
+            extents=request.extents,
+        )
+
     def _scatter_gather(self, requests: List[IORequest]):
         """Submit per-server requests, wait for every reply (process)."""
         for request in requests:
-            server_idx = request.fh.layout.server_of(request.offset)
-            self.servers[server_idx % len(self.servers)].submit(request)
+            self.submit(request)
 
         yield AllOf(self.env, [r.reply for r in requests])
         replies: List[IOReply] = [r.reply.value for r in requests]

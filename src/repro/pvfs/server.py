@@ -17,12 +17,26 @@ from __future__ import annotations
 from typing import Dict, Optional, Protocol, Tuple
 
 from repro.sim.engine import Environment
+from repro.sim.exceptions import Failure
 from repro.sim.monitor import Monitor
+from repro.sim.process import Process
 from repro.cluster.config import ClusterConfig
 from repro.cluster.network import Link
 from repro.cluster.node import StorageNode
 from repro.pvfs.metadata import MetadataServer, PVFSError
 from repro.pvfs.requests import IOKind, IOReply, IORequest
+
+
+class ServerFault(PVFSError):
+    """Base class for failure-injected server-side errors."""
+
+
+class ServerCrashed(ServerFault):
+    """The server crashed with this request in its queue."""
+
+
+class ServerUnavailable(ServerFault):
+    """The server is down and rejected a new request."""
 
 
 class ActiveHandler(Protocol):
@@ -54,6 +68,11 @@ class IOServer:
         #: Accepted requests not yet replied — the Figure-1 I/O queue.
         self.outstanding: Dict[int, IORequest] = {}
         self.monitor = Monitor()
+        #: True while crashed: new requests are rejected.
+        self.down = False
+        #: Serving process per rid for normal/write requests, so a
+        #: crash or client cancellation can interrupt them mid-service.
+        self._service: Dict[int, Process] = {}
 
     # -- wiring ---------------------------------------------------------------
     def attach_active_handler(self, handler: ActiveHandler) -> None:
@@ -69,14 +88,24 @@ class IOServer:
         """
         if request.rid in self.outstanding:
             raise PVFSError(f"duplicate request id {request.rid}")
+        if self.down:
+            # A crashed server answers nothing; model the connection
+            # refusal as an immediate failed reply so clients can retry.
+            self.monitor.count("requests_rejected")
+            request.reply.fail(
+                ServerUnavailable(
+                    f"server {self.node.name} is down (request {request.rid})"
+                )
+            )
+            return
         self.outstanding[request.rid] = request
         self.monitor.count("requests_received")
         self.monitor.count(f"requests_{request.kind.value}")
 
         if request.kind is IOKind.NORMAL:
-            self.env.process(self._serve_normal(request))
+            self._service[request.rid] = self.env.process(self._serve_normal(request))
         elif request.kind is IOKind.WRITE:
-            self.env.process(self._serve_write(request))
+            self._service[request.rid] = self.env.process(self._serve_write(request))
         else:
             if self.active_handler is None:
                 raise PVFSError(
@@ -85,11 +114,82 @@ class IOServer:
                 )
             self.active_handler.submit(request)
 
+    # -- failure hooks (see repro.faults) ------------------------------------
+    def crash(self, cause: str = "node-crash") -> None:
+        """Hard-fail the node: every queued request dies, intake stops.
+
+        In-flight normal/write service processes are interrupted, the
+        active handler (when attached) drops its queued and running
+        kernels, and every outstanding reply fails with
+        :class:`ServerCrashed` so clients learn immediately — matching
+        a connection reset from a dead peer.  Idempotent.
+        """
+        if self.down:
+            return
+        self.down = True
+        self.monitor.count("crashes")
+        for proc in list(self._service.values()):
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.interrupt(cause, exc_type=Failure)
+        self._service.clear()
+        handler = self.active_handler
+        if handler is not None and hasattr(handler, "on_crash"):
+            handler.on_crash(cause)
+        victims = list(self.outstanding.values())
+        self.outstanding.clear()
+        for req in victims:
+            if not req.reply.triggered:
+                req.reply.fail(
+                    ServerCrashed(
+                        f"server {self.node.name} crashed holding request {req.rid}"
+                    )
+                )
+        self.monitor.record("queue_length", self.env.now, 0)
+
+    def restart(self) -> None:
+        """Bring a crashed server back with an empty queue.  Idempotent."""
+        if not self.down:
+            return
+        self.down = False
+        self.monitor.count("restarts")
+
+    def cancel(self, rid: int) -> bool:
+        """Client-initiated abandonment (timeout path, before reissue).
+
+        Drops the request without delivering any reply — the client has
+        already defused and stopped listening on the reply event.
+        Returns True if the request was still queued here.
+        """
+        request = self.outstanding.pop(rid, None)
+        proc = self._service.pop(rid, None)
+        if proc is not None and proc.is_alive and proc is not self.env.active_process:
+            proc.interrupt("client-cancel", exc_type=Failure)
+        handler = self.active_handler
+        if (
+            request is not None
+            and request.is_active
+            and handler is not None
+            and hasattr(handler, "abort")
+        ):
+            handler.abort(rid)
+        if request is not None:
+            self.monitor.count("requests_cancelled")
+            self.monitor.record("queue_length", self.env.now, len(self.outstanding))
+        return request is not None
+
     # -- normal I/O path -----------------------------------------------------------
     def _serve_normal(self, request: IORequest):
-        if self.config.model_disk:
-            yield from self.node.disk_read(request.size)
-        yield self.link.transfer(request.size)
+        try:
+            if self.config.model_disk:
+                yield from self.node.disk_read(request.size)
+            yield self.link.transfer(request.size)
+        except Failure:
+            # Crash or cancellation mid-service: whoever interrupted us
+            # already removed the request and settled (or abandoned)
+            # the reply — just stop.
+            return
+        finally:
+            self._service.pop(request.rid, None)
         reply = IOReply(
             rid=request.rid,
             completed=True,
@@ -107,9 +207,14 @@ class IOServer:
     def _serve_write(self, request: IORequest):
         """Ingest data: the transfer crosses the same NIC, then the
         bytes land in the file's buffer (when one exists)."""
-        yield self.link.transfer(request.size)
-        if self.config.model_disk:
-            yield from self.node.disk_read(request.size)  # symmetric cost
+        try:
+            yield self.link.transfer(request.size)
+            if self.config.model_disk:
+                yield from self.node.disk_read(request.size)  # symmetric cost
+        except Failure:
+            return
+        finally:
+            self._service.pop(request.rid, None)
         if request.payload is not None:
             file = self.mds.lookup(request.fh.name)
             cursor = 0
@@ -139,6 +244,10 @@ class IOServer:
         Also the completion entry point for the active handler.
         """
         if self.outstanding.pop(request.rid, None) is None:
+            if request.reply.triggered:
+                # Late completion of a request that crashed away or was
+                # answered through another path — drop silently.
+                return
             raise PVFSError(f"finishing unknown request {request.rid}")
         self.monitor.count("requests_completed")
         self.monitor.count("bytes_streamed", reply.bytes_streamed)

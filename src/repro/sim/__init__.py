@@ -19,9 +19,11 @@ Public surface
     processes.
 ``Event``, ``Timeout``, ``Process``, ``AllOf``, ``AnyOf``
     Waitable objects.
-``Interrupt``
-    Exception raised inside a process when another process interrupts
-    it (used by the Active I/O Runtime to preempt running kernels).
+``Interrupt``, ``Failure``
+    Exceptions raised inside a process when another process interrupts
+    it — ``Interrupt`` for scheduling decisions (the Active I/O Runtime
+    preempting a kernel), ``Failure`` for injected component failures
+    (crash, degrade, cancellation; see ``repro.faults``).
 ``Resource``, ``PriorityResource``, ``Container``, ``Store``
     Shared-resource primitives used to model CPU cores, NIC links and
     I/O queues.
@@ -29,7 +31,7 @@ Public surface
     Statistics helpers.
 """
 
-from repro.sim.exceptions import Interrupt, SimulationError, StopProcess
+from repro.sim.exceptions import Failure, Interrupt, SimulationError, StopProcess
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -58,6 +60,7 @@ __all__ = [
     "Container",
     "Environment",
     "Event",
+    "Failure",
     "FilterStore",
     "Interrupt",
     "Monitor",

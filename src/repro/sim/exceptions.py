@@ -53,3 +53,30 @@ class Interrupt(Exception):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"Interrupt({self.cause!r})"
+
+
+class Failure(Interrupt):
+    """An interrupt whose cause is a *component failure*, not a
+    scheduling decision.
+
+    The fault-injection subsystem (``repro.faults``) delivers node
+    crashes, degradation signals and client-side cancellations into
+    running processes as ``Failure`` so handlers can distinguish "the
+    policy demoted you — checkpoint and migrate" (plain
+    :class:`Interrupt`) from "the component you were running on broke"
+    and react accordingly (drop silently on crash, checkpoint and
+    migrate on degrade, abort on cancel).
+
+    ``cause`` carries the failure kind — by convention one of the
+    string constants used by ``repro.core.runtime`` ("node-crash",
+    "node-degrade", "client-cancel", "kernel-stall") or a richer
+    payload from the injector.
+    """
+
+    @property
+    def kind(self) -> Any:
+        """Alias of :attr:`cause` — the failure kind."""
+        return self.args[0]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Failure({self.cause!r})"

@@ -56,23 +56,29 @@ class Process(Event):
         return self._target
 
     # -- interruption -------------------------------------------------------
-    def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into this process.
+    def interrupt(self, cause: Any = None, exc_type: type = Interrupt) -> None:
+        """Throw :class:`Interrupt` (or a subclass) into this process.
 
         The interrupt is delivered asynchronously via an urgent
         zero-delay event so that an interrupter running at the same
         timestamp does not re-enter the target's frame directly.
         Interrupting a dead process raises ``SimulationError``;
         interrupting yourself is forbidden (it could not be delivered).
+
+        ``exc_type`` selects the exception class — pass
+        :class:`~repro.sim.exceptions.Failure` to signal a component
+        failure rather than a scheduling decision.
         """
         if not self.is_alive:
             raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
         if self is self.env.active_process:
             raise SimulationError("a process is not allowed to interrupt itself")
+        if not (isinstance(exc_type, type) and issubclass(exc_type, Interrupt)):
+            raise TypeError(f"exc_type must be an Interrupt subclass, got {exc_type!r}")
 
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
-        interrupt_event._value = Interrupt(cause)
+        interrupt_event._value = exc_type(cause)
         interrupt_event._defused = True
         interrupt_event.callbacks = [self._resume]
         self.env.schedule(interrupt_event, priority=PRIORITY_URGENT)

@@ -71,6 +71,7 @@ class Resource:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self._capacity = int(capacity)
+        self._suspended = False
         #: Requests currently holding a slot.
         self.users: List[Request] = []
         #: Requests waiting for a slot (FIFO).
@@ -81,6 +82,25 @@ class Resource:
     def capacity(self) -> int:
         """Total number of slots."""
         return self._capacity
+
+    @property
+    def suspended(self) -> bool:
+        """True while the resource has stopped granting slots."""
+        return self._suspended
+
+    def suspend(self) -> None:
+        """Stop granting slots (failure hook).
+
+        Requests made while suspended queue up instead of being
+        granted; current holders are unaffected (interrupt their
+        processes separately to model a hard crash).  Idempotent.
+        """
+        self._suspended = True
+
+    def resume_service(self) -> None:
+        """Resume granting slots and serve the backlog.  Idempotent."""
+        self._suspended = False
+        self._grant_next()
 
     @property
     def count(self) -> int:
@@ -102,7 +122,7 @@ class Resource:
 
     # -- internals -------------------------------------------------------------
     def _do_request(self, request: Request) -> None:
-        if len(self.users) < self._capacity:
+        if not self._suspended and len(self.users) < self._capacity:
             self.users.append(request)
             request.succeed()
         else:
@@ -126,7 +146,7 @@ class Resource:
         # else: already fully released — cancel is idempotent.
 
     def _grant_next(self) -> None:
-        while self.queue and len(self.users) < self._capacity:
+        while not self._suspended and self.queue and len(self.users) < self._capacity:
             nxt = self.queue.pop(0)
             self.users.append(nxt)
             nxt.succeed()
@@ -169,7 +189,7 @@ class PriorityResource(Resource):
 
     def _do_request(self, request: Request) -> None:
         assert isinstance(request, PriorityRequest)
-        if len(self.users) < self._capacity:
+        if not self._suspended and len(self.users) < self._capacity:
             self.users.append(request)
             request.succeed()
         else:
@@ -186,7 +206,7 @@ class PriorityResource(Resource):
             heapq.heapify(self._heap)
 
     def _grant_next(self) -> None:
-        while self._heap and len(self.users) < self._capacity:
+        while not self._suspended and self._heap and len(self.users) < self._capacity:
             _key, nxt = heapq.heappop(self._heap)
             self.queue.remove(nxt)
             self.users.append(nxt)

@@ -81,6 +81,26 @@ class Store:
         """Remove and return the next item (blocks while empty)."""
         return StoreGet(self)
 
+    def remove(self, item: Any) -> bool:
+        """Withdraw one occurrence of ``item`` without a get (tombstone).
+
+        Lets an owner revoke a queued item — the Active I/O Runtime
+        demotes queued requests this way, and failure paths drop work
+        the same way, instead of reaching into :attr:`items` directly.
+        Returns True if the item was present; a blocked put that now
+        fits is admitted.
+        """
+        try:
+            self.items.remove(item)
+        except ValueError:
+            return False
+        self._removed(item)
+        self._trigger()
+        return True
+
+    def _removed(self, item: Any) -> None:
+        """Hook for subclasses whose ``items`` has extra structure."""
+
     # -- internals ---------------------------------------------------------
     def _do_put(self, put: StorePut) -> bool:
         if len(self.items) < self._capacity:
@@ -150,6 +170,10 @@ class PriorityStore(Store):
 
     def _extract(self, get: StoreGet) -> Any:
         return heapq.heappop(self.items)
+
+    def _removed(self, item: Any) -> None:
+        # list.remove broke the heap invariant; rebuild it.
+        heapq.heapify(self.items)
 
 
 class FilterStoreGet(StoreGet):

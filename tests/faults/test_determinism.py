@@ -1,0 +1,105 @@
+"""Satellite: same seed + same fault schedule → byte-identical runs.
+
+The whole failure subsystem is deterministic by construction (the only
+randomness is the seeded RNG inside ``chaos``), so two identical
+invocations must agree on every time stamp, every retry, every fault
+application and every computed byte.
+"""
+
+import re
+
+import numpy as np
+
+from repro.cluster.config import MB
+from repro.core.planrun import run_plan
+from repro.core.schemes import Scheme, WorkloadSpec, run_scheme
+from repro.faults import scenario
+from repro.workload.apps import BatchApplication
+from repro.workload.generator import WorkloadGenerator
+
+
+def _result_bytes(value):
+    if isinstance(value, np.ndarray):
+        return value.tobytes()
+    return repr(value)
+
+
+def _normalized_retry_events(events):
+    """Retry log with request ids mapped to order-of-appearance ranks.
+
+    Raw rids come from a process-global counter, so they differ
+    between two runs in one process even though everything the ids
+    *label* is identical — normalize before comparing.
+    """
+    ranks = {"rid": {}, "parent": {}}
+    out = []
+    for entry in events:
+        entry = dict(entry)
+        for key in ("rid", "parent"):
+            table = ranks[key]
+            entry[key] = table.setdefault(entry[key], len(table))
+        # The failure reason embeds the rid too ("... request N").
+        entry["reason"] = re.sub(r"request \d+", "request N", entry["reason"])
+        out.append(entry)
+    return out
+
+
+class TestRunSchemeDeterminism:
+    def test_two_chaos_runs_agree_exactly(self):
+        spec = WorkloadSpec(
+            kernel="sum", n_requests=3, request_bytes=8 * MB, n_storage=2,
+            execute_kernels=True, seed=11,
+        )
+        sched = scenario("chaos", seed=5, n_events=6, span=1.5, n_targets=2)
+        a = run_scheme(Scheme.DOSAS, spec, fault_schedule=sched)
+        b = run_scheme(Scheme.DOSAS, spec, fault_schedule=sched)
+        assert a.makespan == b.makespan
+        assert a.per_request_times == b.per_request_times
+        assert a.fault_log == b.fault_log
+        assert _normalized_retry_events(a.retry_events) == \
+            _normalized_retry_events(b.retry_events)
+        assert (a.retries, a.retry_timeouts, a.failed_requests,
+                a.wasted_bytes) == (b.retries, b.retry_timeouts,
+                                    b.failed_requests, b.wasted_bytes)
+        assert [_result_bytes(x) for x in a.results] == [
+            _result_bytes(x) for x in b.results
+        ]
+
+
+class TestRunPlanDeterminism:
+    def _plan(self):
+        return WorkloadGenerator(seed=3).plan([
+            BatchApplication("ana", n_processes=3, size=4 * MB,
+                             operation="sum"),
+            BatchApplication("cp", n_processes=2, size=4 * MB),
+        ])
+
+    def test_two_plan_runs_are_byte_identical(self):
+        spec = WorkloadSpec(n_storage=2, execute_kernels=True, seed=9)
+        sched = scenario("crash-restart", at=0.03, downtime=0.4)
+        a = run_plan(Scheme.DOSAS, self._plan(), spec, fault_schedule=sched)
+        b = run_plan(Scheme.DOSAS, self._plan(), spec, fault_schedule=sched)
+        sig_a = [(o.request.app, o.request.process_index, o.started_at,
+                  o.finished_at, o.disposition, _result_bytes(o.result))
+                 for o in a.outcomes]
+        sig_b = [(o.request.app, o.request.process_index, o.started_at,
+                  o.finished_at, o.disposition, _result_bytes(o.result))
+                 for o in b.outcomes]
+        assert sig_a == sig_b
+        assert a.fault_log == b.fault_log
+        assert _normalized_retry_events(a.retry_events) == \
+            _normalized_retry_events(b.retry_events)
+        assert (a.served_active, a.demoted, a.interrupted, a.retries,
+                a.failed_requests) == (b.served_active, b.demoted,
+                                       b.interrupted, b.retries,
+                                       b.failed_requests)
+
+    def test_fault_free_plan_unchanged_by_machinery(self):
+        # The retry/injector plumbing must be invisible when unused.
+        spec = WorkloadSpec(n_storage=2, execute_kernels=True, seed=9)
+        a = run_plan(Scheme.DOSAS, self._plan(), spec)
+        b = run_plan(Scheme.DOSAS, self._plan(), spec)
+        assert [(o.started_at, o.finished_at) for o in a.outcomes] == [
+            (o.started_at, o.finished_at) for o in b.outcomes
+        ]
+        assert a.fault_log == [] and a.retries == 0

@@ -1,0 +1,155 @@
+"""End-to-end fault injection: each scenario produces its signature
+behaviour and every workload still completes."""
+
+import pytest
+
+from repro.cluster.config import MB
+from repro.core.asc import RetryPolicy
+from repro.core.schemes import Scheme, WorkloadSpec, run_scheme
+from repro.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    WatchdogTimeout,
+    run_with_watchdog,
+    scenario,
+)
+from repro.sim import Environment, Event
+
+# Fault-free AS/DOSAS makespan for this point is ~0.149 s, so faults
+# injected at 0.02–0.05 land mid-run.
+SPEC = WorkloadSpec(
+    kernel="sum", n_requests=4, request_bytes=32 * MB, n_storage=2
+)
+
+
+class TestCrashRestart:
+    def test_clients_retry_through_the_outage(self):
+        sched = scenario("crash-restart", at=0.02, downtime=0.5)
+        r = run_scheme(Scheme.AS, SPEC, fault_schedule=sched)
+        assert [e["kind"] for e in r.fault_log] == ["crash", "restart"]
+        assert r.retries > 0
+        assert len(r.per_request_times) == SPEC.total_requests
+        # Node 0's requests cannot finish while it is down.
+        assert r.makespan > 0.52
+
+    def test_retry_log_records_each_failed_attempt(self):
+        sched = scenario("crash-restart", at=0.02, downtime=0.5)
+        r = run_scheme(Scheme.DOSAS, SPEC, fault_schedule=sched)
+        assert len(r.retry_events) == r.retries
+        for entry in r.retry_events:
+            assert entry["reason"].startswith(("timeout", "failed"))
+            assert entry["attempt"] >= 0
+
+    def test_retry_exhaustion_propagates(self):
+        # Crash with no restart and a give-up-fast policy: the run
+        # must end in RetryExhausted, not a hang.
+        from repro.core.asc import RetryExhausted
+
+        sched = FaultSchedule(
+            name="perma-crash",
+            events=(FaultEvent(at=0.02, kind=FaultKind.CRASH),),
+            retry=RetryPolicy(timeout=0.2, max_retries=1, backoff_base=0.05),
+            horizon=30.0,
+        )
+        with pytest.raises(RetryExhausted):
+            run_scheme(Scheme.AS, SPEC, fault_schedule=sched)
+
+
+class TestDegradedNode:
+    # Gaussian's kernel rate (80 MB/s) sits below the NIC rate, so the
+    # TS fallback is competitive and DOSAS can fully dodge a straggler.
+    GSPEC = WorkloadSpec(
+        kernel="gaussian2d", n_requests=4, request_bytes=8 * MB, n_storage=2
+    )
+
+    def test_dosas_routes_around_the_straggler(self):
+        sched = scenario("degraded-node", at=0.05, factor=0.1)
+        healthy = run_scheme(Scheme.DOSAS, self.GSPEC)
+        as_run = run_scheme(Scheme.AS, self.GSPEC, fault_schedule=sched)
+        dosas_run = run_scheme(Scheme.DOSAS, self.GSPEC, fault_schedule=sched)
+        # AS keeps offloading to the derated node and pays for it;
+        # DOSAS demotes/migrates and stays near its healthy makespan.
+        assert as_run.makespan > 2 * healthy.makespan
+        assert dosas_run.makespan < 1.5 * healthy.makespan
+        assert dosas_run.goodput >= as_run.goodput
+
+    def test_degrade_migrates_running_kernels(self):
+        sched = scenario("degraded-node", at=0.05, factor=0.1)
+        r = run_scheme(Scheme.DOSAS, self.GSPEC, fault_schedule=sched)
+        # The kernels caught mid-run checkpointed and moved.
+        assert r.interrupted + r.demoted > 0
+
+
+class TestPartition:
+    def test_transfers_stall_until_heal(self):
+        sched = scenario("partition", at=0.02, duration=1.0)
+        healthy = run_scheme(Scheme.DOSAS, SPEC)
+        r = run_scheme(Scheme.DOSAS, SPEC, fault_schedule=sched)
+        assert len(r.per_request_times) == SPEC.total_requests
+        assert r.makespan > healthy.makespan
+        assert [e["kind"] for e in r.fault_log] == ["partition", "heal"]
+
+
+class TestKernelStall:
+    def test_client_timeout_recovers_hung_kernels(self):
+        sched = scenario("kernel-stall", at=0.02)
+        r = run_scheme(Scheme.AS, SPEC, fault_schedule=sched)
+        assert r.retry_timeouts >= 1
+        assert r.failed_requests >= 1  # the stalled kernels died
+        assert r.wasted_bytes > 0  # their progress was lost
+        assert len(r.per_request_times) == SPEC.total_requests
+
+
+class TestProbeLoss:
+    def test_stale_probes_demote_to_ts(self):
+        spec = WorkloadSpec(
+            kernel="sum", n_requests=4, request_bytes=8 * MB, n_storage=1,
+            arrival_spacing=0.3, probe_period=0.1,
+        )
+        healthy = run_scheme(Scheme.DOSAS, spec)
+        assert healthy.demoted == 0  # sum offloads under normal telemetry
+        sched = scenario(
+            "probe-loss", at=0.01, duration=10.0, stale_probe_timeout=0.2
+        )
+        r = run_scheme(Scheme.DOSAS, spec, fault_schedule=sched)
+        # Requests arriving after the staleness budget expired must be
+        # treated as unreachable-node work and run client-side.
+        assert r.demoted >= 2
+        assert len(r.per_request_times) == spec.total_requests
+
+
+class TestWatchdog:
+    def test_raises_when_done_never_fires(self):
+        env = Environment()
+        never = Event(env)
+        with pytest.raises(WatchdogTimeout):
+            run_with_watchdog(env, never, deadline=5.0)
+        assert env.now == 5.0
+
+    def test_returns_value_when_done_wins(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return "ok"
+
+        assert run_with_watchdog(env, env.process(proc(env)), 10.0) == "ok"
+
+    def test_rejects_nonpositive_deadline(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            run_with_watchdog(env, Event(env), 0.0)
+
+    def test_unrecoverable_hang_trips_the_run_watchdog(self):
+        # Kernels stall but the retry timeout exceeds the horizon:
+        # nothing can recover, and the watchdog reports the deadlock
+        # instead of the simulation silently running out of events.
+        sched = FaultSchedule(
+            name="hang",
+            events=(FaultEvent(at=0.02, kind=FaultKind.KERNEL_STALL),),
+            retry=RetryPolicy(timeout=1000.0, max_retries=0),
+            horizon=2.0,
+        )
+        with pytest.raises(WatchdogTimeout):
+            run_scheme(Scheme.AS, SPEC, fault_schedule=sched)

@@ -1,0 +1,72 @@
+"""THE acceptance bar for the failure model: under every scenario in
+the library, every request completes and its computed result is
+byte-identical to the fault-free run — retries never lose, duplicate
+or corrupt work.  The watchdog (each schedule's ``horizon``) turns a
+deadlock into a crisp failure."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import MB
+from repro.core.schemes import Scheme, WorkloadSpec, run_scheme
+from repro.faults import scenario
+
+SPEC = WorkloadSpec(
+    kernel="sum", n_requests=3, request_bytes=32 * MB, n_storage=2,
+    execute_kernels=True,
+)
+
+#: Scenario name → overrides scaling its timings to this small
+#: workload (fault-free AS/DOSAS makespan ≈ 0.11 s), so faults land
+#: mid-run.
+SCALED = {
+    "degraded-node": dict(at=0.03, factor=0.25, duration=1.0),
+    "crash-restart": dict(at=0.03, downtime=0.4),
+    "partition": dict(at=0.03, duration=0.4),
+    "kernel-stall": dict(at=0.03),
+    "probe-loss": dict(at=0.01, duration=1.0, stale_probe_timeout=0.2),
+    "chaos": dict(seed=2, n_events=5, span=1.0, n_targets=2),
+}
+
+
+def _values(result):
+    return [float(v) for v in result.results]
+
+
+@pytest.mark.parametrize("name", sorted(SCALED))
+@pytest.mark.parametrize("scheme", [Scheme.TS, Scheme.AS, Scheme.DOSAS])
+def test_results_identical_to_fault_free(name, scheme):
+    baseline = run_scheme(scheme, SPEC)
+    faulted = run_scheme(scheme, SPEC, fault_schedule=scenario(name, **SCALED[name]))
+    assert len(faulted.per_request_times) == SPEC.total_requests
+    assert len(faulted.results) == len(baseline.results)
+    # "sum" results are floats accumulated over an identical byte
+    # stream: any re-read, skipped or double-counted chunk shifts them.
+    assert _values(faulted) == _values(baseline)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 3])
+def test_chaos_soak_preserves_results(seed):
+    """Several random (but seeded) fault mixes, including overlapping
+    faults on both nodes — the invariant must hold for all of them."""
+    baseline = run_scheme(Scheme.DOSAS, SPEC)
+    sched = scenario("chaos", seed=seed, n_events=8, span=1.0, n_targets=2)
+    faulted = run_scheme(Scheme.DOSAS, SPEC, fault_schedule=sched)
+    assert _values(faulted) == _values(baseline)
+
+
+def test_striped_gaussian_image_exact_under_crash():
+    """A 2-D kernel whose result is a full image: recovery must not
+    shift, duplicate or drop a single pixel."""
+    spec = WorkloadSpec(
+        kernel="gaussian2d", n_requests=2, request_bytes=4 * MB,
+        n_storage=2, execute_kernels=True, image_width=256,
+    )
+    baseline = run_scheme(Scheme.AS, spec)
+    faulted = run_scheme(
+        Scheme.AS, spec,
+        fault_schedule=scenario("crash-restart", at=0.02, downtime=0.3),
+    )
+    assert len(faulted.results) == len(baseline.results)
+    for got, want in zip(faulted.results, baseline.results):
+        np.testing.assert_array_equal(got, want)

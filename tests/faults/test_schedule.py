@@ -1,0 +1,118 @@
+"""FaultSchedule / FaultEvent semantics: validation, expansion, determinism."""
+
+import pytest
+
+from repro.core.asc import RetryPolicy
+from repro.faults import (
+    SCENARIOS,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    chaos,
+    scenario,
+)
+
+
+class TestFaultEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=-1.0, kind=FaultKind.CRASH)
+
+    def test_factor_bounds(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind=FaultKind.CPU_DEGRADE, factor=0.0)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind=FaultKind.CPU_DEGRADE, factor=1.5)
+        FaultEvent(at=0.0, kind=FaultKind.CPU_DEGRADE, factor=1.0)  # ok
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind=FaultKind.CRASH, duration=0.0)
+
+    def test_probe_loss_requires_duration(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind=FaultKind.PROBE_LOSS)
+
+
+class TestTimelineExpansion:
+    def test_duration_expands_to_reverse_event(self):
+        sched = FaultSchedule(
+            name="t",
+            events=(FaultEvent(at=1.0, kind=FaultKind.CRASH, duration=2.0),),
+        )
+        timeline = sched.timeline()
+        assert [(e.at, e.kind) for e in timeline] == [
+            (1.0, FaultKind.CRASH),
+            (3.0, FaultKind.RESTART),
+        ]
+
+    def test_all_reversible_kinds_have_reverses(self):
+        pairs = [
+            (FaultKind.CRASH, FaultKind.RESTART),
+            (FaultKind.CPU_DEGRADE, FaultKind.CPU_RESTORE),
+            (FaultKind.LINK_DEGRADE, FaultKind.LINK_RESTORE),
+            (FaultKind.PARTITION, FaultKind.HEAL),
+        ]
+        for kind, reverse in pairs:
+            sched = FaultSchedule(
+                name="t", events=(FaultEvent(at=0.5, kind=kind, duration=1.0),)
+            )
+            assert sched.timeline()[1].kind is reverse
+
+    def test_probe_loss_keeps_its_duration_unexpanded(self):
+        sched = FaultSchedule(
+            name="t",
+            events=(
+                FaultEvent(at=1.0, kind=FaultKind.PROBE_LOSS, duration=2.0),
+            ),
+        )
+        timeline = sched.timeline()
+        assert len(timeline) == 1
+        assert timeline[0].duration == 2.0
+
+    def test_sorted_with_deterministic_tie_break(self):
+        events = (
+            FaultEvent(at=1.0, kind=FaultKind.PARTITION, target=1),
+            FaultEvent(at=1.0, kind=FaultKind.CRASH, target=0),
+            FaultEvent(at=0.5, kind=FaultKind.KERNEL_STALL),
+        )
+        a = FaultSchedule(name="t", events=events).timeline()
+        b = FaultSchedule(name="t", events=tuple(reversed(events))).timeline()
+        assert a == b
+        assert a[0].kind is FaultKind.KERNEL_STALL
+
+    def test_events_are_immutable(self):
+        ev = FaultEvent(at=1.0, kind=FaultKind.CRASH)
+        with pytest.raises(Exception):
+            ev.at = 2.0
+
+
+class TestScenarioLibrary:
+    def test_every_scenario_builds(self):
+        for name in SCENARIOS:
+            sched = scenario(name)
+            assert isinstance(sched, FaultSchedule)
+            assert sched.timeline()
+            assert isinstance(sched.retry, RetryPolicy)
+            assert sched.horizon > 0
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown fault scenario"):
+            scenario("meteor-strike")
+
+    def test_overrides_flow_through(self):
+        sched = scenario("crash-restart", at=0.25, downtime=1.5)
+        timeline = sched.timeline()
+        assert timeline[0].at == 0.25
+        assert timeline[1].at == 1.75
+
+    def test_chaos_is_seed_deterministic(self):
+        assert chaos(seed=7) == chaos(seed=7)
+        assert chaos(seed=7) != chaos(seed=8)
+
+    def test_chaos_events_all_self_heal(self):
+        # The recovery invariant leans on every chaos fault undoing
+        # itself: durations everywhere except one-shot stalls.
+        for seed in range(5):
+            for ev in chaos(seed=seed, n_events=10).events:
+                assert ev.kind is FaultKind.KERNEL_STALL or ev.duration

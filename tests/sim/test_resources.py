@@ -110,6 +110,78 @@ class TestResource:
         env.run()
         assert times == [1, 2]
 
+    def test_suspend_queues_new_requests(self, env):
+        res = Resource(env, capacity=1)
+        granted = []
+
+        def claimant(env, res, name):
+            with res.request() as req:
+                yield req
+                granted.append((name, env.now))
+
+        def operator(env, res):
+            res.suspend()
+            assert res.suspended
+            env.process(claimant(env, res, "a"))
+            yield env.timeout(5)
+            res.resume_service()
+            assert not res.suspended
+
+        env.process(operator(env, res))
+        env.run()
+        # Not granted at t=0 despite free capacity; served on resume.
+        assert granted == [("a", 5)]
+
+    def test_suspend_does_not_evict_holder(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(4)
+                log.append(("holder-done", env.now))
+
+        def operator(env, res):
+            yield env.timeout(1)
+            res.suspend()
+            res.suspend()  # idempotent
+            yield env.timeout(1)
+            res.resume_service()
+            res.resume_service()  # idempotent
+
+        env.process(holder(env, res))
+        env.process(operator(env, res))
+        env.run()
+        assert log == [("holder-done", 4)]
+
+    def test_release_while_suspended_defers_grant(self, env):
+        res = Resource(env, capacity=1)
+        granted = []
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(2)
+
+        def waiter(env, res):
+            with res.request() as req:
+                yield req
+                granted.append(env.now)
+
+        def operator(env, res):
+            yield env.timeout(1)
+            res.suspend()  # before the holder releases at t=2
+            yield env.timeout(5)
+            res.resume_service()
+
+        env.process(holder(env, res))
+        env.process(waiter(env, res))
+        env.process(operator(env, res))
+        env.run()
+        # The slot freed at t=2 but the grant waited for resume at t=6.
+        assert granted == [6]
+
 
 class TestPriorityResource:
     def test_priority_order(self, env):

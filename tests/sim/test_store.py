@@ -82,6 +82,48 @@ class TestStore:
         with pytest.raises(ValueError):
             Store(env, capacity=0)
 
+    def test_remove_withdraws_item(self, env):
+        st = Store(env)
+
+        def proc(env, st):
+            yield st.put("a")
+            yield st.put("b")
+            yield st.put("c")
+            assert st.remove("b") is True
+            got = []
+            got.append((yield st.get()))
+            got.append((yield st.get()))
+            return got
+
+        assert env.run(until=env.process(proc(env, st))) == ["a", "c"]
+
+    def test_remove_absent_item_returns_false(self, env):
+        st = Store(env)
+
+        def proc(env, st):
+            yield st.put("a")
+            return st.remove("zzz")
+
+        assert env.run(until=env.process(proc(env, st))) is False
+
+    def test_remove_admits_blocked_put(self, env):
+        st = Store(env, capacity=1)
+
+        def producer(env, st):
+            yield st.put("a")
+            yield st.put("b")  # blocks on capacity
+            return env.now
+
+        def remover(env, st):
+            yield env.timeout(3)
+            st.remove("a")
+
+        p = env.process(producer(env, st))
+        env.process(remover(env, st))
+        # The tombstone freed the slot: the blocked put completes.
+        assert env.run(until=p) == 3
+        assert st.items == ["b"]
+
 
 class TestPriorityStore:
     def test_lowest_priority_first(self, env):
@@ -110,6 +152,24 @@ class TestPriorityStore:
             return [a.item, b.item]
 
         assert env.run(until=env.process(proc(env, st))) == ["first", "second"]
+
+    def test_remove_keeps_heap_order(self, env):
+        st = PriorityStore(env)
+        mid = PriorityItem(2, "b")
+
+        def proc(env, st):
+            yield st.put(PriorityItem(3, "c"))
+            yield st.put(mid)
+            yield st.put(PriorityItem(1, "a"))
+            assert st.remove(mid) is True
+            out = []
+            for _ in range(2):
+                item = yield st.get()
+                out.append(item.item)
+            return out
+
+        # After removing the middle item the heap still pops in order.
+        assert env.run(until=env.process(proc(env, st))) == ["a", "c"]
 
 
 class TestFilterStore:
