@@ -18,6 +18,12 @@ from repro.analysis.faults import (
     summarize_fault_run,
 )
 from repro.analysis.charts import render_chart
+from repro.analysis.critical_path import (
+    RequestPath,
+    critical_paths,
+    format_critical_path_table,
+    unclosed_requests,
+)
 from repro.analysis.timeline import (
     RequestRecord,
     records_from_plan_result,
@@ -35,12 +41,15 @@ from repro.analysis.figures import (
 
 __all__ = [
     "FaultRunMetrics",
+    "RequestPath",
     "RequestRecord",
     "RunMetrics",
     "achieved_bandwidth",
+    "critical_paths",
     "bandwidth_figure",
     "bandwidth_series",
     "figure_series",
+    "format_critical_path_table",
     "format_table",
     "headline_improvements",
     "improvement",
@@ -55,4 +64,5 @@ __all__ = [
     "summarize_run",
     "table3_rows",
     "table4_rows",
+    "unclosed_requests",
 ]

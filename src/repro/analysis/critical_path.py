@@ -1,0 +1,182 @@
+"""Per-request critical-path breakdown from trace exports.
+
+Every traced request leaves a chain of span events behind (see
+``repro.obs`` and ``docs/observability.md``):
+
+.. code-block:: text
+
+    enqueue → [policy-decision] → dispatch → … → reply
+
+This module folds that chain back into one :class:`RequestPath` per
+request id, splitting end-to-end latency into the stages the paper's
+cost model reasons about — queueing delay, the estimator's decision
+point, and service time — so a slow run can be diagnosed request by
+request instead of from aggregate means.
+
+Works on live ``Tracer.events`` lists and on events re-loaded from a
+trace file (``repro.obs.export.events_from_file``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.tracer import SpanEvent
+from repro.analysis.report import format_table
+
+
+@dataclass
+class RequestPath:
+    """Lifecycle milestones of one traced request.
+
+    Milestones that did not occur (e.g. ``decided_at`` for a plain
+    normal I/O that never reached a policy) stay ``None``.
+    """
+
+    rid: int
+    track: str = ""
+    kind: str = ""
+    enqueued_at: Optional[float] = None
+    decided_at: Optional[float] = None
+    dispatched_at: Optional[float] = None
+    replied_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Request-span outcome attr: completed | demoted | crashed | cancelled.
+    outcome: Optional[str] = None
+    #: Policy verdict, when a decision was traced: active | normal.
+    verdict: Optional[str] = None
+    #: Dispatch modes seen, in order (normal, write, kernel, demote).
+    dispatch_modes: List[str] = field(default_factory=list)
+    retries: int = 0
+    demotions: int = 0
+
+    @property
+    def closed(self) -> bool:
+        """True when the request span was explicitly ended."""
+        return self.finished_at is not None
+
+    @property
+    def queue_time(self) -> Optional[float]:
+        """Enqueue → first dispatch (None when either is missing)."""
+        if self.enqueued_at is None or self.dispatched_at is None:
+            return None
+        return self.dispatched_at - self.enqueued_at
+
+    @property
+    def decision_time(self) -> Optional[float]:
+        """Enqueue → policy decision."""
+        if self.enqueued_at is None or self.decided_at is None:
+            return None
+        return self.decided_at - self.enqueued_at
+
+    @property
+    def service_time(self) -> Optional[float]:
+        """First dispatch → reply."""
+        if self.dispatched_at is None or self.replied_at is None:
+            return None
+        return self.replied_at - self.dispatched_at
+
+    @property
+    def total_time(self) -> Optional[float]:
+        """Enqueue → end of the request span."""
+        if self.enqueued_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.enqueued_at
+
+
+def _attrs(event: SpanEvent) -> Dict[str, object]:
+    return dict(event.attrs)
+
+
+def critical_paths(events: Iterable[SpanEvent]) -> Dict[int, RequestPath]:
+    """Fold span events into one :class:`RequestPath` per request id."""
+    paths: Dict[int, RequestPath] = {}
+
+    def path(rid: int) -> RequestPath:
+        if rid not in paths:
+            paths[rid] = RequestPath(rid=rid)
+        return paths[rid]
+
+    for ev in sorted(events, key=lambda e: e.time):
+        if ev.rid is None:
+            continue
+        attrs = _attrs(ev)
+        if ev.kind == "request":
+            p = path(ev.rid)
+            if ev.phase == "b":
+                p.track = ev.track
+                p.kind = str(attrs.get("io", p.kind))
+            elif ev.phase == "e":
+                p.finished_at = ev.time
+                p.outcome = str(attrs.get("outcome", "")) or p.outcome
+        elif ev.kind == "enqueue":
+            p = path(ev.rid)
+            if p.enqueued_at is None:
+                p.enqueued_at = ev.time
+        elif ev.kind == "policy-decision":
+            p = path(ev.rid)
+            if p.decided_at is None:
+                p.decided_at = ev.time
+                p.verdict = str(attrs.get("verdict", "")) or None
+        elif ev.kind == "dispatch":
+            p = path(ev.rid)
+            if p.dispatched_at is None:
+                p.dispatched_at = ev.time
+            mode = attrs.get("mode")
+            if mode is not None:
+                p.dispatch_modes.append(str(mode))
+        elif ev.kind == "reply":
+            p = path(ev.rid)
+            if p.replied_at is None:
+                p.replied_at = ev.time
+        elif ev.kind == "retry":
+            path(ev.rid).retries += 1
+        elif ev.kind == "demote":
+            path(ev.rid).demotions += 1
+    return paths
+
+
+def unclosed_requests(events: Iterable[SpanEvent]) -> List[int]:
+    """Request ids whose ``request`` span began but never ended.
+
+    A non-empty result on a run that drained all its work means a
+    lifecycle accounting bug — every completed, demoted, crashed or
+    cancelled request must close its span.
+    """
+    opened: Dict[int, int] = {}
+    for ev in events:
+        if ev.kind != "request" or ev.rid is None:
+            continue
+        if ev.phase == "b":
+            opened[ev.rid] = opened.get(ev.rid, 0) + 1
+        elif ev.phase == "e":
+            opened[ev.rid] = opened.get(ev.rid, 0) - 1
+    return sorted(rid for rid, depth in opened.items() if depth > 0)
+
+
+def format_critical_path_table(paths: Dict[int, RequestPath]) -> str:
+    """Render the per-request breakdown as a fixed-width table."""
+    headers = [
+        "rid", "server", "kind", "outcome", "verdict",
+        "queue", "service", "total", "retries",
+    ]
+    rows = []
+    for rid in sorted(paths):
+        p = paths[rid]
+
+        def cell(value: Optional[float]) -> object:
+            return "-" if value is None else value
+
+        rows.append([
+            p.rid,
+            p.track or "-",
+            p.kind or "-",
+            p.outcome or ("open" if not p.closed else "-"),
+            p.verdict or "-",
+            cell(p.queue_time),
+            cell(p.service_time),
+            cell(p.total_time),
+            p.retries,
+        ])
+    return format_table(headers, rows)

@@ -10,6 +10,9 @@ kernels, and record/replay workload traces without writing code:
     $ python -m repro table 4                  # decision accuracy
     $ python -m repro run --kernel sum --requests 16 --mb 512
     $ python -m repro run --faults degraded-node   # same, under failures
+    $ python -m repro run --scheme dosas --trace t.json  # record a trace
+    $ python -m repro trace validate t.json        # …and check it
+    $ python -m repro trace critical-path t.json   # per-request breakdown
     $ python -m repro calibrate                # Table III on this host
     $ python -m repro sweep --kernel gaussian2d --mb 256
     $ python -m repro headline                 # the 40 % / 21 % claims
@@ -118,12 +121,39 @@ def cmd_table(args, out=None) -> int:
     return 2
 
 
+def _fresh_tracer():
+    """A Tracer for one scheme's run, with request ids rebased.
+
+    Restarting the rid/parent counters before each run keeps exported
+    traces deterministic (same seed ⇒ byte-identical file) and makes
+    rids comparable across schemes in a multi-run export.
+    """
+    from repro.obs import Tracer
+    from repro.pvfs.client import reset_parent_ids
+    from repro.pvfs.requests import reset_request_ids
+
+    reset_request_ids()
+    reset_parent_ids()
+    return Tracer()
+
+
+def _write_trace(path: str, tracers, out) -> None:
+    from repro.obs import write_chrome_trace
+
+    write_chrome_trace(path, tracers)
+    n = sum(len(t.events) for t in tracers.values())
+    print(f"wrote {n} span events to {path}", file=out)
+
+
 def cmd_run(args, out=None) -> int:
     """Run one custom workload point under all three schemes.
 
     With ``--faults <scenario>`` the point runs under that failure
     schedule (see ``repro.faults``) and the table switches to the
     fault metrics: goodput, retries, recovery latency, wasted work.
+    With ``--trace FILE`` each scheme's run is recorded and the merged
+    Chrome-trace export written to FILE (``--scheme`` restricts the
+    run to one scheme).
     """
     out = out if out is not None else sys.stdout
     if args.kernel not in list_kernels():
@@ -141,9 +171,16 @@ def cmd_run(args, out=None) -> int:
     )
     if getattr(args, "faults", None):
         return _run_with_faults(args, spec, out)
+    schemes = [Scheme(args.scheme)] if getattr(args, "scheme", None) \
+        else list(Scheme)
+    trace_path = getattr(args, "trace", None)
+    tracers = {}
     rows = []
-    for scheme in Scheme:
-        r = run_scheme(scheme, spec)
+    for scheme in schemes:
+        tracer = _fresh_tracer() if trace_path else None
+        r = run_scheme(scheme, spec, tracer=tracer)
+        if tracer is not None:
+            tracers[scheme.value] = tracer
         rows.append([scheme.value, r.makespan, r.bandwidth / MB,
                      r.served_active, r.demoted, r.interrupted])
     print(format_table(
@@ -151,6 +188,8 @@ def cmd_run(args, out=None) -> int:
          "offloaded", "demoted", "migrated"],
         rows,
     ), file=out)
+    if trace_path:
+        _write_trace(trace_path, tracers, out)
     return 0
 
 
@@ -173,10 +212,18 @@ def _run_with_faults(args, spec: WorkloadSpec, out) -> int:
           f"(events={len(sched.timeline())}, horizon={sched.horizon}s, "
           f"retry timeout={sched.retry.timeout}s "
           f"x{sched.retry.max_retries})", file=out)
+    schemes = [Scheme(args.scheme)] if getattr(args, "scheme", None) \
+        else list(Scheme)
+    trace_path = getattr(args, "trace", None)
+    tracers = {}
     rows = []
-    for scheme in Scheme:
+    for scheme in schemes:
         healthy = run_scheme(scheme, spec)
-        faulty = run_scheme(scheme, spec, fault_schedule=sched)
+        tracer = _fresh_tracer() if trace_path else None
+        faulty = run_scheme(scheme, spec, fault_schedule=sched,
+                            tracer=tracer)
+        if tracer is not None:
+            tracers[scheme.value] = tracer
         m = summarize_fault_run(faulty, baseline=healthy)
         rows.append([
             scheme.value, f"{m.makespan:.3f}", f"{m.goodput_mb_s:.1f}",
@@ -188,6 +235,8 @@ def _run_with_faults(args, spec: WorkloadSpec, out) -> int:
          "retries", "recovered", "mean recovery (s)", "wasted (MB)"],
         rows,
     ), file=out)
+    if trace_path:
+        _write_trace(trace_path, tracers, out)
     return 0
 
 
@@ -298,10 +347,15 @@ def cmd_trace(args, out=None) -> int:
     if args.trace_command == "run":
         plan = load_trace(args.file)
         spec = WorkloadSpec(n_storage=args.storage_nodes, probe_period=0.25)
+        trace_path = getattr(args, "trace", None)
+        tracers = {}
         rows = []
         schemes = [Scheme(args.scheme)] if args.scheme else list(Scheme)
         for scheme in schemes:
-            r = run_plan(scheme, plan, spec)
+            tracer = _fresh_tracer() if trace_path else None
+            r = run_plan(scheme, plan, spec, tracer=tracer)
+            if tracer is not None:
+                tracers[scheme.value] = tracer
             rows.append([scheme.value, r.makespan, r.mean_latency,
                          r.served_active, r.demoted, r.interrupted])
         print(format_table(
@@ -309,10 +363,77 @@ def cmd_trace(args, out=None) -> int:
              "offloaded", "demoted", "migrated"],
             rows,
         ), file=out)
+        if trace_path:
+            _write_trace(trace_path, tracers, out)
         return 0
+
+    if args.trace_command == "validate":
+        return _trace_validate(args, out)
+
+    if args.trace_command == "critical-path":
+        return _trace_critical_path(args, out)
 
     print("error: unknown trace subcommand", file=sys.stderr)
     return 2
+
+
+def _trace_validate(args, out) -> int:
+    """Check a trace export's structure and span accounting."""
+    import json
+
+    from repro.obs import events_from_file, validate_chrome_trace
+    from repro.analysis.critical_path import unclosed_requests
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    errors = validate_chrome_trace(doc)
+    if errors:
+        for err in errors:
+            print(f"error: {err}", file=sys.stderr)
+        return 1
+    events = events_from_file(args.file)
+    open_rids = unclosed_requests(events)
+    if open_rids:
+        print(f"error: {len(open_rids)} request span(s) never closed: "
+              f"rids {open_rids[:10]}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK ({len(doc['traceEvents'])} trace events, "
+          f"{len(events)} spans, all request spans closed)", file=out)
+    return 0
+
+
+def _trace_critical_path(args, out) -> int:
+    """Per-request latency breakdown of a trace export."""
+    import json
+
+    from repro.obs import SpanEvent, validate_chrome_trace
+    from repro.analysis.critical_path import (
+        critical_paths,
+        format_critical_path_table,
+    )
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    errors = validate_chrome_trace(doc)
+    if errors:
+        print(f"error: invalid trace file: {errors[0]}", file=sys.stderr)
+        return 1
+    raw = doc["spans"]
+    run = getattr(args, "run", None)
+    if run:
+        # Multi-run exports label each raw span with its run (scheme).
+        raw = [d for d in raw if d.get("run") == run]
+        if not raw:
+            runs = sorted({d.get("run") for d in doc["spans"]})
+            print(f"error: no events for run {run!r} in {args.file}; "
+                  f"runs: {runs}", file=sys.stderr)
+            return 2
+    paths = critical_paths(SpanEvent.from_dict(d) for d in raw)
+    if not paths:
+        print("no request spans in trace", file=out)
+        return 0
+    print(format_critical_path_table(paths), file=out)
+    return 0
 
 
 def cmd_headline(args, out=None) -> int:
@@ -365,6 +486,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "probe-loss, chaos)")
     p.add_argument("--fault-at", type=float, default=None,
                    help="override the scenario's first-fault time (s)")
+    p.add_argument("--scheme", choices=[s.value for s in Scheme],
+                   help="run only one scheme instead of all three")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record the run(s) and write a Chrome trace "
+                        "export to FILE (open in chrome://tracing)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep request counts")
@@ -410,7 +536,18 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("file")
     r.add_argument("--scheme", choices=[sv.value for sv in Scheme])
     r.add_argument("--storage-nodes", type=int, default=1)
+    r.add_argument("--trace", metavar="FILE",
+                   help="write a Chrome trace export of the replay")
     r.set_defaults(func=cmd_trace)
+    v = trace_sub.add_parser(
+        "validate", help="check a trace export's structure and spans")
+    v.add_argument("file")
+    v.set_defaults(func=cmd_trace)
+    c = trace_sub.add_parser(
+        "critical-path", help="per-request latency breakdown of an export")
+    c.add_argument("file")
+    c.add_argument("--run", help="restrict to one run label (scheme)")
+    c.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -132,7 +132,11 @@ class SerialLink(Link):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._pipe = PriorityResource(self.env, capacity=1)
+        # Naming the pipe makes NIC queueing visible as slot-wait
+        # spans in trace exports.
+        self._pipe = PriorityResource(
+            self.env, capacity=1, name=f"{self.name}.pipe" if self.name else ""
+        )
 
     @property
     def active_transfers(self) -> int:

@@ -46,7 +46,7 @@ class CpuCores:
         self.env = env
         self.spec = spec
         self.name = name
-        self._pool = PriorityResource(env, capacity=spec.cores)
+        self._pool = PriorityResource(env, capacity=spec.cores, name=name)
         self.busy = TimeWeightedStat(env.now, 0.0)
         #: Straggler model: fraction of nominal per-core speed currently
         #: delivered, in (0, 1].  Applies to computations that *start*

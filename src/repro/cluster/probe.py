@@ -124,19 +124,31 @@ class NodeProber:
         does *not* append to :attr:`history` — the estimator sees old
         state exactly as it would if the probe message were dropped.
         """
+        tr = self.node.env.tracer
         if self.suppressed:
             if self.history:
-                return replace(self.history[-1], stale=True)
-            return SystemProbe(
-                time=self.node.env.now,
-                cpu_utilization=0.0,
-                memory_utilization=0.0,
-                io_queue_length=0,
-                active_queue_length=0,
-                queued_bytes=0.0,
-                active_bytes=0.0,
-                stale=True,
-            )
+                snap = replace(self.history[-1], stale=True)
+            else:
+                snap = SystemProbe(
+                    time=self.node.env.now,
+                    cpu_utilization=0.0,
+                    memory_utilization=0.0,
+                    io_queue_length=0,
+                    active_queue_length=0,
+                    queued_bytes=0.0,
+                    active_bytes=0.0,
+                    stale=True,
+                )
+            if tr.enabled:
+                tr.instant(
+                    self.node.env.now,
+                    "probe",
+                    f"probe:{self.node.name}",
+                    stale=True,
+                    n=snap.io_queue_length,
+                    k=snap.active_queue_length,
+                )
+            return snap
         n, k, total_bytes, active_bytes = self.queue_inspector()
         snap = SystemProbe(
             time=self.node.env.now,
@@ -150,6 +162,19 @@ class NodeProber:
             cpu_derate=self.node.cpu.derate_factor,
         )
         self.history.append(snap)
+        if tr.enabled:
+            tr.instant(
+                self.node.env.now,
+                "probe",
+                f"probe:{self.node.name}",
+                n=snap.io_queue_length,
+                k=snap.active_queue_length,
+                D=snap.queued_bytes,
+                D_A=snap.active_bytes,
+                cpu=snap.cpu_utilization,
+                mem=snap.memory_utilization,
+                derate=snap.cpu_derate,
+            )
         return snap
 
     def latest(self) -> Optional[SystemProbe]:

@@ -209,9 +209,25 @@ class ActiveStorageClient:
                 continue
             served_flags.append(False)
             demotions += 1
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.begin(
+                    self.env.now,
+                    "client-finish",
+                    f"client:{self.node.name}",
+                    rid=reply.rid,
+                    remaining=int(reply.remaining),
+                )
             partial, nread, ncomp = yield from self._finish_demoted(
                 kernel, reply, operation, meta, retry
             )
+            if tr.enabled:
+                tr.end(
+                    self.env.now,
+                    "client-finish",
+                    f"client:{self.node.name}",
+                    rid=reply.rid,
+                )
             partials.append(partial)
             client_bytes += nread
             client_compute += ncomp
@@ -302,6 +318,17 @@ class ActiveStorageClient:
             else:
                 self.stats["retry_failures"] += 1
             self.pvfs.server_for(request).cancel(request.rid)
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.instant(
+                    self.env.now,
+                    "retry",
+                    f"client:{self.node.name}",
+                    rid=request.rid,
+                    parent=request.parent_id,
+                    attempt=attempt,
+                    reason=reason,
+                )
             self.retry_log.append(
                 {
                     "time": self.env.now,

@@ -29,6 +29,7 @@ from repro.workload.generator import PlannedRequest, RequestPlan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.schedule import FaultSchedule
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -91,6 +92,7 @@ def run_plan(
     fault_schedule: Optional["FaultSchedule"] = None,
     retry_policy: Optional[RetryPolicy] = None,
     max_virtual_time: Optional[float] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> PlanResult:
     """Run ``plan`` under ``scheme``.
 
@@ -102,7 +104,8 @@ def run_plan(
     ``fault_schedule`` / ``retry_policy`` / ``max_virtual_time`` behave
     as in :func:`~repro.core.schemes.run_scheme`: faults are injected
     per the schedule, clients retry per the policy, and the run is
-    bounded in virtual time by a watchdog.
+    bounded in virtual time by a watchdog.  ``tracer`` records the
+    request-lifecycle timeline (see ``repro.obs``).
     """
     if not len(plan):
         raise ValueError("empty plan")
@@ -112,6 +115,8 @@ def run_plan(
     )
 
     env = Environment()
+    if tracer is not None:
+        env.tracer = tracer
     by_process = plan.by_process()
     n_compute = max(1, len(by_process))
     config = discfarm_config(

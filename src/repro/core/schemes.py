@@ -37,6 +37,7 @@ from repro.core.asc import ActiveStorageClient, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.schedule import FaultSchedule
+    from repro.obs.tracer import Tracer
 from repro.core.ass import ActiveStorageServer
 from repro.core.estimator import (
     AlwaysOffloadEstimator,
@@ -227,6 +228,7 @@ def run_scheme(
     fault_schedule: Optional["FaultSchedule"] = None,
     retry_policy: Optional[RetryPolicy] = None,
     max_virtual_time: Optional[float] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> SchemeResult:
     """Build the machine, run the workload, collect the numbers.
 
@@ -236,8 +238,14 @@ def run_scheme(
     ``max_virtual_time``) execute under a bounded-virtual-time
     watchdog, so a recovery bug raises ``WatchdogTimeout`` instead of
     hanging.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) captures the full
+    request-lifecycle timeline of the run — see ``repro.obs`` and
+    ``docs/observability.md``.
     """
     env = Environment()
+    if tracer is not None:
+        env.tracer = tracer
     retry = retry_policy or (
         fault_schedule.retry if fault_schedule is not None else None
     )

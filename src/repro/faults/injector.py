@@ -148,6 +148,18 @@ class FaultInjector:
         if detail:
             entry["detail"] = detail
         self.log.append(entry)
+        tr = self.env.tracer
+        if tr.enabled:
+            if detail:
+                tr.instant(
+                    self.env.now, "fault", "faults",
+                    fault=kind.value, target=server.node.name, detail=detail,
+                )
+            else:
+                tr.instant(
+                    self.env.now, "fault", "faults",
+                    fault=kind.value, target=server.node.name,
+                )
 
 
 def run_with_watchdog(env: Environment, done: Event, deadline: float):

@@ -1,0 +1,304 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a schema validator.
+
+``chrome_trace`` converts one or more tracers into the Chrome trace
+object format (open with ``chrome://tracing`` or https://ui.perfetto.dev).
+Each run (e.g. one scheme) becomes a *process*; each track within a run
+(``server:sn0``, ``client:cn1``, ``faults``…) becomes a *thread*.
+Request lifetimes and slot waits map to async-nestable ``b``/``e``
+events correlated by id; everything else maps to instants.
+
+The exported object also carries the raw span events under a ``spans``
+key (Chrome ignores unknown top-level keys), so trace files round-trip
+into :class:`~repro.obs.tracer.SpanEvent` for offline analysis —
+see ``repro trace critical-path``.
+
+``validate_chrome_trace`` is a hand-rolled structural check against
+:data:`TRACE_SCHEMA` — the repo deliberately avoids a ``jsonschema``
+dependency, but CI uses it to gate the ``--trace`` smoke run.
+
+Determinism: everything here is a pure function of the span events —
+no wall-clock, no ids derived from memory addresses — so two runs with
+the same seed serialise byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from repro.obs.tracer import PHASES, SPAN_KINDS, SpanEvent, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "events_from_file",
+    "validate_chrome_trace",
+    "unclosed_spans",
+    "format_trace_summary",
+    "TRACE_SCHEMA",
+]
+
+#: JSON-Schema-style description of the exported trace document.  Kept
+#: as data (not enforced with the ``jsonschema`` package) so tooling
+#: and humans share one source of truth for the file format.
+TRACE_SCHEMA: Dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro trace export",
+    "type": "object",
+    "required": ["traceEvents", "spans"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "ts", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ph": {"enum": ["M", "i", "b", "e"]},
+                    "ts": {"type": "number", "minimum": 0},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "id": {"type": "integer"},
+                    "s": {"enum": ["t", "p", "g"]},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "spans": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["time", "kind", "phase", "track"],
+                "properties": {
+                    "time": {"type": "number"},
+                    "kind": {"type": "string"},
+                    "phase": {"enum": ["b", "e", "i"]},
+                    "track": {"type": "string"},
+                    "rid": {"type": "integer"},
+                    "span_id": {"type": "integer"},
+                    "attrs": {"type": "object"},
+                },
+            },
+        },
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+    },
+}
+
+
+def _ts(time: float) -> float:
+    """Simulated seconds → trace microseconds, stably rounded.
+
+    Rounding to 3 decimal µs (nanosecond grain) keeps float repr noise
+    out of the export without losing meaningful resolution.
+    """
+    return round(time * 1e6, 3)
+
+
+def chrome_trace(
+    tracers: Union[Tracer, Mapping[str, Tracer]],
+    run_label: str = "run",
+) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from one or more runs.
+
+    ``tracers`` is either a single tracer or an ordered mapping of
+    ``label -> tracer``; each label gets its own pid.  Thread ids are
+    assigned per track in first-appearance order, which is
+    deterministic because event emission order is.
+    """
+    if isinstance(tracers, Tracer):
+        tracers = {run_label: tracers}
+
+    trace_events: List[Dict[str, Any]] = []
+    spans: List[Dict[str, Any]] = []
+
+    for pid, (label, tracer) in enumerate(tracers.items()):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        tids: Dict[str, int] = {}
+        for ev in tracer.events:
+            tid = tids.get(ev.track)
+            if tid is None:
+                tid = tids[ev.track] = len(tids)
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "ts": 0,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": ev.track},
+                    }
+                )
+            args = dict(ev.attrs)
+            if ev.rid is not None:
+                args["rid"] = ev.rid
+            rec: Dict[str, Any] = {
+                "name": ev.kind,
+                "cat": ev.kind,
+                "ph": ev.phase,
+                "ts": _ts(ev.time),
+                "pid": pid,
+                "tid": tid,
+            }
+            if ev.phase == "i":
+                rec["s"] = "t"  # thread-scoped instant
+            else:
+                rec["id"] = ev.span_id if ev.span_id is not None else 0
+            if args:
+                rec["args"] = args
+            trace_events.append(rec)
+            d = ev.to_dict()
+            d["run"] = label
+            spans.append(d)
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "spans": spans,
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    tracers: Union[Tracer, Mapping[str, Tracer]],
+    run_label: str = "run",
+) -> Dict[str, Any]:
+    """Serialise :func:`chrome_trace` to ``path``; returns the document.
+
+    ``sort_keys`` plus the deterministic event stream makes the file
+    byte-identical across same-seed runs.
+    """
+    doc = chrome_trace(tracers, run_label=run_label)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return doc
+
+
+def events_from_file(path: str) -> List[SpanEvent]:
+    """Load the raw span events back out of an exported trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    errors = validate_chrome_trace(doc)
+    if errors:
+        raise ValueError(f"invalid trace file {path}: {errors[0]}")
+    return [SpanEvent.from_dict(d) for d in doc["spans"]]
+
+
+def _check(cond: bool, errors: List[str], msg: str) -> None:
+    if not cond:
+        errors.append(msg)
+
+
+def validate_chrome_trace(doc: Any, max_errors: int = 20) -> List[str]:
+    """Structural validation against :data:`TRACE_SCHEMA`.
+
+    Returns a list of human-readable problems (empty == valid).  Checks
+    stop after ``max_errors`` so a malformed file doesn't drown the
+    report.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["top level: expected an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents: missing or not an array"]
+    raw = doc.get("spans")
+    if not isinstance(raw, list):
+        return ["spans: missing or not an array"]
+
+    for i, ev in enumerate(events):
+        if len(errors) >= max_errors:
+            return errors
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            _check(key in ev, errors, f"{where}: missing {key!r}")
+        if not {"name", "ph", "ts", "pid", "tid"} <= ev.keys():
+            continue
+        _check(isinstance(ev["name"], str), errors, f"{where}: name not a string")
+        _check(
+            ev["ph"] in ("M", "i", "b", "e"),
+            errors,
+            f"{where}: unexpected phase {ev['ph']!r}",
+        )
+        _check(
+            isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0,
+            errors,
+            f"{where}: ts must be a non-negative number",
+        )
+        _check(
+            isinstance(ev["pid"], int) and isinstance(ev["tid"], int),
+            errors,
+            f"{where}: pid/tid must be integers",
+        )
+        if ev["ph"] in ("b", "e"):
+            _check(
+                isinstance(ev.get("id"), int),
+                errors,
+                f"{where}: async event needs an integer id",
+            )
+
+    for i, sp in enumerate(raw):
+        if len(errors) >= max_errors:
+            return errors
+        where = f"spans[{i}]"
+        if not isinstance(sp, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("time", "kind", "phase", "track"):
+            _check(key in sp, errors, f"{where}: missing {key!r}")
+        if not {"time", "kind", "phase", "track"} <= sp.keys():
+            continue
+        _check(
+            isinstance(sp["time"], (int, float)),
+            errors,
+            f"{where}: time must be a number",
+        )
+        _check(
+            sp["phase"] in PHASES, errors, f"{where}: unexpected phase {sp['phase']!r}"
+        )
+        _check(
+            sp["kind"] in SPAN_KINDS,
+            errors,
+            f"{where}: unknown span kind {sp['kind']!r}",
+        )
+    return errors
+
+
+def unclosed_spans(events: Sequence[SpanEvent]) -> List[Any]:
+    """``(kind, span_id)`` pairs whose begin/end counts don't balance."""
+    balance: Dict[Any, int] = {}
+    for e in events:
+        if e.phase == "b":
+            balance[(e.kind, e.span_id)] = balance.get((e.kind, e.span_id), 0) + 1
+        elif e.phase == "e":
+            balance[(e.kind, e.span_id)] = balance.get((e.kind, e.span_id), 0) - 1
+    return sorted((k for k, v in balance.items() if v != 0), key=repr)
+
+
+def format_trace_summary(events: Sequence[SpanEvent]) -> str:
+    """One-paragraph digest of a trace (used by ``repro trace validate``)."""
+    kinds: Dict[str, int] = {}
+    rids = set()
+    for e in events:
+        kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        if e.rid is not None:
+            rids.add(e.rid)
+    parts = [f"{len(events)} events", f"{len(rids)} requests"]
+    top = sorted(kinds.items(), key=lambda kv: (-kv[1], kv[0]))[:6]
+    parts.append(", ".join(f"{k}×{n}" for k, n in top))
+    open_ = unclosed_spans(events)
+    parts.append(f"{len(open_)} unclosed spans" if open_ else "all spans closed")
+    return "; ".join(parts)

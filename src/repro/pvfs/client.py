@@ -28,6 +28,19 @@ from repro.pvfs.server import IOServer
 _parent_counter = itertools.count(1)
 
 
+def reset_parent_ids(start: int = 1) -> None:
+    """Restart the logical-operation id sequence.
+
+    Parent ids are globally unique within a process so concurrent runs
+    never collide; trace-determinism tests (and any tool diffing trace
+    exports between runs) reset them so two same-seed runs serialise
+    byte-identically.  See also
+    :func:`repro.pvfs.requests.reset_request_ids`.
+    """
+    global _parent_counter
+    _parent_counter = itertools.count(start)
+
+
 class PVFSClient:
     """One compute node's file-system client."""
 
@@ -176,6 +189,17 @@ class PVFSClient:
         it can attach its own timeout to each reply.
         """
         server = self.server_for(request)
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(
+                self.env.now,
+                "issue",
+                f"client:{self.node.name}",
+                rid=request.rid,
+                server=server.node.name,
+                io=request.kind.value,
+                parent=request.parent_id,
+            )
         server.submit(request)
         return server
 

@@ -43,6 +43,18 @@ def next_request_id() -> int:
     return next(_rid_counter)
 
 
+def reset_request_ids(start: int = 1) -> None:
+    """Restart the request-id sequence.
+
+    Request ids are process-global so ids never collide across runs;
+    tools comparing trace exports between two same-seed runs (the
+    determinism tests, ``repro trace`` diffing) reset the sequence so
+    both runs label requests identically.
+    """
+    global _rid_counter
+    _rid_counter = itertools.count(start)
+
+
 def slice_extents(
     extents: Tuple[Tuple[int, int], ...], start: int, length: int
 ) -> List[Tuple[int, int]]:

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Protocol, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Environment
 from repro.sim.exceptions import Failure
-from repro.sim.monitor import Monitor
 from repro.sim.process import Process
 from repro.cluster.config import ClusterConfig
 from repro.cluster.network import Link
@@ -67,7 +67,11 @@ class IOServer:
         self.active_handler: Optional[ActiveHandler] = None
         #: Accepted requests not yet replied — the Figure-1 I/O queue.
         self.outstanding: Dict[int, IORequest] = {}
-        self.monitor = Monitor()
+        #: Typed per-server instruments; ``monitor`` stays as an alias
+        #: because older callers (and tests) use ``monitor.get_counter``.
+        self.metrics = MetricsRegistry(now=lambda: env.now)
+        self.monitor = self.metrics
+        self._track = f"server:{node.name}"
         #: True while crashed: new requests are rejected.
         self.down = False
         #: Serving process per rid for normal/write requests, so a
@@ -88,10 +92,13 @@ class IOServer:
         """
         if request.rid in self.outstanding:
             raise PVFSError(f"duplicate request id {request.rid}")
+        tr = self.env.tracer
         if self.down:
             # A crashed server answers nothing; model the connection
             # refusal as an immediate failed reply so clients can retry.
-            self.monitor.count("requests_rejected")
+            self.metrics.inc("requests_rejected")
+            if tr.enabled:
+                tr.instant(self.env.now, "reject", self._track, rid=request.rid)
             request.reply.fail(
                 ServerUnavailable(
                     f"server {self.node.name} is down (request {request.rid})"
@@ -99,8 +106,26 @@ class IOServer:
             )
             return
         self.outstanding[request.rid] = request
-        self.monitor.count("requests_received")
-        self.monitor.count(f"requests_{request.kind.value}")
+        self.metrics.inc("requests_received")
+        self.metrics.inc(f"requests_{request.kind.value}")
+        self.metrics.time_gauge("queue_length").set(len(self.outstanding))
+        if tr.enabled:
+            tr.begin(
+                self.env.now,
+                "request",
+                self._track,
+                rid=request.rid,
+                io=request.kind.value,
+                size=request.size,
+                client=request.client_name,
+            )
+            tr.instant(
+                self.env.now,
+                "enqueue",
+                self._track,
+                rid=request.rid,
+                queue=len(self.outstanding),
+            )
 
         if request.kind is IOKind.NORMAL:
             self._service[request.rid] = self.env.process(self._serve_normal(request))
@@ -127,7 +152,10 @@ class IOServer:
         if self.down:
             return
         self.down = True
-        self.monitor.count("crashes")
+        self.metrics.inc("crashes")
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(self.env.now, "server-crash", self._track, cause=cause)
         for proc in list(self._service.values()):
             if proc.is_alive and proc is not self.env.active_process:
                 proc.interrupt(cause, exc_type=Failure)
@@ -138,20 +166,27 @@ class IOServer:
         victims = list(self.outstanding.values())
         self.outstanding.clear()
         for req in victims:
+            if tr.enabled:
+                tr.end(
+                    self.env.now, "request", self._track, rid=req.rid, outcome="crashed"
+                )
             if not req.reply.triggered:
                 req.reply.fail(
                     ServerCrashed(
                         f"server {self.node.name} crashed holding request {req.rid}"
                     )
                 )
-        self.monitor.record("queue_length", self.env.now, 0)
+        self.metrics.time_gauge("queue_length").set(0)
 
     def restart(self) -> None:
         """Bring a crashed server back with an empty queue.  Idempotent."""
         if not self.down:
             return
         self.down = False
-        self.monitor.count("restarts")
+        self.metrics.inc("restarts")
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(self.env.now, "server-restart", self._track)
 
     def cancel(self, rid: int) -> bool:
         """Client-initiated abandonment (timeout path, before reissue).
@@ -173,12 +208,22 @@ class IOServer:
         ):
             handler.abort(rid)
         if request is not None:
-            self.monitor.count("requests_cancelled")
-            self.monitor.record("queue_length", self.env.now, len(self.outstanding))
+            self.metrics.inc("requests_cancelled")
+            self.metrics.time_gauge("queue_length").set(len(self.outstanding))
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.end(
+                    self.env.now, "request", self._track, rid=rid, outcome="cancelled"
+                )
         return request is not None
 
     # -- normal I/O path -----------------------------------------------------------
     def _serve_normal(self, request: IORequest):
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(
+                self.env.now, "dispatch", self._track, rid=request.rid, mode="normal"
+            )
         try:
             if self.config.model_disk:
                 yield from self.node.disk_read(request.size)
@@ -207,6 +252,11 @@ class IOServer:
     def _serve_write(self, request: IORequest):
         """Ingest data: the transfer crosses the same NIC, then the
         bytes land in the file's buffer (when one exists)."""
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(
+                self.env.now, "dispatch", self._track, rid=request.rid, mode="write"
+            )
         try:
             yield self.link.transfer(request.size)
             if self.config.model_disk:
@@ -249,9 +299,30 @@ class IOServer:
                 # answered through another path — drop silently.
                 return
             raise PVFSError(f"finishing unknown request {request.rid}")
-        self.monitor.count("requests_completed")
-        self.monitor.count("bytes_streamed", reply.bytes_streamed)
-        self.monitor.record("queue_length", self.env.now, len(self.outstanding))
+        self.metrics.inc("requests_completed")
+        self.metrics.inc("bytes_streamed", reply.bytes_streamed)
+        self.metrics.time_gauge("queue_length").set(len(self.outstanding))
+        self.metrics.histogram("service_time").observe(
+            self.env.now - request.submitted_at
+        )
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(
+                self.env.now,
+                "reply",
+                self._track,
+                rid=request.rid,
+                completed=reply.completed,
+                demoted=reply.demoted,
+                served_active=reply.served_active,
+            )
+            tr.end(
+                self.env.now,
+                "request",
+                self._track,
+                rid=request.rid,
+                outcome="demoted" if reply.demoted else "completed",
+            )
         request.reply.succeed(reply)
 
     def queue_stats(self) -> Tuple[int, int, float, float]:

@@ -19,11 +19,11 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import (
     AllOf,
     AnyOf,
     Event,
-    PENDING,
     PRIORITY_NORMAL,
     Timeout,
 )
@@ -52,6 +52,11 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Request-lifecycle tracer (see ``repro.obs``).  Components
+        #: read this at call time, so swapping in a real ``Tracer``
+        #: before the run instruments the whole stack; the default
+        #: no-op tracer costs one ``enabled`` check per site.
+        self.tracer = NULL_TRACER
 
     # -- clock ------------------------------------------------------------
     @property
@@ -110,6 +115,12 @@ class Environment:
             raise _EmptySchedule() from None
 
         self._now = when
+        if self.tracer.trace_engine:
+            # High-volume: every processed event.  Gated by its own
+            # flag so normal tracing runs don't pay for it.
+            self.tracer.instant(
+                when, "event", "engine", etype=type(event).__name__, prio=_prio
+            )
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
         if callbacks is not None:
@@ -128,7 +139,10 @@ class Environment:
         ----------
         until:
             ``None`` — run until the event queue is exhausted.
-            a number — run until the clock reaches that time.
+            a number — run until the clock reaches that time.  The
+            boundary follows simpy: the run stops *before* processing
+            events scheduled at exactly ``until``; they fire on the
+            next ``run()``/``step()`` call.
             an :class:`Event` — run until that event is processed and
             return its value (re-raising its exception on failure).
         """
@@ -143,12 +157,6 @@ class Environment:
                     if at_event.ok:
                         return at_event.value
                     raise at_event.value
-                done = {}
-
-                def _stop(event: Event) -> None:
-                    done["event"] = event
-
-                at_event.callbacks.append(_stop)
             else:
                 stop_time = float(until)
                 if stop_time < self._now:
@@ -161,7 +169,11 @@ class Environment:
                 if at_event is not None and at_event.processed:
                     break
                 nxt = self.peek()
-                if nxt > stop_time:
+                if stop_time < Infinity and nxt >= stop_time:
+                    # Events at exactly `stop_time` stay queued (simpy
+                    # semantics).  The finiteness guard keeps
+                    # run(until=None) from setting the clock to inf
+                    # when the queue drains.
                     self._now = stop_time
                     break
                 self.step()

@@ -9,6 +9,7 @@ bandwidth (Figures 11–12).
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -46,24 +47,36 @@ class TimeSeries:
         return sum(self.values) / len(self.values)
 
     def time_weighted_mean(self, until: Optional[float] = None) -> float:
-        """Mean of the piecewise-constant signal the samples define.
+        """Mean of the piecewise-constant signal over ``[times[0], until]``.
 
         Each value holds from its sample time to the next sample (or to
-        ``until`` for the last sample).
+        ``until`` for the last sample).  ``until`` defaults to the last
+        sample time; an ``until`` inside the series integrates only the
+        prefix, and one *before the first sample* raises ``ValueError``
+        — there is no signal to average there.  A zero-width window
+        (``until == times[0]``) returns the instantaneous value.
         """
         if not self.values:
             raise ValueError(f"empty series {self.name!r}")
         end = self.times[-1] if until is None else until
-        if end < self.times[-1]:
-            raise ValueError("until precedes the last sample")
-        total = 0.0
+        if end < self.times[0]:
+            raise ValueError(
+                f"until={end} precedes the first sample at {self.times[0]}"
+                f" in {self.name!r}"
+            )
         span = end - self.times[0]
         if span <= 0:
-            return self.values[-1]
+            # All mass at one instant: the signal's value at `end` is
+            # the last sample recorded at or before it.
+            idx = bisect.bisect_right(self.times, end) - 1
+            return self.values[idx]
+        total = 0.0
         for i in range(len(self.times)):
             t0 = self.times[i]
+            if t0 >= end:
+                break
             t1 = self.times[i + 1] if i + 1 < len(self.times) else end
-            total += self.values[i] * (t1 - t0)
+            total += self.values[i] * (min(t1, end) - t0)
         return total / span
 
 
@@ -131,11 +144,18 @@ class Monitor:
         return self.series[name]
 
     def summary(self) -> Dict[str, Any]:
-        """Flat dict of counters plus per-series mean/last."""
+        """Flat dict of counters plus per-series mean/sample_mean/last.
+
+        Series are piecewise-constant signals, so ``<name>.mean`` is the
+        *time-weighted* mean; the unweighted mean of the raw samples is
+        kept under ``<name>.sample_mean`` (the two differ whenever the
+        signal dwells longer at some values than at others).
+        """
         out: Dict[str, Any] = dict(self.counters)
         for name, series in self.series.items():
             if len(series):
-                out[f"{name}.mean"] = series.mean()
+                out[f"{name}.mean"] = series.time_weighted_mean()
+                out[f"{name}.sample_mean"] = series.mean()
                 out[f"{name}.last"] = series.last()
         return out
 

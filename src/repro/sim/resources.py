@@ -29,11 +29,14 @@ if TYPE_CHECKING:  # pragma: no cover
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "_seq")
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
+        #: Deterministic per-resource sequence number; keys the
+        #: slot-wait trace span (memory addresses would not replay).
+        self._seq = next(resource._tokens)
         resource._do_request(self)
 
     # Context-manager sugar: ``with res.request() as req: yield req``
@@ -64,14 +67,22 @@ class Release(Event):
 
 
 class Resource:
-    """A pool of ``capacity`` identical slots with a FIFO wait queue."""
+    """A pool of ``capacity`` identical slots with a FIFO wait queue.
 
-    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+    ``name`` labels the resource in trace exports: a *named* resource
+    emits ``slot-wait`` spans (queued → granted/cancelled) when the
+    environment's tracer is enabled; anonymous resources stay silent
+    so traces show only meaningful contention points.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = "") -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
+        self.name = name
         self._capacity = int(capacity)
         self._suspended = False
+        self._tokens = itertools.count()
         #: Requests currently holding a slot.
         self.users: List[Request] = []
         #: Requests waiting for a slot (FIFO).
@@ -120,6 +131,34 @@ class Resource:
         """Return the slot held by ``request``."""
         return Release(self, request)
 
+    # -- tracing ---------------------------------------------------------------
+    def _trace_wait_begin(self, request: Request) -> None:
+        tr = self.env.tracer
+        if tr.enabled and self.name:
+            tr.begin(
+                self.env.now,
+                "slot-wait",
+                f"res:{self.name}",
+                span_id=request._seq,
+                queued=len(self.queue),
+            )
+
+    def _trace_wait_end(self, request: Request, cancelled: bool = False) -> None:
+        tr = self.env.tracer
+        if tr.enabled and self.name:
+            if cancelled:
+                tr.end(
+                    self.env.now,
+                    "slot-wait",
+                    f"res:{self.name}",
+                    span_id=request._seq,
+                    cancelled=True,
+                )
+            else:
+                tr.end(
+                    self.env.now, "slot-wait", f"res:{self.name}", span_id=request._seq
+                )
+
     # -- internals -------------------------------------------------------------
     def _do_request(self, request: Request) -> None:
         if not self._suspended and len(self.users) < self._capacity:
@@ -127,6 +166,7 @@ class Resource:
             request.succeed()
         else:
             self.queue.append(request)
+            self._trace_wait_begin(request)
 
     def _do_release(self, release: Release) -> None:
         try:
@@ -143,12 +183,14 @@ class Resource:
             self._grant_next()
         elif request in self.queue:
             self.queue.remove(request)
+            self._trace_wait_end(request, cancelled=True)
         # else: already fully released — cancel is idempotent.
 
     def _grant_next(self) -> None:
         while not self._suspended and self.queue and len(self.users) < self._capacity:
             nxt = self.queue.pop(0)
             self.users.append(nxt)
+            self._trace_wait_end(nxt)
             nxt.succeed()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -176,11 +218,17 @@ class PriorityRequest(Request):
 
 
 class PriorityResource(Resource):
-    """A :class:`Resource` whose wait queue is ordered by priority."""
+    """A :class:`Resource` whose wait queue is ordered by priority.
 
-    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+    Invariant (checked by ``tests/sim/test_resources.py``): ``.queue``
+    and ``._heap`` always hold exactly the same requests — the heap
+    orders grants, the list keeps FIFO-introspection compatibility —
+    and neither ever shares a request with ``.users``.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = "") -> None:
         self._counter = itertools.count()
-        super().__init__(env, capacity)
+        super().__init__(env, capacity, name=name)
         self._heap: List[tuple] = []
 
     def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
@@ -195,6 +243,7 @@ class PriorityResource(Resource):
         else:
             heapq.heappush(self._heap, (request.key, request))
             self.queue.append(request)  # keep .queue introspectable
+            self._trace_wait_begin(request)
 
     def _do_cancel(self, request: Request) -> None:
         if request in self.users:
@@ -204,12 +253,14 @@ class PriorityResource(Resource):
             self.queue.remove(request)
             self._heap = [(k, r) for (k, r) in self._heap if r is not request]
             heapq.heapify(self._heap)
+            self._trace_wait_end(request, cancelled=True)
 
     def _grant_next(self) -> None:
         while not self._suspended and self._heap and len(self.users) < self._capacity:
             _key, nxt = heapq.heappop(self._heap)
             self.queue.remove(nxt)
             self.users.append(nxt)
+            self._trace_wait_end(nxt)
             nxt.succeed()
 
 

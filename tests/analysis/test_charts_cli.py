@@ -106,3 +106,76 @@ class TestCLI:
         assert main(["table", "3"]) == 0
         captured = capsys.readouterr()
         assert "sum" in captured.out
+
+
+class TestCLITracing:
+    def _run(self, argv):
+        out = io.StringIO()
+        args = build_parser().parse_args(argv)
+        code = args.func(args, out=out)
+        return code, out.getvalue()
+
+    def _record(self, tmp_path, extra=()):
+        path = str(tmp_path / "trace.json")
+        code, text = self._run(
+            ["run", "--kernel", "sum", "--requests", "2", "--mb", "8",
+             "--scheme", "dosas", "--trace", path, *extra])
+        assert code == 0
+        assert "span events" in text
+        return path
+
+    def test_run_trace_then_validate(self, tmp_path):
+        path = self._record(tmp_path)
+        code, text = self._run(["trace", "validate", path])
+        assert code == 0
+        assert "all request spans closed" in text
+
+    def test_validate_rejects_tampered_file(self, tmp_path, capsys):
+        import json
+
+        path = self._record(tmp_path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        # Drop a request end: the span chain no longer closes.
+        doc["spans"] = [d for d in doc["spans"]
+                        if not (d["kind"] == "request" and d["phase"] == "e")]
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        code, _ = self._run(["trace", "validate", path])
+        assert code == 1
+        assert "never closed" in capsys.readouterr().err
+
+    def test_critical_path_command(self, tmp_path):
+        path = self._record(tmp_path)
+        code, text = self._run(["trace", "critical-path", path])
+        assert code == 0
+        assert "rid" in text and "completed" in text
+
+    def test_critical_path_run_filter(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        code, text = self._run(["trace", "critical-path", path,
+                                "--run", "dosas"])
+        assert code == 0 and "completed" in text
+        code, _ = self._run(["trace", "critical-path", path, "--run", "nope"])
+        assert code == 2
+        assert "no events for run" in capsys.readouterr().err
+
+    def test_run_all_schemes_with_trace(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "all.json")
+        code, _ = self._run(["run", "--kernel", "sum", "--requests", "1",
+                             "--mb", "8", "--trace", path])
+        assert code == 0
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert {d["run"] for d in doc["spans"]} == {"ts", "as", "dosas"}
+
+    def test_faulted_run_with_trace(self, tmp_path):
+        path = str(tmp_path / "fault.json")
+        code, _ = self._run(["run", "--kernel", "sum", "--requests", "1",
+                             "--mb", "8", "--scheme", "dosas",
+                             "--faults", "crash-restart", "--trace", path])
+        assert code == 0
+        code, text = self._run(["trace", "validate", path])
+        assert code == 0

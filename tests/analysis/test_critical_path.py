@@ -1,0 +1,104 @@
+"""Per-request critical-path breakdown."""
+
+import pytest
+
+from repro.analysis.critical_path import (
+    RequestPath,
+    critical_paths,
+    format_critical_path_table,
+    unclosed_requests,
+)
+from repro.cluster.config import MB
+from repro.core import Scheme, WorkloadSpec, run_scheme
+from repro.obs import SpanEvent, Tracer
+
+
+def _dosas_trace():
+    tracer = Tracer()
+    run_scheme(
+        Scheme.DOSAS,
+        WorkloadSpec(kernel="sum", n_requests=3, request_bytes=8 * MB, seed=3),
+        tracer=tracer,
+    )
+    return tracer
+
+
+class TestCriticalPathsFromRun:
+    def test_every_request_resolves_to_a_closed_path(self):
+        tracer = _dosas_trace()
+        paths = critical_paths(tracer.events)
+        assert len(paths) == 3
+        for p in paths.values():
+            assert p.closed and p.outcome == "completed"
+            assert p.verdict == "active"
+            assert p.kind == "active"
+            assert p.track.startswith("server:")
+            assert p.queue_time is not None and p.queue_time >= 0
+            assert p.service_time is not None and p.service_time > 0
+            assert p.total_time == pytest.approx(
+                p.queue_time + p.service_time
+            )
+
+    def test_stage_ordering(self):
+        paths = critical_paths(_dosas_trace().events)
+        for p in paths.values():
+            assert p.enqueued_at <= p.decided_at <= p.dispatched_at
+            assert p.dispatched_at <= p.replied_at <= p.finished_at
+
+    def test_table_renders_every_request(self):
+        paths = critical_paths(_dosas_trace().events)
+        text = format_critical_path_table(paths)
+        assert "rid" in text and "service" in text
+        assert len(text.splitlines()) == 2 + len(paths)
+
+
+class TestSyntheticEvents:
+    def test_retry_and_demote_counters(self):
+        events = [
+            SpanEvent(0.0, "request", "b", "server:sn0", rid=1, span_id=1),
+            SpanEvent(0.0, "enqueue", "i", "server:sn0", rid=1),
+            SpanEvent(1.0, "retry", "i", "client:cn0", rid=1),
+            SpanEvent(2.0, "demote", "i", "ass:sn0", rid=1),
+            SpanEvent(3.0, "request", "e", "server:sn0", rid=1, span_id=1,
+                      attrs=(("outcome", "demoted"),)),
+        ]
+        (p,) = critical_paths(events).values()
+        assert p.retries == 1 and p.demotions == 1
+        assert p.outcome == "demoted"
+        assert p.service_time is None  # never dispatched
+
+    def test_events_without_rid_are_ignored(self):
+        events = [SpanEvent(0.0, "probe", "i", "probe:sn0")]
+        assert critical_paths(events) == {}
+
+    def test_open_path_flagged(self):
+        events = [
+            SpanEvent(0.0, "request", "b", "server:sn0", rid=4, span_id=4),
+            SpanEvent(0.0, "enqueue", "i", "server:sn0", rid=4),
+        ]
+        paths = critical_paths(events)
+        assert not paths[4].closed and paths[4].total_time is None
+        assert "open" in format_critical_path_table(paths)
+
+
+class TestUnclosedRequests:
+    def test_balanced_trace_is_clean(self):
+        assert unclosed_requests(_dosas_trace().events) == []
+
+    def test_detects_missing_end(self):
+        events = [
+            SpanEvent(0.0, "request", "b", "server:sn0", rid=1, span_id=1),
+            SpanEvent(1.0, "request", "e", "server:sn0", rid=1, span_id=1),
+            SpanEvent(0.5, "request", "b", "server:sn0", rid=2, span_id=2),
+        ]
+        assert unclosed_requests(events) == [2]
+
+
+class TestRequestPathProperties:
+    def test_missing_milestones_yield_none(self):
+        p = RequestPath(rid=1)
+        assert p.queue_time is None
+        assert p.decision_time is None
+        assert p.service_time is None
+        assert p.total_time is None
+        assert not p.closed

@@ -1,0 +1,131 @@
+"""Chrome trace export, validation, and file round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SpanEvent,
+    Tracer,
+    chrome_trace,
+    events_from_file,
+    format_trace_summary,
+    unclosed_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _sample_tracer():
+    tr = Tracer()
+    tr.begin(0.0, "request", "server:sn0", rid=1, io="active")
+    tr.instant(0.0, "enqueue", "server:sn0", rid=1)
+    tr.instant(0.5, "dispatch", "server:sn0", rid=1, mode="kernel")
+    tr.instant(1.0, "reply", "server:sn0", rid=1)
+    tr.end(1.0, "request", "server:sn0", rid=1, outcome="completed")
+    tr.instant(0.2, "probe", "probe:sn0", n=1)
+    return tr
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = chrome_trace(_sample_tracer(), run_label="dosas")
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "spans"}
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e["args"]["name"] for e in metas
+                 if e["name"] == "process_name"}
+        assert names == {"process_name": "dosas"}
+        threads = {e["args"]["name"] for e in metas
+                   if e["name"] == "thread_name"}
+        assert threads == {"server:sn0", "probe:sn0"}
+
+    def test_times_in_microseconds(self):
+        doc = chrome_trace(_sample_tracer())
+        reply = [e for e in doc["traceEvents"] if e["name"] == "reply"]
+        assert reply[0]["ts"] == 1_000_000.0
+
+    def test_async_events_carry_span_id(self):
+        doc = chrome_trace(_sample_tracer())
+        spans = [e for e in doc["traceEvents"] if e["ph"] in ("b", "e")]
+        assert all(e["id"] == 1 for e in spans)
+
+    def test_instants_are_thread_scoped(self):
+        doc = chrome_trace(_sample_tracer())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
+    def test_multi_run_gets_one_pid_per_label(self):
+        doc = chrome_trace({"ts": _sample_tracer(), "dosas": _sample_tracer()})
+        pids = {e["args"]["name"]: e["pid"] for e in doc["traceEvents"]
+                if e["name"] == "process_name"}
+        assert pids == {"ts": 0, "dosas": 1}
+        runs = {d["run"] for d in doc["spans"]}
+        assert runs == {"ts", "dosas"}
+
+    def test_valid_against_schema(self):
+        assert validate_chrome_trace(chrome_trace(_sample_tracer())) == []
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) == ["top level: expected an object"]
+
+    def test_rejects_missing_arrays(self):
+        assert validate_chrome_trace({}) == ["traceEvents: missing or not an array"]
+        assert validate_chrome_trace({"traceEvents": []}) == [
+            "spans: missing or not an array"
+        ]
+
+    def test_flags_bad_phase_and_kind(self):
+        doc = chrome_trace(_sample_tracer())
+        doc["traceEvents"][2]["ph"] = "X"
+        doc["spans"][0]["kind"] = "nonsense"
+        errors = validate_chrome_trace(doc)
+        assert any("unexpected phase 'X'" in e for e in errors)
+        assert any("unknown span kind 'nonsense'" in e for e in errors)
+
+    def test_flags_async_without_id(self):
+        doc = chrome_trace(_sample_tracer())
+        for e in doc["traceEvents"]:
+            if e["ph"] == "b":
+                del e["id"]
+        assert any("needs an integer id" in e
+                   for e in validate_chrome_trace(doc))
+
+    def test_error_cap(self):
+        doc = {"traceEvents": [{} for _ in range(100)], "spans": []}
+        assert len(validate_chrome_trace(doc, max_errors=5)) == 5
+
+
+class TestFileRoundTrip:
+    def test_write_then_read_back(self, tmp_path):
+        tr = _sample_tracer()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tr)
+        events = events_from_file(str(path))
+        assert events == tr.events
+
+    def test_read_back_rejects_corruption(self, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = write_chrome_trace(str(path), _sample_tracer())
+        doc["spans"][0]["phase"] = "z"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            events_from_file(str(path))
+
+
+class TestSpanAccounting:
+    def test_unclosed_spans(self):
+        events = [
+            SpanEvent(0.0, "request", "b", "server:sn0", rid=1, span_id=1),
+            SpanEvent(1.0, "request", "e", "server:sn0", rid=1, span_id=1),
+            SpanEvent(0.0, "kernel", "b", "ass:sn0", rid=2, span_id=2),
+        ]
+        assert unclosed_spans(events) == [("kernel", 2)]
+
+    def test_summary_mentions_balance(self):
+        tr = _sample_tracer()
+        text = format_trace_summary(tr.events)
+        assert "all spans closed" in text
+        tr.begin(2.0, "kernel", "ass:sn0", rid=9)
+        assert "1 unclosed spans" in format_trace_summary(tr.events)

@@ -1,0 +1,90 @@
+"""End-to-end tracing: determinism and span-chain acceptance.
+
+Two runs with the same seed must serialise to byte-identical trace
+exports — the guarantee the whole tracer design (no memory addresses,
+no wall-clock, sorted attrs, counter-based span ids) exists to uphold.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.config import MB
+from repro.core import Scheme, WorkloadSpec, run_scheme
+from repro.faults import scenario
+from repro.obs import Tracer, chrome_trace
+from repro.pvfs.client import reset_parent_ids
+from repro.pvfs.requests import reset_request_ids
+
+SPEC = dict(kernel="sum", n_requests=4, request_bytes=8 * MB, seed=7)
+
+
+def _traced_run(scheme, fault_schedule=None, spec=None):
+    # Request/parent ids are module-global counters; rebase them so two
+    # in-process runs number their requests identically.
+    reset_request_ids()
+    reset_parent_ids()
+    tracer = Tracer()
+    run_scheme(scheme, WorkloadSpec(**(spec or SPEC)),
+               fault_schedule=fault_schedule, tracer=tracer)
+    return tracer
+
+
+def _export_bytes(tracer, label):
+    return json.dumps(chrome_trace({label: tracer}),
+                      sort_keys=True, separators=(",", ":"))
+
+
+class TestByteIdenticalExports:
+    @pytest.mark.parametrize("scheme", list(Scheme), ids=lambda s: s.value)
+    def test_same_seed_same_bytes(self, scheme):
+        a = _export_bytes(_traced_run(scheme), scheme.value)
+        b = _export_bytes(_traced_run(scheme), scheme.value)
+        assert a == b
+        assert len(json.loads(a)["spans"]) > 0
+
+    def test_fault_run_same_seed_same_bytes(self):
+        def run():
+            # Degrade one node mid-run so fault + checkpoint/migrate
+            # events land inside the trace.
+            return _traced_run(
+                Scheme.DOSAS,
+                fault_schedule=scenario("degraded-node", at=0.01),
+            )
+
+        a, b = run(), run()
+        assert a.events == b.events
+        assert _export_bytes(a, "dosas") == _export_bytes(b, "dosas")
+        assert a.by_kind("fault"), "the fault should have been traced"
+
+
+class TestSpanChainAcceptance:
+    def test_every_completed_request_has_a_closed_chain(self):
+        tracer = _traced_run(Scheme.DOSAS)
+        replies = tracer.by_kind("reply")
+        assert replies, "the run should complete requests"
+        for reply in replies:
+            chain = [e.kind for e in tracer.for_request(reply.rid)]
+            for step in ("enqueue", "policy-decision", "dispatch", "reply"):
+                assert step in chain, f"rid {reply.rid} missing {step}"
+            # enqueue precedes decision precedes dispatch precedes reply.
+            order = [chain.index(s) for s in
+                     ("enqueue", "policy-decision", "dispatch", "reply")]
+            assert order == sorted(order)
+        assert tracer.open_spans() == []
+
+    def test_ts_requests_close_without_policy_steps(self):
+        tracer = _traced_run(Scheme.TS)
+        assert tracer.open_spans() == []
+        assert tracer.by_kind("reply")
+        # TS never consults the runtime: no policy decisions traced.
+        assert tracer.by_kind("policy-decision") == []
+
+
+class TestDisabledTracing:
+    def test_runs_without_tracer_record_nothing(self):
+        from repro.obs import NULL_TRACER
+
+        before = len(NULL_TRACER.events)
+        run_scheme(Scheme.DOSAS, WorkloadSpec(**SPEC))
+        assert len(NULL_TRACER.events) == before == 0

@@ -1,0 +1,98 @@
+"""Tracer and SpanEvent semantics."""
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    SPAN_KINDS,
+    SpanEvent,
+    Tracer,
+    merge_events,
+)
+
+
+class TestSpanEvent:
+    def test_round_trip(self):
+        ev = SpanEvent(
+            time=1.5, kind="request", phase="b", track="server:sn0",
+            rid=7, span_id=7, attrs=(("io", "active"), ("size", 128)),
+        )
+        assert SpanEvent.from_dict(ev.to_dict()) == ev
+
+    def test_minimal_round_trip(self):
+        ev = SpanEvent(time=0.0, kind="probe", phase="i", track="probe:sn0")
+        d = ev.to_dict()
+        assert "rid" not in d and "span_id" not in d and "attrs" not in d
+        assert SpanEvent.from_dict(d) == ev
+
+    def test_attrs_sorted_for_equality(self):
+        a = SpanEvent(0.0, "fault", "i", "faults", attrs=(("a", 1), ("b", 2)))
+        d = {"time": 0.0, "kind": "fault", "phase": "i", "track": "faults",
+             "attrs": {"b": 2, "a": 1}}
+        assert SpanEvent.from_dict(d) == a
+
+
+class TestTracer:
+    def test_instant_records_sorted_attrs(self):
+        tr = Tracer()
+        tr.instant(2.0, "dispatch", "server:sn0", rid=3, mode="kernel", b=1)
+        (ev,) = tr.events
+        assert ev.phase == "i" and ev.rid == 3
+        assert ev.attrs == (("b", 1), ("mode", "kernel"))
+
+    def test_begin_end_default_span_id_to_rid(self):
+        tr = Tracer()
+        tr.begin(0.0, "request", "server:sn0", rid=5)
+        tr.end(1.0, "request", "server:sn0", rid=5, outcome="completed")
+        assert [e.span_id for e in tr.events] == [5, 5]
+        assert tr.open_spans() == []
+
+    def test_open_spans_reports_unbalanced(self):
+        tr = Tracer()
+        tr.begin(0.0, "kernel", "ass:sn0", rid=1)
+        tr.begin(0.0, "request", "server:sn0", rid=2)
+        tr.end(1.0, "request", "server:sn0", rid=2)
+        assert tr.open_spans() == [("kernel", 1)]
+
+    def test_by_kind_and_for_request(self):
+        tr = Tracer()
+        tr.instant(0.0, "enqueue", "server:sn0", rid=1)
+        tr.instant(0.5, "enqueue", "server:sn0", rid=2)
+        tr.instant(1.0, "reply", "server:sn0", rid=1)
+        assert [e.rid for e in tr.by_kind("enqueue")] == [1, 2]
+        assert [e.kind for e in tr.for_request(1)] == ["enqueue", "reply"]
+
+    def test_len(self):
+        tr = Tracer()
+        assert len(tr) == 0
+        tr.instant(0.0, "probe", "probe:sn0")
+        assert len(tr) == 1
+
+    def test_core_kinds_registered(self):
+        for kind in ("request", "enqueue", "policy-decision", "dispatch",
+                     "reply", "retry", "kernel", "kernel-checkpoint",
+                     "kernel-migrate", "slot-wait", "fault", "probe"):
+            assert kind in SPAN_KINDS
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.instant(0.0, "enqueue", "t", rid=1)
+        NULL_TRACER.begin(0.0, "request", "t", rid=1)
+        NULL_TRACER.end(1.0, "request", "t", rid=1)
+        assert NULL_TRACER.events == []
+
+    def test_is_a_tracer(self):
+        assert isinstance(NullTracer(), Tracer)
+        assert Tracer.enabled is True
+
+
+class TestMergeEvents:
+    def test_time_ordered_stable(self):
+        a, b = Tracer(), Tracer()
+        a.instant(1.0, "probe", "probe:sn0", n=1)
+        a.instant(3.0, "probe", "probe:sn0", n=2)
+        b.instant(1.0, "probe", "probe:sn1", n=3)
+        b.instant(2.0, "probe", "probe:sn1", n=4)
+        merged = merge_events([a, b])
+        assert [dict(e.attrs)["n"] for e in merged] == [1, 3, 4, 2]

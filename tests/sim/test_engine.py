@@ -24,6 +24,34 @@ class TestClock:
         with pytest.raises(SimulationError):
             env.run(until=1)
 
+    def test_run_until_boundary_excludes_events_at_t(self, env):
+        # simpy semantics: run(until=t) stops *before* processing
+        # events scheduled at exactly t.
+        fired = []
+
+        def proc(env):
+            yield env.timeout(30)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=30)
+        assert env.now == 30
+        assert fired == []
+        env.run()  # the boundary event is still queued and fires now
+        assert fired == [30]
+
+    def test_run_until_none_with_drained_queue_keeps_clock_finite(self, env):
+        env.timeout(7)
+        env.run()
+        assert env.now == 7
+        env.run()  # idempotent on an empty queue
+        assert env.now == 7
+
+    def test_run_until_now_is_noop(self, env):
+        env.timeout(3)
+        env.run(until=0)
+        assert env.now == 0
+
 
 class TestRunUntilEvent:
     def test_returns_event_value(self, env):

@@ -35,12 +35,35 @@ class TestTimeSeries:
         ts.record(2, 10)  # 10 for [2, 4)
         assert ts.time_weighted_mean(until=4) == 5
 
-    def test_time_weighted_mean_until_before_last_raises(self):
+    def test_time_weighted_mean_until_before_first_raises(self):
         ts = TimeSeries()
-        ts.record(0, 1)
+        ts.record(2, 1)
         ts.record(5, 2)
         with pytest.raises(ValueError):
-            ts.time_weighted_mean(until=3)
+            ts.time_weighted_mean(until=1)
+
+    def test_time_weighted_mean_prefix_window(self):
+        ts = TimeSeries()
+        ts.record(0, 1)   # 1 for [0, 5)
+        ts.record(5, 9)   # 9 afterwards
+        # A mid-series `until` integrates only the prefix.
+        assert ts.time_weighted_mean(until=3) == 1
+        assert ts.time_weighted_mean(until=10) == pytest.approx(5.0)
+
+    def test_time_weighted_mean_zero_width_window(self):
+        ts = TimeSeries()
+        ts.record(4, 3)
+        ts.record(4, 8)  # same instant: instantaneous value wins
+        assert ts.time_weighted_mean(until=4) == 8
+
+    def test_time_weighted_differs_from_sample_mean(self):
+        # Known piecewise-constant signal where the two means differ:
+        # value 0 holds for 9s, value 10 for 1s.
+        ts = TimeSeries()
+        ts.record(0, 0)
+        ts.record(9, 10)
+        assert ts.mean() == 5.0
+        assert ts.time_weighted_mean(until=10) == pytest.approx(1.0)
 
 
 class TestTimeWeightedStat:
@@ -88,7 +111,21 @@ class TestMonitor:
         s = m.summary()
         assert s["n"] == 5
         assert s["q.mean"] == 2.0
+        assert s["q.sample_mean"] == 2.0
         assert s["q.last"] == 2.0
+
+    def test_summary_mean_is_time_weighted(self):
+        # Queue depth 4 for 8s, then 0 for 2s: dwell-time-weighted mean
+        # is 3.2 while the naive sample mean is 4/3.  summary() must
+        # report the weighted one as `.mean`.
+        m = Monitor()
+        m.record("q", 0, 4.0)
+        m.record("q", 8, 0.0)
+        m.record("q", 10, 0.0)
+        s = m.summary()
+        assert s["q.mean"] == pytest.approx(3.2)
+        assert s["q.sample_mean"] == pytest.approx(4 / 3)
+        assert s["q.mean"] != s["q.sample_mean"]
 
 
 class TestPercentile:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs import Tracer
 from repro.sim import Container, Environment, PriorityResource, Resource, SimulationError
 
 
@@ -247,6 +248,177 @@ class TestPriorityResource:
         env.process(last(env, res))
         env.run()
         assert order == [5]
+
+
+def _assert_consistent(res: PriorityResource) -> None:
+    """The documented queue/heap/users invariant of PriorityResource."""
+    heap_requests = [r for (_key, r) in res._heap]
+    assert len(heap_requests) == len(res.queue)
+    assert set(heap_requests) == set(res.queue)
+    assert not set(res.queue) & set(res.users)
+
+
+class TestPriorityResourceConsistency:
+    """`.queue` and `._heap` must never diverge, whatever the interleaving."""
+
+    def test_interleaved_request_cancel_release(self, env):
+        res = PriorityResource(env, capacity=2)
+        log = []
+
+        def worker(env, res, name, prio, arrive, hold, bail=None):
+            yield env.timeout(arrive)
+            req = res.request(priority=prio)
+            _assert_consistent(res)
+            if bail is not None:
+                yield env.timeout(bail)
+                req.cancel()
+                _assert_consistent(res)
+                return
+            yield req
+            _assert_consistent(res)
+            log.append(name)
+            yield env.timeout(hold)
+            res.release(req)
+            _assert_consistent(res)
+
+        env.process(worker(env, res, "a", 1, 0, 5))
+        env.process(worker(env, res, "b", 1, 0, 5))
+        env.process(worker(env, res, "q1", 0, 1, 2))
+        env.process(worker(env, res, "q2", 2, 1, 2, bail=1))  # cancels queued
+        env.process(worker(env, res, "q3", 1, 2, 1))
+        env.run()
+        _assert_consistent(res)
+        assert not res.queue and not res._heap and not res.users
+        assert log == ["a", "b", "q1", "q3"]
+
+    def test_cancel_granted_while_suspended_with_waiters(self, env):
+        """Cancelling a *granted* request during suspension must not
+        grant a waiter early, and resume must serve the backlog in
+        priority order with queue and heap still in lockstep."""
+        res = PriorityResource(env, capacity=1)
+        granted = []
+
+        def holder(env, res):
+            req = res.request(priority=0)
+            yield req
+            yield env.timeout(2)
+            res.suspend()
+            req.cancel()  # give up the slot while service is stopped
+            _assert_consistent(res)
+            assert res.users == []
+            assert len(res.queue) == 2  # waiters still parked
+            yield env.timeout(2)
+            res.resume_service()
+            _assert_consistent(res)
+
+        def waiter(env, res, name, prio):
+            yield env.timeout(1)
+            req = res.request(priority=prio)
+            yield req
+            granted.append((name, env.now))
+            res.release(req)
+
+        env.process(holder(env, res))
+        env.process(waiter(env, res, "low", 5))
+        env.process(waiter(env, res, "high", 0))
+        env.run()
+        _assert_consistent(res)
+        # Nobody was served before resume at t=4; high goes first.
+        assert granted == [("high", 4), ("low", 4)]
+
+    def test_double_cancel_is_idempotent(self, env):
+        res = PriorityResource(env, capacity=1)
+
+        def proc(env, res):
+            req = res.request(priority=0)
+            yield req
+            req.cancel()
+            _assert_consistent(res)
+            req.cancel()  # second cancel: already released
+            _assert_consistent(res)
+            yield env.timeout(0)
+
+        env.run(until=env.process(proc(env, res)))
+        assert not res.users and not res.queue and not res._heap
+
+    def test_cancel_queued_while_suspended(self, env):
+        res = PriorityResource(env, capacity=1)
+
+        def holder(env, res):
+            req = res.request(priority=0)
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+
+        def quitter(env, res):
+            yield env.timeout(1)
+            req = res.request(priority=1)
+            res.suspend()
+            req.cancel()
+            _assert_consistent(res)
+            assert not res.queue and not res._heap
+            res.resume_service()
+
+        env.process(holder(env, res))
+        env.process(quitter(env, res))
+        env.run()
+        _assert_consistent(res)
+
+
+class TestSlotWaitTracing:
+    def test_named_resource_emits_slot_wait_spans(self, env):
+        env.tracer = Tracer()
+        res = PriorityResource(env, capacity=1, name="sn0.cpu")
+
+        def worker(env, res, hold):
+            with res.request(priority=1) as req:
+                yield req
+                yield env.timeout(hold)
+
+        env.process(worker(env, res, 2))
+        env.process(worker(env, res, 1))
+        env.run()
+        waits = env.tracer.by_kind("slot-wait")
+        # Only the second worker queued: one begin/end pair.
+        assert [(e.phase, e.time) for e in waits] == [("b", 0), ("e", 2)]
+        assert waits[0].track == "res:sn0.cpu"
+        assert waits[0].span_id == waits[1].span_id
+        assert env.tracer.open_spans() == []
+
+    def test_cancelled_wait_closes_with_flag(self, env):
+        env.tracer = Tracer()
+        res = Resource(env, capacity=1, name="pipe")
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        def quitter(env, res):
+            req = res.request()
+            yield env.timeout(1)
+            req.cancel()
+
+        env.process(holder(env, res))
+        env.process(quitter(env, res))
+        env.run()
+        waits = env.tracer.by_kind("slot-wait")
+        assert [e.phase for e in waits] == ["b", "e"]
+        assert dict(waits[1].attrs) == {"cancelled": True}
+
+    def test_anonymous_resource_stays_silent(self, env):
+        env.tracer = Tracer()
+        res = Resource(env, capacity=1)
+
+        def worker(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+
+        env.process(worker(env, res))
+        env.process(worker(env, res))
+        env.run()
+        assert env.tracer.events == []
 
 
 class TestContainer:
