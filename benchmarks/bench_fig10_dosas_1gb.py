@@ -5,9 +5,9 @@ from repro.core import Scheme
 from repro.analysis import figure_series
 
 
-def bench_fig10(record):
+def bench_fig10(record, sweep_opts):
     series = record.once(
         figure_series, "gaussian2d", 1 * GB,
-        [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+        [Scheme.TS, Scheme.AS, Scheme.DOSAS], **sweep_opts,
     )
     record.series("Figure 10 — exec time (s), 1 GB/request", series)

@@ -10,7 +10,7 @@ from repro.cluster.config import MB
 from repro.analysis import bandwidth_figure
 
 
-def bench_fig11(record):
-    series = record.once(bandwidth_figure, 256 * MB)
+def bench_fig11(record, sweep_opts):
+    series = record.once(bandwidth_figure, 256 * MB, **sweep_opts)
     record.series("Figure 11 — achieved bandwidth (MB/s), 256 MB/request",
                   series)

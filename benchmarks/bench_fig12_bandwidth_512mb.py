@@ -4,7 +4,7 @@ from repro.cluster.config import MB
 from repro.analysis import bandwidth_figure
 
 
-def bench_fig12(record):
-    series = record.once(bandwidth_figure, 512 * MB)
+def bench_fig12(record, sweep_opts):
+    series = record.once(bandwidth_figure, 512 * MB, **sweep_opts)
     record.series("Figure 12 — achieved bandwidth (MB/s), 512 MB/request",
                   series)

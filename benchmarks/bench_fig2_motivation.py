@@ -13,9 +13,9 @@ from repro.core import Scheme
 from repro.analysis import figure_series
 
 
-def bench_fig2_gaussian_ts_vs_as(record):
+def bench_fig2_gaussian_ts_vs_as(record, sweep_opts):
     series = record.once(
-        figure_series, "gaussian2d", 128 * MB, [Scheme.TS, Scheme.AS]
+        figure_series, "gaussian2d", 128 * MB, [Scheme.TS, Scheme.AS], **sweep_opts
     )
     record.series("Figure 2 — Gaussian filter exec time (s), TS vs AS, "
                   "128 MB/request", series)

@@ -9,8 +9,8 @@ from repro.core import Scheme
 from repro.analysis import figure_series
 
 
-def bench_fig4(record):
+def bench_fig4(record, sweep_opts):
     series = record.once(
-        figure_series, "gaussian2d", 128 * MB, [Scheme.TS, Scheme.AS]
+        figure_series, "gaussian2d", 128 * MB, [Scheme.TS, Scheme.AS], **sweep_opts
     )
     record.series("Figure 4 — Gaussian exec time (s), 128 MB/request", series)

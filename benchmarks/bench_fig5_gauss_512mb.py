@@ -9,9 +9,9 @@ from repro.core import Scheme
 from repro.analysis import figure_series
 
 
-def bench_fig5(record):
+def bench_fig5(record, sweep_opts):
     series = record.once(
-        figure_series, "gaussian2d", 512 * MB, [Scheme.TS, Scheme.AS]
+        figure_series, "gaussian2d", 512 * MB, [Scheme.TS, Scheme.AS], **sweep_opts
     )
     record.series("Figure 5 — Gaussian exec time (s), 512 MB/request", series)
     # Crossover position is size-independent (both sides scale with d).

@@ -12,9 +12,9 @@ from repro.core import Scheme
 from repro.analysis import figure_series
 
 
-def bench_fig6(record):
+def bench_fig6(record, sweep_opts):
     series = record.once(
-        figure_series, "sum", 128 * MB, [Scheme.TS, Scheme.AS]
+        figure_series, "sum", 128 * MB, [Scheme.TS, Scheme.AS], **sweep_opts
     )
     record.series("Figure 6 — SUM exec time (s), 128 MB/request", series)
     ts, as_ = dict(series["ts"]), dict(series["as"])

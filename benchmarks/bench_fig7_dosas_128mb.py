@@ -10,10 +10,10 @@ from repro.core import Scheme
 from repro.analysis import figure_series
 
 
-def bench_fig7(record):
+def bench_fig7(record, sweep_opts):
     series = record.once(
         figure_series, "gaussian2d", 128 * MB,
-        [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+        [Scheme.TS, Scheme.AS, Scheme.DOSAS], **sweep_opts,
     )
     record.series("Figure 7 — exec time (s), 128 MB/request", series)
     ts, as_, dosas = (dict(series[s]) for s in ("ts", "as", "dosas"))

@@ -5,9 +5,9 @@ from repro.core import Scheme
 from repro.analysis import figure_series
 
 
-def bench_fig8(record):
+def bench_fig8(record, sweep_opts):
     series = record.once(
         figure_series, "gaussian2d", 256 * MB,
-        [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+        [Scheme.TS, Scheme.AS, Scheme.DOSAS], **sweep_opts,
     )
     record.series("Figure 8 — exec time (s), 256 MB/request", series)

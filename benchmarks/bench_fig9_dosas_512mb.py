@@ -5,9 +5,9 @@ from repro.core import Scheme
 from repro.analysis import figure_series
 
 
-def bench_fig9(record):
+def bench_fig9(record, sweep_opts):
     series = record.once(
         figure_series, "gaussian2d", 512 * MB,
-        [Scheme.TS, Scheme.AS, Scheme.DOSAS],
+        [Scheme.TS, Scheme.AS, Scheme.DOSAS], **sweep_opts,
     )
     record.series("Figure 9 — exec time (s), 512 MB/request", series)

@@ -14,7 +14,25 @@ Conventions:
   auto-calibration since their wall time *is* the result.
 """
 
+import os
+
 import pytest
+
+
+@pytest.fixture
+def sweep_opts():
+    """Parallel/cache knobs for the figure benches.
+
+    ``REPRO_BENCH_JOBS`` fans each figure's sweep across that many
+    worker processes (default 1: serial, in-process).  The series is
+    identical whatever the job count — see ``repro.parallel``.
+    ``REPRO_BENCH_CACHE`` names a result-cache directory so repeated
+    bench runs skip already-simulated points (see ``repro.cache``).
+    """
+    return {
+        "jobs": int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        "cache_dir": os.environ.get("REPRO_BENCH_CACHE") or None,
+    }
 
 
 class Recorder:

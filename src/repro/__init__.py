@@ -25,6 +25,9 @@ Subpackages
     TS/AS/DOSAS scheme runners.
 ``repro.workload``
     Workload generators and the paper's sweep grids.
+``repro.parallel`` / ``repro.cache``
+    Parallel sweep runner (deterministic merged results) and the
+    on-disk result cache it reuses points from.
 ``repro.analysis``
     Metrics and one driver per paper figure/table.
 
@@ -42,19 +45,26 @@ Quickstart
         print(scheme.value, f"{r.makespan:.2f}s")
 """
 
-from repro.core.schemes import Scheme, SchemeResult, WorkloadSpec, run_scheme
+from repro.core.schemes import DEFAULT_SEED, Scheme, SchemeResult, WorkloadSpec, run_scheme
 from repro.cluster.config import GB, KB, MB, discfarm_config
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DEFAULT_SEED",
     "GB",
     "KB",
     "MB",
+    "ResultCache",
     "Scheme",
     "SchemeResult",
+    "SweepPoint",
+    "SweepRunner",
     "WorkloadSpec",
     "discfarm_config",
     "run_scheme",
     "__version__",
 ]
+
+from repro.cache import ResultCache  # noqa: E402  (needs __version__ for the salt)
+from repro.parallel import SweepPoint, SweepRunner  # noqa: E402

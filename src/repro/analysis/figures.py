@@ -37,13 +37,42 @@ def table3_rows(nbytes: int = 8 * MB) -> List[dict]:
 
 
 # ------------------------------------------------------- time figures (2, 4–10)
+def _sweep(
+    kernel: str,
+    request_bytes: int,
+    schemes: Sequence[Scheme],
+    counts: Sequence[int],
+    jitter: bool,
+    seed: Optional[int],
+    jobs: int,
+    cache_dir: Optional[str],
+    **spec_overrides,
+):
+    """Run one figure grid through the sweep runner; yield (point, result)."""
+    from repro.cache import ResultCache
+    from repro.parallel import SweepRunner
+    from repro.workload.sweeps import figure_sweep_points
+
+    points = figure_sweep_points(
+        kernel, request_bytes, schemes, counts=counts, jitter=jitter,
+        seed=seed, **spec_overrides,
+    )
+    runner = SweepRunner(
+        jobs=jobs,
+        cache=ResultCache(cache_dir) if cache_dir else None,
+    )
+    return zip(points, runner.run(points))
+
+
 def figure_series(
     kernel: str,
     request_bytes: int,
     schemes: Sequence[Scheme],
     counts: Sequence[int] = PAPER_REQUEST_COUNTS,
     jitter: bool = False,
-    seed: int = 0,
+    seed: Optional[int] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
     **spec_overrides,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Execution-time series: scheme name → [(n_requests, makespan s)].
@@ -51,20 +80,17 @@ def figure_series(
     Figure 2 and 4: ``figure_series("gaussian2d", 128*MB, [TS, AS])``.
     Figure 5: same at 512 MB.  Figure 6: ``"sum"`` at 128 MB.
     Figures 7–10: all three schemes at 128 MB–1 GB.
+
+    ``jobs`` fans the grid's independent points across worker
+    processes; ``cache_dir`` memoises completed points on disk (see
+    ``repro.parallel`` / ``repro.cache``).  The merged series is
+    identical whatever ``jobs`` is.
     """
     out: Dict[str, List[Tuple[int, float]]] = {s.value: [] for s in schemes}
-    for n in counts:
-        spec = WorkloadSpec(
-            kernel=kernel,
-            n_requests=n,
-            request_bytes=request_bytes,
-            jitter=jitter,
-            seed=seed,
-            **spec_overrides,
-        )
-        for scheme in schemes:
-            result = run_scheme(scheme, spec)
-            out[scheme.value].append((n, result.makespan))
+    for point, result in _sweep(kernel, request_bytes, schemes, counts,
+                                jitter, seed, jobs, cache_dir,
+                                **spec_overrides):
+        out[point.scheme.value].append((point.spec.n_requests, result.makespan))
     return out
 
 
@@ -74,23 +100,18 @@ def bandwidth_figure(
     kernel: str = "gaussian2d",
     counts: Sequence[int] = PAPER_REQUEST_COUNTS,
     jitter: bool = False,
-    seed: int = 0,
+    seed: Optional[int] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Bandwidth series: scheme → [(n_requests, MB/s)] (Fig. 11–12)."""
-    out: Dict[str, List[Tuple[int, float]]] = {}
-    for scheme in (Scheme.TS, Scheme.AS, Scheme.DOSAS):
-        points = []
-        for n in counts:
-            spec = WorkloadSpec(
-                kernel=kernel,
-                n_requests=n,
-                request_bytes=request_bytes,
-                jitter=jitter,
-                seed=seed,
-            )
-            result = run_scheme(scheme, spec)
-            points.append((n, result.bandwidth / MB))
-        out[scheme.value] = points
+    schemes = (Scheme.TS, Scheme.AS, Scheme.DOSAS)
+    out: Dict[str, List[Tuple[int, float]]] = {s.value: [] for s in schemes}
+    for point, result in _sweep(kernel, request_bytes, schemes, counts,
+                                jitter, seed, jobs, cache_dir):
+        out[point.scheme.value].append(
+            (point.spec.n_requests, result.bandwidth / MB)
+        )
     return out
 
 

@@ -1,0 +1,286 @@
+"""On-disk result cache for sweep points (``repro.cache``).
+
+Re-running a figure or table bench replays dozens of simulations whose
+inputs have not changed.  :class:`ResultCache` memoises each completed
+(scheme, spec[, plan]) point on disk, keyed by a *stable content hash*
+of the point plus a code-version salt, so unchanged points become
+cache hits and edited simulator code invalidates everything at once.
+
+Keying
+------
+The key is the SHA-256 of a canonical JSON document::
+
+    {"salt": <code-version salt>,
+     "scheme": "dosas",
+     "spec": {...every WorkloadSpec field...},
+     "plan": [...every PlannedRequest field...] | null}
+
+Canonical means ``sort_keys=True`` with compact separators — dict
+insertion order, dataclass field order and whitespace cannot perturb
+the key.  The salt defaults to :func:`default_salt`, a hash of the
+package version plus the source text of the simulation-critical
+modules: editing the engine, the schemes or the runtime changes the
+salt and naturally invalidates stale entries.  Pass an explicit salt
+to pin (or bust) the namespace by hand.
+
+Entries are one JSON file per key (sharded by the key's first two hex
+chars) holding the serialised :class:`~repro.core.SchemeResult` or
+:class:`~repro.core.PlanResult`.  Numpy payloads (kernel results) are
+stored as nested lists and come back as lists, which is sufficient for
+every analysis consumer; the simulated *numbers* round-trip exactly
+because JSON floats are IEEE doubles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.core.planrun import PlanResult, RequestOutcome
+from repro.core.schemes import Scheme, SchemeResult, WorkloadSpec
+from repro.workload.generator import PlannedRequest, RequestPlan
+
+__all__ = [
+    "ResultCache",
+    "default_salt",
+    "point_key",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: Modules whose source text feeds :func:`default_salt` — the layers
+#: whose behaviour determines simulated results.
+_SALT_MODULES = (
+    "repro.sim.engine",
+    "repro.sim.events",
+    "repro.sim.process",
+    "repro.sim.resources",
+    "repro.sim.store",
+    "repro.cluster.config",
+    "repro.cluster.network",
+    "repro.cluster.node",
+    "repro.pvfs.server",
+    "repro.pvfs.client",
+    "repro.core.schemes",
+    "repro.core.planrun",
+    "repro.core.runtime",
+    "repro.core.estimator",
+    "repro.core.scheduler",
+    "repro.core.model",
+)
+
+_default_salt_memo: Optional[str] = None
+
+
+def default_salt() -> str:
+    """Code-version salt: package version + simulator source digest.
+
+    Computed once per process.  Falls back to the bare version string
+    when module sources are unreadable (zipapp, stripped install).
+    """
+    global _default_salt_memo
+    if _default_salt_memo is None:
+        import importlib
+
+        import repro
+
+        h = hashlib.sha256(repro.__version__.encode())
+        try:
+            for name in _SALT_MODULES:
+                mod = importlib.import_module(name)
+                with open(mod.__file__, "rb") as fh:  # type: ignore[arg-type]
+                    h.update(fh.read())
+        except (OSError, TypeError, ImportError):
+            pass
+        _default_salt_memo = h.hexdigest()[:16]
+    return _default_salt_memo
+
+
+def _jsonable(obj: Any) -> Any:
+    """Plain-JSON view of a result payload (numpy-aware, recursive)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):  # numpy arrays and scalars
+        return _jsonable(tolist())
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return _jsonable(item())
+    return repr(obj)
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def point_key(
+    scheme: Scheme,
+    spec: WorkloadSpec,
+    plan: Optional[Union[RequestPlan, Iterable[PlannedRequest]]] = None,
+    salt: Optional[str] = None,
+) -> str:
+    """Stable content hash identifying one sweep point."""
+    doc = {
+        "salt": default_salt() if salt is None else salt,
+        "scheme": scheme.value,
+        "spec": asdict(spec),
+        "plan": None if plan is None else [asdict(r) for r in plan],
+    }
+    return hashlib.sha256(_canonical(doc).encode()).hexdigest()
+
+
+# -- result (de)serialisation -------------------------------------------------
+
+def result_to_dict(result: Union[SchemeResult, PlanResult]) -> dict:
+    """JSON-safe document for either result type."""
+    if isinstance(result, SchemeResult):
+        d = asdict(result)
+        d["scheme"] = result.scheme.value
+        d["results"] = _jsonable(result.results)
+        return {"type": "scheme", "data": _jsonable(d)}
+    if isinstance(result, PlanResult):
+        return {
+            "type": "plan",
+            "data": {
+                "scheme": result.scheme.value,
+                "outcomes": [
+                    {
+                        "request": asdict(o.request),
+                        "started_at": o.started_at,
+                        "finished_at": o.finished_at,
+                        "result": _jsonable(o.result),
+                        "disposition": o.disposition,
+                    }
+                    for o in result.outcomes
+                ],
+                "served_active": result.served_active,
+                "demoted": result.demoted,
+                "interrupted": result.interrupted,
+                "retries": result.retries,
+                "retry_timeouts": result.retry_timeouts,
+                "failed_requests": result.failed_requests,
+                "wasted_bytes": result.wasted_bytes,
+                "fault_log": _jsonable(result.fault_log),
+                "retry_events": _jsonable(result.retry_events),
+            },
+        }
+    raise TypeError(f"cannot serialise {type(result).__name__}")
+
+
+def result_from_dict(doc: dict) -> Union[SchemeResult, PlanResult]:
+    """Inverse of :func:`result_to_dict`."""
+    kind, data = doc["type"], dict(doc["data"])
+    if kind == "scheme":
+        data["scheme"] = Scheme(data["scheme"])
+        data["spec"] = WorkloadSpec(**data["spec"])
+        return SchemeResult(**data)
+    if kind == "plan":
+        data["scheme"] = Scheme(data["scheme"])
+        data["outcomes"] = [
+            RequestOutcome(
+                request=PlannedRequest(**o["request"]),
+                started_at=o["started_at"],
+                finished_at=o["finished_at"],
+                result=o["result"],
+                disposition=o["disposition"],
+            )
+            for o in data["outcomes"]
+        ]
+        return PlanResult(**data)
+    raise ValueError(f"unknown result document type {kind!r}")
+
+
+class ResultCache:
+    """Directory of memoised sweep-point results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first store).
+    salt:
+        Key-namespace salt; defaults to :func:`default_salt` so code
+        edits invalidate old entries automatically.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike], salt: Optional[str] = None) -> None:
+        self.root = os.fspath(root)
+        self.salt = default_salt() if salt is None else salt
+        #: Session counters (reported by the sweep CLI).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key(
+        self,
+        scheme: Scheme,
+        spec: WorkloadSpec,
+        plan: Optional[RequestPlan] = None,
+    ) -> str:
+        """The point's content hash under this cache's salt."""
+        return point_key(scheme, spec, plan, salt=self.salt)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Union[SchemeResult, PlanResult]]:
+        """The memoised result, or ``None`` on a miss / unreadable entry."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(doc)
+        except (KeyError, TypeError, ValueError):
+            # Schema drift from an older version: treat as a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Union[SchemeResult, PlanResult]) -> None:
+        """Store ``result`` under ``key`` (atomic rename, last wins)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        doc = result_to_dict(result)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        n = 0
+        try:
+            shards: List[str] = os.listdir(self.root)
+        except OSError:
+            return 0
+        for shard in shards:
+            p = os.path.join(self.root, shard)
+            if os.path.isdir(p):
+                n += sum(1 for f in os.listdir(p) if f.endswith(".json"))
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ResultCache {self.root!r} salt={self.salt[:8]} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -15,6 +15,7 @@ kernels, and record/replay workload traces without writing code:
     $ python -m repro trace critical-path t.json   # per-request breakdown
     $ python -m repro calibrate                # Table III on this host
     $ python -m repro sweep --kernel gaussian2d --mb 256
+    $ python -m repro sweep --jobs 4 --cache .sweep-cache  # parallel + memoised
     $ python -m repro headline                 # the 40 % / 21 % claims
 """
 
@@ -87,11 +88,14 @@ def cmd_figure(args, out=None) -> int:
         print(f"error: no figure {args.number}; choose from "
               f"{sorted(FIGURES)}", file=sys.stderr)
         return 2
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache", None)
     if spec.get("bandwidth"):
-        series = bandwidth_figure(spec["size"])
+        series = bandwidth_figure(spec["size"], jobs=jobs, cache_dir=cache_dir)
     else:
         series = figure_series(spec["kernel"], spec["size"],
-                               list(spec["schemes"]))
+                               list(spec["schemes"]),
+                               jobs=jobs, cache_dir=cache_dir)
     _emit_series(spec["title"], series, args.chart, out,
                  as_json=getattr(args, "json", False))
     return 0
@@ -205,7 +209,7 @@ def _run_with_faults(args, spec: WorkloadSpec, out) -> int:
     if args.fault_at is not None:
         overrides["at"] = args.fault_at
     if args.faults == "chaos":
-        overrides.setdefault("seed", args.seed)
+        overrides.setdefault("seed", args.seed if args.seed is not None else 0)
         overrides["n_targets"] = spec.n_storage
     sched = scenario(args.faults, **overrides)
     print(f"scenario: {sched.name}  "
@@ -241,12 +245,20 @@ def _run_with_faults(args, spec: WorkloadSpec, out) -> int:
 
 
 def cmd_sweep(args, out=None) -> int:
-    """Sweep request counts for one kernel/size (a custom figure)."""
+    """Sweep request counts for one kernel/size (a custom figure).
+
+    ``--jobs N`` fans the grid's independent simulations across N
+    worker processes; ``--cache DIR`` memoises completed points so a
+    re-run only simulates what changed.  Results are identical to the
+    serial, uncached run.
+    """
     out = out if out is not None else sys.stdout
     series = figure_series(
         args.kernel, args.mb * MB,
         [Scheme.TS, Scheme.AS, Scheme.DOSAS],
         counts=tuple(args.counts),
+        jobs=args.jobs,
+        cache_dir=args.cache,
     )
     _emit_series(
         f"{args.kernel} exec time (s), {args.mb} MB/request",
@@ -462,6 +474,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the figure's sweep")
+    p.add_argument("--cache", metavar="DIR",
+                   help="memoise completed sweep points in DIR")
     p.add_argument("--chart", action="store_true",
                    help="draw a terminal line chart instead of a table")
     p.add_argument("--json", action="store_true",
@@ -479,7 +495,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--storage-nodes", type=int, default=1)
     p.add_argument("--kernel-slots", type=int, default=1)
     p.add_argument("--jitter", action="store_true")
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload seed (default: the library's fixed "
+                        "default seed; 0 is a real seed, not the default)")
     p.add_argument("--faults", metavar="SCENARIO",
                    help="inject a failure scenario (degraded-node, "
                         "crash-restart, partition, kernel-stall, "
@@ -498,6 +516,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mb", type=int, default=128)
     p.add_argument("--counts", type=int, nargs="+",
                    default=[1, 2, 4, 8, 16, 32, 64])
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep (1 = in-process)")
+    p.add_argument("--cache", metavar="DIR",
+                   help="memoise completed sweep points in DIR")
     p.add_argument("--chart", action="store_true")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_sweep)

@@ -53,9 +53,11 @@ from repro.core.asc import (
     RetryPolicy,
 )
 from repro.core.schemes import (
+    DEFAULT_SEED,
     Scheme,
     SchemeResult,
     WorkloadSpec,
+    resolve_seed,
     run_scheme,
 )
 from repro.core.planrun import PlanResult, RequestOutcome, run_plan
@@ -66,6 +68,7 @@ from repro.core.estimators_ext import (
 )
 
 __all__ = [
+    "DEFAULT_SEED",
     "ActiveIORuntime",
     "Advisor",
     "HysteresisDOSASEstimator",
@@ -98,6 +101,7 @@ __all__ = [
     "ThresholdScheduler",
     "WorkloadSpec",
     "make_scheduler",
+    "resolve_seed",
     "run_plan",
     "run_scheme",
 ]

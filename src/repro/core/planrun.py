@@ -24,7 +24,14 @@ from repro.pvfs.server import IOServer
 from repro.core.asc import ActiveStorageClient, RetryPolicy
 from repro.core.ass import ActiveStorageServer
 from repro.core.runtime import RuntimeConfig
-from repro.core.schemes import Scheme, WorkloadSpec, _build_estimator
+from repro.core.schemes import (
+    Scheme,
+    WorkloadSpec,
+    _build_estimator,
+    cost_models_from_registry,
+    resolve_seed,
+)
+from repro.sim.exceptions import SimulationError
 from repro.workload.generator import PlannedRequest, RequestPlan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -67,14 +74,24 @@ class PlanResult:
     fault_log: List[Dict[str, Any]] = field(default_factory=list)
     retry_events: List[Dict[str, Any]] = field(default_factory=list)
 
+    def _require_outcomes(self, metric: str) -> None:
+        if not self.outcomes:
+            raise SimulationError(
+                f"{metric} is undefined: the run completed no requests "
+                "(a watchdog-aborted fault run, or a plan whose every "
+                "request failed)"
+            )
+
     @property
     def makespan(self) -> float:
         """Latest completion time."""
+        self._require_outcomes("makespan")
         return max(o.finished_at for o in self.outcomes)
 
     @property
     def mean_latency(self) -> float:
         """Mean per-request latency."""
+        self._require_outcomes("mean_latency")
         return sum(o.latency for o in self.outcomes) / len(self.outcomes)
 
     def latencies_by_app(self) -> Dict[str, List[float]]:
@@ -117,7 +134,16 @@ def run_plan(
     env = Environment()
     if tracer is not None:
         env.tracer = tracer
-    by_process = plan.by_process()
+    seed = resolve_seed(spec.seed)
+    # Requests are keyed by their enumeration index in the plan — never
+    # by id(): a recycled object address (plans rebuilt between calls,
+    # GC reuse) would silently alias two requests to one file handle.
+    indexed = list(enumerate(plan))
+    by_process: Dict[tuple, List[tuple]] = {}
+    for idx, req in indexed:
+        by_process.setdefault((req.app, req.process_index), []).append((idx, req))
+    for entries in by_process.values():
+        entries.sort(key=lambda e: (e[1].arrival_time, e[1].sequence))
     n_compute = max(1, len(by_process))
     config = discfarm_config(
         n_storage=spec.n_storage, n_compute=n_compute, jitter=spec.jitter
@@ -125,7 +151,7 @@ def run_plan(
         storage_spec=NodeSpec(cores=spec.storage_cores),
         compute_spec=NodeSpec(cores=spec.compute_cores),
         network_latency=spec.network_latency,
-        seed=spec.seed or 20120924,
+        seed=seed,
     )
     topo = ClusterTopology(env, config)
     mds = MetadataServer(spec.n_storage, config.stripe_size)
@@ -134,6 +160,17 @@ def run_plan(
         for i, sn in enumerate(topo.storage_nodes)
     ]
     registry = default_registry
+    # Kernel lookups, precomputed once per run: the cost-model table
+    # for the estimators and the per-operation kernels the TS path
+    # executes client-side.
+    kernel_models = (
+        cost_models_from_registry(registry)
+        if scheme is Scheme.DOSAS else None
+    )
+    kernel_by_op = {
+        op: registry.get(op)
+        for op in {r.operation for r in plan if r.operation is not None}
+    }
     asses: List[ActiveStorageServer] = []
     if scheme in (Scheme.AS, Scheme.DOSAS):
         runtime_config = RuntimeConfig(
@@ -149,6 +186,7 @@ def run_plan(
                     fault_schedule.stale_probe_timeout
                     if fault_schedule is not None else None
                 ),
+                kernel_models=kernel_models,
             )
             asses.append(
                 ActiveStorageServer(
@@ -162,9 +200,9 @@ def run_plan(
 
         injector = FaultInjector(env, servers, fault_schedule).start()
 
-    # One file per planned request.
-    handles = {}
-    for idx, req in enumerate(plan):
+    # One file per planned request, keyed by plan index.
+    handles = []
+    for idx, req in indexed:
         meta = (
             {"width": spec.image_width}
             if req.operation in ("gaussian2d", "sobel")
@@ -175,15 +213,15 @@ def run_plan(
             size=req.size,
             n_servers=1,
             first_server=idx % spec.n_storage,
-            seed=spec.seed + idx,
+            seed=seed + idx,
             meta=meta,
         )
-        handles[id(req)] = mds.open(f.name)
+        handles.append(mds.open(f.name))
 
     outcomes: List[RequestOutcome] = []
     ascs: List[ActiveStorageClient] = []
 
-    def _process(proc_index: int, requests: List[PlannedRequest]):
+    def _process(proc_index: int, requests: List[tuple]):
         node = topo.compute_node(proc_index % len(topo.compute_nodes))
         client = PVFSClient(env, node, servers, mds)
         asc = ActiveStorageClient(
@@ -191,11 +229,11 @@ def run_plan(
             execute_kernels=spec.execute_kernels,
         )
         ascs.append(asc)
-        for req in requests:
+        for idx, req in requests:
             if env.now < req.arrival_time:
                 yield env.timeout(req.arrival_time - env.now)
             started = env.now
-            fh = handles[id(req)]
+            fh = handles[idx]
             result = None
             disposition = "normal"
             if req.active and scheme is not Scheme.TS:
@@ -211,7 +249,7 @@ def run_plan(
                 yield from asc.read(fh, retry=retry)
                 if req.active:
                     # TS: the kernel runs client-side after the read.
-                    kernel = registry.get(req.operation)
+                    kernel = kernel_by_op[req.operation]
                     yield from node.cpu.compute(float(req.size), kernel.rate)
             outcomes.append(
                 RequestOutcome(
@@ -221,8 +259,8 @@ def run_plan(
             )
 
     procs = [
-        env.process(_process(i, reqs))
-        for i, ((_app, _pidx), reqs) in enumerate(sorted(by_process.items()))
+        env.process(_process(i, entries))
+        for i, ((_app, _pidx), entries) in enumerate(sorted(by_process.items()))
     ]
     done = AllOf(env, procs)
     deadline = max_virtual_time or (

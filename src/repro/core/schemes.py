@@ -56,6 +56,17 @@ class Scheme(enum.Enum):
     DOSAS = "dosas"
 
 
+#: Seed used when a spec leaves ``seed=None`` (the paper's submission
+#: date).  An explicit ``seed=0`` is honoured as-is — historically it
+#: was silently aliased to this default by an ``or`` expression.
+DEFAULT_SEED = 20120924
+
+
+def resolve_seed(seed: Optional[int]) -> int:
+    """The spec's seed with the ``None`` sentinel resolved, exactly once."""
+    return DEFAULT_SEED if seed is None else seed
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """One experiment point.
@@ -71,7 +82,9 @@ class WorkloadSpec:
     n_storage: int = 1
     arrival_spacing: float = 0.0
     jitter: bool = False
-    seed: int = 0
+    #: ``None`` means "use :data:`DEFAULT_SEED`".  ``seed=0`` is a real
+    #: seed, distinct from the default.
+    seed: Optional[int] = None
     execute_kernels: bool = False
     scheduler_name: str = "threshold"
     probe_period: Optional[float] = 0.25
@@ -194,13 +207,23 @@ def _build_estimator(
     config: ClusterConfig,
     registry: KernelRegistry,
     stale_probe_timeout: Optional[float] = None,
+    kernel_models: Optional[Dict[str, KernelCostModel]] = None,
 ) -> ContentionEstimator:
+    """Estimator for one server.
+
+    ``kernel_models`` lets the caller precompute the registry's cost
+    models once per run instead of once per server.
+    """
     if scheme is Scheme.AS:
         return AlwaysOffloadEstimator()
     if scheme is Scheme.DOSAS:
         kwargs = dict(
             prober=prober,
-            kernel_models=cost_models_from_registry(registry),
+            kernel_models=(
+                kernel_models
+                if kernel_models is not None
+                else cost_models_from_registry(registry)
+            ),
             bandwidth=config.network_bandwidth,
             scheduler=make_scheduler(spec.scheduler_name),
             probe_period=spec.probe_period if spec.allow_migration else None,
@@ -249,6 +272,7 @@ def run_scheme(
     retry = retry_policy or (
         fault_schedule.retry if fault_schedule is not None else None
     )
+    seed = resolve_seed(spec.seed)
     n_background = spec.background_readers * spec.n_storage
     config = discfarm_config(
         n_storage=spec.n_storage,
@@ -258,7 +282,7 @@ def run_scheme(
         storage_spec=NodeSpec(cores=spec.storage_cores),
         compute_spec=NodeSpec(cores=spec.compute_cores),
         network_latency=spec.network_latency,
-        seed=spec.seed or 20120924,
+        seed=seed,
     )
     from repro.cluster.network import FairShareLink
 
@@ -282,6 +306,10 @@ def run_scheme(
             execute_kernels=spec.execute_kernels,
             invocation_overhead=spec.kernel_overhead,
         )
+        models = (
+            cost_models_from_registry(registry)
+            if scheme is Scheme.DOSAS else None
+        )
         for server in servers:
             prober = NodeProber(server.node, server.queue_stats)
             estimator = _build_estimator(
@@ -290,6 +318,7 @@ def run_scheme(
                     fault_schedule.stale_probe_timeout
                     if fault_schedule is not None else None
                 ),
+                kernel_models=models,
             )
             asses.append(
                 ActiveStorageServer(
@@ -316,7 +345,7 @@ def run_scheme(
             size=spec.request_bytes,
             n_servers=1,
             first_server=i % spec.n_storage,
-            seed=spec.seed + i,
+            seed=seed + i,
             meta=meta,
         )
         handles.append(mds.open(file.name))
@@ -371,7 +400,7 @@ def run_scheme(
             size=spec.background_bytes,
             n_servers=1,
             first_server=j % spec.n_storage,
-            seed=spec.seed + 10_000 + j,
+            seed=seed + 10_000 + j,
         )
         background_handles.append(mds.open(f.name))
 

@@ -17,6 +17,7 @@ comparison flaky.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from repro.obs.tracer import NULL_TRACER
@@ -46,6 +47,8 @@ class Environment:
         Starting value of the simulated clock (seconds by convention
         throughout this codebase).
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "tracer")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -101,7 +104,7 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -164,25 +167,69 @@ class Environment:
                         f"until={stop_time} lies in the past (now={self._now})"
                     )
 
-        try:
-            while True:
-                if at_event is not None and at_event.processed:
-                    break
-                nxt = self.peek()
-                if stop_time < Infinity and nxt >= stop_time:
+        # Inlined hot loop: one heap access per event (no peek+pop
+        # double touch), no exception-driven exit on an empty queue,
+        # and the engine-trace check hoisted to a local so the common
+        # untraced (NULL_TRACER) case pays a single bool test per
+        # event.  `step()`/`peek()` remain for single-stepping callers.
+        # The loop comes in a bounded (until=<time>) and an unbounded
+        # (until=None / until=<event>) variant so the unbounded one
+        # skips the stop-time comparison entirely.
+        queue = self._queue
+        tracer = self.tracer
+        trace_engine = tracer.trace_engine
+        pop = heappop
+        if stop_time < Infinity:
+            while queue:
+                if queue[0][0] >= stop_time:
                     # Events at exactly `stop_time` stay queued (simpy
-                    # semantics).  The finiteness guard keeps
-                    # run(until=None) from setting the clock to inf
-                    # when the queue drains.
-                    self._now = stop_time
+                    # semantics).
                     break
-                self.step()
-        except _EmptySchedule:
-            if at_event is not None and not at_event.processed:
-                raise SimulationError(
-                    "run(until=event) exhausted the event queue before the "
-                    "event triggered — the model deadlocked"
-                ) from None
+                when, _prio, _eid, event = pop(queue)
+                self._now = when
+                if trace_engine:
+                    tracer.instant(
+                        when, "event", "engine",
+                        etype=type(event).__name__, prio=_prio,
+                    )
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._ok is False and not event._defused:
+                    # Unhandled failure: crash the run so errors are loud.
+                    raise event._value
+            # Whether the horizon cut the run short or the queue
+            # drained, the clock ends exactly at the horizon.
+            self._now = stop_time
+        else:
+            while True:
+                if at_event is not None and at_event.callbacks is None:
+                    break
+                if not queue:
+                    if at_event is not None:
+                        raise SimulationError(
+                            "run(until=event) exhausted the event queue "
+                            "before the event triggered — the model "
+                            "deadlocked"
+                        )
+                    break
+                when, _prio, _eid, event = pop(queue)
+                self._now = when
+                if trace_engine:
+                    tracer.instant(
+                        when, "event", "engine",
+                        etype=type(event).__name__, prio=_prio,
+                    )
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._ok is False and not event._defused:
+                    # Unhandled failure: crash the run so errors are loud.
+                    raise event._value
 
         if at_event is not None:
             if at_event.ok:

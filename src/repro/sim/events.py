@@ -14,6 +14,7 @@ is re-raised inside each waiting process).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
 
 from repro.sim.exceptions import SimulationError
@@ -99,13 +100,19 @@ class Event:
         self._defused = True
 
     # -- triggering -------------------------------------------------------
+    # Triggering is the engine's hottest write path (every grant,
+    # resume and completion lands here), so the zero-delay NORMAL
+    # schedule is inlined rather than routed through env.schedule().
+
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -116,7 +123,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -128,7 +137,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
 
     # -- composition ------------------------------------------------------
     def __and__(self, other: "Event") -> "Condition":
@@ -156,11 +167,16 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Timeouts dominate event creation, so Event.__init__ and
+        # env.schedule() (which would re-check the delay) are inlined.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, env._eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -172,11 +188,13 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Event") -> None:
-        super().__init__(env)
+        self.env = env
         self.callbacks = [process._resume]  # type: ignore[attr-defined]
         self._ok = True
         self._value = None
-        env.schedule(self, priority=PRIORITY_URGENT)
+        self._defused = False
+        env._eid += 1
+        heappush(env._queue, (env._now, PRIORITY_URGENT, env._eid, self))
 
 
 class Condition(Event):

@@ -19,9 +19,10 @@ Sec. III-C: "record and interrupt current active I/O being serviced").
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
-from repro.sim.events import Event, Initialize, PENDING, PRIORITY_URGENT
+from repro.sim.events import Event, Initialize, PENDING, PRIORITY_NORMAL, PRIORITY_URGENT
 from repro.sim.exceptions import Interrupt, SimulationError, StopProcess
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -145,14 +146,10 @@ class Process(Event):
 
         # The generator finished (or died).
         env._active_process = None
-        if ok:
-            self._ok = True
-            self._value = outcome
-            env.schedule(self)
-        else:
-            self._ok = False
-            self._value = outcome
-            env.schedule(self)
+        self._ok = ok
+        self._value = outcome
+        env._eid += 1
+        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "alive" if self.is_alive else "dead"

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, List, Optional, TYPE_CHECKING
+from collections import deque
+from heapq import heappush
+from typing import Any, Deque, List, Optional, TYPE_CHECKING
 
 from repro.sim.events import Event, PRIORITY_URGENT
 from repro.sim.exceptions import SimulationError
@@ -63,7 +65,9 @@ class Release(Event):
         resource._do_release(self)
         self._ok = True
         self._value = None
-        resource.env.schedule(self, priority=PRIORITY_URGENT)
+        env = resource.env
+        env._eid += 1
+        heappush(env._queue, (env._now, PRIORITY_URGENT, env._eid, self))
 
 
 class Resource:
@@ -75,6 +79,9 @@ class Resource:
     so traces show only meaningful contention points.
     """
 
+    __slots__ = ("env", "name", "_capacity", "_suspended", "_tokens",
+                 "users", "queue")
+
     def __init__(self, env: "Environment", capacity: int = 1, name: str = "") -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -85,8 +92,10 @@ class Resource:
         self._tokens = itertools.count()
         #: Requests currently holding a slot.
         self.users: List[Request] = []
-        #: Requests waiting for a slot (FIFO).
-        self.queue: List[Request] = []
+        #: Requests waiting for a slot (FIFO).  A deque: under heavy
+        #: contention (hundreds of waiters per slot) the head pop must
+        #: stay O(1) or granting degenerates to O(n²) per drain.
+        self.queue: Deque[Request] = deque()
 
     # -- public API ----------------------------------------------------------
     @property
@@ -188,7 +197,7 @@ class Resource:
 
     def _grant_next(self) -> None:
         while not self._suspended and self.queue and len(self.users) < self._capacity:
-            nxt = self.queue.pop(0)
+            nxt = self.queue.popleft()
             self.users.append(nxt)
             self._trace_wait_end(nxt)
             nxt.succeed()
@@ -225,6 +234,8 @@ class PriorityResource(Resource):
     orders grants, the list keeps FIFO-introspection compatibility —
     and neither ever shares a request with ``.users``.
     """
+
+    __slots__ = ("_counter", "_heap")
 
     def __init__(self, env: "Environment", capacity: int = 1, name: str = "") -> None:
         self._counter = itertools.count()
@@ -300,6 +311,8 @@ class Container:
     utilisation.
     """
 
+    __slots__ = ("env", "_capacity", "_level", "_puts", "_gets")
+
     def __init__(
         self,
         env: "Environment",
@@ -313,8 +326,8 @@ class Container:
         self.env = env
         self._capacity = capacity
         self._level = init
-        self._puts: List[ContainerPut] = []
-        self._gets: List[ContainerGet] = []
+        self._puts: Deque[ContainerPut] = deque()
+        self._gets: Deque[ContainerGet] = deque()
 
     @property
     def capacity(self) -> float:
@@ -340,12 +353,12 @@ class Container:
         while progressed:
             progressed = False
             if self._puts and self._level + self._puts[0].amount <= self._capacity:
-                put = self._puts.pop(0)
+                put = self._puts.popleft()
                 self._level += put.amount
                 put.succeed()
                 progressed = True
             if self._gets and self._level >= self._gets[0].amount:
-                get = self._gets.pop(0)
+                get = self._gets.popleft()
                 self._level -= get.amount
                 get.succeed()
                 progressed = True

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, TYPE_CHECKING
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, TYPE_CHECKING
 
 from repro.sim.events import Event
 
@@ -56,14 +57,18 @@ class StoreGet(Event):
 class Store:
     """FIFO object store with optional capacity bound."""
 
+    __slots__ = ("env", "_capacity", "items", "_put_waiters", "_get_waiters")
+
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env
         self._capacity = capacity
         self.items: List[Any] = []
-        self._put_waiters: List[StorePut] = []
-        self._get_waiters: List[StoreGet] = []
+        # Deques: waiter backlogs drain from the head on every put/get,
+        # and list.pop(0) would make a long pipeline quadratic.
+        self._put_waiters: Deque[StorePut] = deque()
+        self._get_waiters: Deque[StoreGet] = deque()
 
     @property
     def capacity(self) -> float:
@@ -128,12 +133,12 @@ class Store:
             while self._put_waiters:
                 if not self._do_put(self._put_waiters[0]):
                     break
-                self._put_waiters.pop(0)
+                self._put_waiters.popleft()
                 progressed = True
             while self._get_waiters:
                 if not self._do_get(self._get_waiters[0]):
                     break
-                self._get_waiters.pop(0)
+                self._get_waiters.popleft()
                 progressed = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -165,6 +170,8 @@ class PriorityStore(Store):
     totally ordered).
     """
 
+    __slots__ = ()
+
     def _insert(self, item: Any) -> None:
         heapq.heappush(self.items, item)
 
@@ -193,6 +200,8 @@ class FilterStore(Store):
     request id without imposing a completion order.
     """
 
+    __slots__ = ()
+
     def get(self, filt: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:  # type: ignore[override]
         """Remove the first item matching ``filt`` (blocks until one exists)."""
         return FilterStoreGet(self, filt)
@@ -215,7 +224,7 @@ class FilterStore(Store):
             while self._put_waiters:
                 if not self._do_put(self._put_waiters[0]):
                     break
-                self._put_waiters.pop(0)
+                self._put_waiters.popleft()
                 progressed = True
             satisfied = []
             for get in self._get_waiters:

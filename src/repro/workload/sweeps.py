@@ -12,9 +12,13 @@ situations to evaluate the algorithm."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.cluster.config import GB, MB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.schemes import Scheme
+    from repro.parallel import SweepPoint
 
 #: Requests per storage node (paper Sec. IV-A).
 PAPER_REQUEST_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
@@ -69,3 +73,57 @@ def table4_situations() -> List[Situation]:
             index += 1
     assert len(situations) == 64
     return situations
+
+
+# ----------------------------------------------------- grids as sweep points
+def figure_sweep_points(
+    kernel: str,
+    request_bytes: int,
+    schemes: Sequence["Scheme"],
+    counts: Sequence[int] = PAPER_REQUEST_COUNTS,
+    jitter: bool = False,
+    seed: Optional[int] = None,
+    **spec_overrides,
+) -> List["SweepPoint"]:
+    """One figure's grid as independent :class:`~repro.parallel.SweepPoint`\\ s.
+
+    Point order is count-major then scheme (the serial loop order of
+    the figure drivers), so a runner's merged results line up with the
+    historical series layout.
+    """
+    from repro.core.schemes import WorkloadSpec
+    from repro.parallel import SweepPoint
+
+    points: List[SweepPoint] = []
+    for n in counts:
+        spec = WorkloadSpec(
+            kernel=kernel,
+            n_requests=n,
+            request_bytes=request_bytes,
+            jitter=jitter,
+            seed=seed,
+            **spec_overrides,
+        )
+        for scheme in schemes:
+            points.append(SweepPoint(
+                scheme, spec,
+                label=f"{kernel}/{n}x{request_bytes // MB}MB",
+            ))
+    return points
+
+
+def paper_grid_points(
+    kernel: str,
+    schemes: Sequence["Scheme"],
+    sizes: Sequence[int] = PAPER_REQUEST_SIZES,
+    counts: Sequence[int] = PAPER_REQUEST_COUNTS,
+    **spec_overrides,
+) -> List["SweepPoint"]:
+    """The paper's full Sec. IV-A sweep (all sizes × counts) as points."""
+    points: List["SweepPoint"] = []
+    for size in sizes:
+        points.extend(
+            figure_sweep_points(kernel, size, schemes, counts=counts,
+                                **spec_overrides)
+        )
+    return points

@@ -89,7 +89,7 @@ class TestRealExecutionAcrossSchemes:
     @pytest.mark.parametrize("scheme", list(Scheme))
     def test_sum_results_exact(self, scheme):
         spec = WorkloadSpec(kernel="sum", n_requests=3, request_bytes=1 * MB,
-                            execute_kernels=True)
+                            execute_kernels=True, seed=0)
         r = run_scheme(scheme, spec)
         for i in range(3):
             expected = SyntheticData(i).read(0, 1 * MB).sum()

@@ -13,7 +13,7 @@ from repro.faults import scenario
 
 SPEC = WorkloadSpec(
     kernel="sum", n_requests=3, request_bytes=32 * MB, n_storage=2,
-    execute_kernels=True,
+    execute_kernels=True, seed=0,
 )
 
 #: Scenario name → overrides scaling its timings to this small

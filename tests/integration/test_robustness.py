@@ -29,7 +29,7 @@ class TestInterruptStorm:
         spec = WorkloadSpec(
             kernel="gaussian2d", n_requests=6, request_bytes=2 * MB,
             arrival_spacing=0.004, probe_period=0.002,
-            execute_kernels=True, image_width=512,
+            execute_kernels=True, image_width=512, seed=0,
         )
         r = run_scheme(Scheme.DOSAS, spec)
         g = get_kernel("gaussian2d")

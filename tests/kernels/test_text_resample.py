@@ -137,7 +137,7 @@ class TestEndToEndNewKernels:
         from repro.core import Scheme, WorkloadSpec, run_scheme
         MB = 1024 * 1024
         spec = WorkloadSpec(kernel="grep", n_requests=2, request_bytes=1 * MB,
-                            execute_kernels=True)
+                            execute_kernels=True, seed=0)
         r = run_scheme(Scheme.DOSAS, spec)
         from repro.pvfs.filehandle import SyntheticData
         from repro.kernels import get_kernel
@@ -150,7 +150,7 @@ class TestEndToEndNewKernels:
         from repro.core import Scheme, WorkloadSpec, run_scheme
         MB = 1024 * 1024
         spec = WorkloadSpec(kernel="downsample", n_requests=2,
-                            request_bytes=1 * MB, execute_kernels=True)
+                            request_bytes=1 * MB, execute_kernels=True, seed=0)
         r = run_scheme(Scheme.DOSAS, spec)
         from repro.pvfs.filehandle import SyntheticData
         from repro.kernels import get_kernel

@@ -1,0 +1,219 @@
+"""The PR-3 substrate: parallel sweeps, the result cache, and the
+seed-sentinel / plan-indexing fixes they depend on.
+
+The load-bearing property throughout is *determinism*: a sweep's
+merged output must be byte-identical whatever the job count, and a
+cache hit must reproduce the simulation it memoised.
+"""
+
+import json
+
+import pytest
+
+from repro.cache import ResultCache, point_key, result_from_dict, result_to_dict
+from repro.cluster.config import MB
+from repro.core import DEFAULT_SEED, resolve_seed
+from repro.core.planrun import PlanResult, run_plan
+from repro.core.schemes import Scheme, WorkloadSpec, run_scheme
+from repro.parallel import SweepPoint, SweepRunner, run_point
+from repro.pvfs.filehandle import SyntheticData
+from repro.sim.exceptions import SimulationError
+from repro.workload.generator import PlannedRequest, RequestPlan
+
+
+def canon(result) -> str:
+    """Canonical byte form of a result — the determinism yardstick."""
+    return json.dumps(result_to_dict(result), sort_keys=True,
+                      separators=(",", ":"))
+
+
+SMALL = dict(kernel="sum", n_requests=2, request_bytes=1 * MB,
+             execute_kernels=True)
+
+
+# --------------------------------------------------------------- seed sentinel
+class TestSeedSentinel:
+    def test_resolve(self):
+        assert resolve_seed(None) == DEFAULT_SEED
+        assert resolve_seed(0) == 0
+        assert resolve_seed(7) == 7
+
+    def test_seed_zero_is_not_the_default(self):
+        """Regression: ``seed=0`` was silently aliased to the default
+        by an ``or`` expression; it must now be a real, distinct seed."""
+        with_zero = run_scheme(Scheme.AS, WorkloadSpec(seed=0, **SMALL))
+        with_none = run_scheme(Scheme.AS, WorkloadSpec(seed=None, **SMALL))
+        assert [float(v) for v in with_zero.results] != \
+               [float(v) for v in with_none.results]
+
+    def test_file_seeds_follow_the_resolved_seed(self):
+        r = run_scheme(Scheme.AS, WorkloadSpec(seed=None, **SMALL))
+        for i in range(2):
+            expected = SyntheticData(DEFAULT_SEED + i).read(0, 1 * MB).sum()
+            assert r.results[i] == pytest.approx(float(expected))
+
+    def test_seed_zero_reproduces_historical_file_data(self):
+        r = run_scheme(Scheme.AS, WorkloadSpec(seed=0, **SMALL))
+        for i in range(2):
+            expected = SyntheticData(i).read(0, 1 * MB).sum()
+            assert r.results[i] == pytest.approx(float(expected))
+
+
+# -------------------------------------------------------- PlanResult guards
+class TestEmptyPlanResult:
+    def test_makespan_raises_clearly(self):
+        empty = PlanResult(scheme=Scheme.AS)
+        with pytest.raises(SimulationError, match="makespan is undefined"):
+            empty.makespan
+
+    def test_mean_latency_raises_clearly(self):
+        empty = PlanResult(scheme=Scheme.AS)
+        with pytest.raises(SimulationError, match="mean_latency is undefined"):
+            empty.mean_latency
+
+
+# ------------------------------------------------------- index-keyed handles
+def _request(seq: int, arrival: float = 0.0) -> PlannedRequest:
+    return PlannedRequest(app="a", process_index=0, sequence=seq,
+                          arrival_time=arrival, size=1 * MB, active=True,
+                          operation="sum")
+
+
+class TestPlanHandleKeying:
+    def test_duplicate_request_object_gets_two_files(self):
+        """Regression for ``handles[id(req)]``: the *same* request
+        object listed twice must still map to two distinct files (the
+        id-keyed dict collapsed them, so both reads saw one file)."""
+        req = _request(0)
+        plan = RequestPlan(requests=[req, req])
+        r = run_plan(Scheme.AS, plan, WorkloadSpec(execute_kernels=True))
+        assert len(r.outcomes) == 2
+        values = sorted(float(o.result) for o in r.outcomes)
+        seed = DEFAULT_SEED
+        expected = sorted(
+            float(SyntheticData(seed + i).read(0, 1 * MB).sum())
+            for i in range(2)
+        )
+        assert values == pytest.approx(expected)
+
+
+# --------------------------------------------------------------- sweep runner
+def _points():
+    plan = RequestPlan(requests=[_request(0), _request(1, arrival=0.01)])
+    return [
+        SweepPoint(Scheme.TS, WorkloadSpec(**SMALL)),
+        SweepPoint(Scheme.AS, WorkloadSpec(**SMALL)),
+        SweepPoint(Scheme.DOSAS, WorkloadSpec(**SMALL), label="dosas-small"),
+        SweepPoint(Scheme.AS, WorkloadSpec(execute_kernels=True), plan=plan),
+    ]
+
+
+class TestSweepRunnerDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self):
+        points = _points()
+        serial = SweepRunner(jobs=1).run(points)
+        parallel = SweepRunner(jobs=4).run(points)
+        assert len(serial) == len(parallel) == len(points)
+        for s, p in zip(serial, parallel):
+            assert canon(s) == canon(p)
+
+    def test_results_align_with_point_order(self):
+        points = _points()
+        results = SweepRunner(jobs=4).run(points)
+        for point, result in zip(points, results):
+            assert result.scheme is point.scheme
+        assert canon(results[0]) == canon(run_point(points[0]))
+
+    def test_progress_reaches_total(self):
+        points = _points()
+        seen = []
+        runner = SweepRunner(
+            jobs=2, progress=lambda done, total, pt, cached: seen.append(
+                (done, total, cached)
+            ),
+        )
+        runner.run(points)
+        assert len(seen) == len(points)
+        assert max(done for done, _, _ in seen) == len(points)
+        assert all(total == len(points) for _, total, _ in seen)
+        assert not any(cached for _, _, cached in seen)
+
+    def test_pool_fallback_is_equivalent(self, monkeypatch):
+        """A pool that cannot start degrades to in-process execution
+        with identical output."""
+        messages = []
+        runner = SweepRunner(jobs=4, log=messages.append)
+        monkeypatch.setattr(
+            SweepRunner, "_run_pool",
+            lambda self, *a, **k: (self._say("forced fallback"), False)[1],
+        )
+        points = _points()
+        assert [canon(r) for r in runner.run(points)] == \
+               [canon(r) for r in SweepRunner(jobs=1).run(points)]
+        assert messages == ["forced fallback"]
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+# --------------------------------------------------------------------- cache
+class TestResultCache:
+    def test_round_trip_scheme_and_plan(self):
+        for point in (_points()[1], _points()[3]):
+            result = run_point(point)
+            doc = json.loads(canon(result))
+            assert canon(result_from_dict(doc)) == canon(result)
+
+    def test_miss_then_hit(self, tmp_path):
+        points = _points()[:3]
+        cold = ResultCache(tmp_path / "c")
+        fresh = SweepRunner(jobs=1, cache=cold, log=lambda m: None).run(points)
+        assert (cold.hits, cold.misses, cold.stores) == (0, 3, 3)
+
+        warm = ResultCache(tmp_path / "c")
+        cached = SweepRunner(jobs=1, cache=warm, log=lambda m: None).run(points)
+        assert (warm.hits, warm.misses, warm.stores) == (3, 0, 0)
+        assert [canon(r) for r in cached] == [canon(r) for r in fresh]
+        assert len(warm) == 3
+
+    def test_hits_report_cached_in_progress(self, tmp_path):
+        points = _points()[:2]
+        cache = ResultCache(tmp_path / "c")
+        SweepRunner(jobs=1, cache=cache).run(points)
+        seen = []
+        SweepRunner(
+            jobs=1, cache=ResultCache(tmp_path / "c"),
+            progress=lambda done, total, pt, cached: seen.append(cached),
+        ).run(points)
+        assert seen == [True, True]
+
+    def test_salt_change_invalidates(self, tmp_path):
+        points = _points()[:2]
+        a = ResultCache(tmp_path / "c", salt="salt-a")
+        SweepRunner(jobs=1, cache=a).run(points)
+        b = ResultCache(tmp_path / "c", salt="salt-b")
+        SweepRunner(jobs=1, cache=b).run(points)
+        assert b.hits == 0 and b.misses == 2 and b.stores == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        point = _points()[0]
+        cache = ResultCache(tmp_path / "c", salt="s")
+        key = cache.key(point.scheme, point.spec, point.plan)
+        cache.put(key, run_point(point))
+        path = cache._path(key)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_key_distinguishes_every_input(self):
+        spec = WorkloadSpec(**SMALL)
+        base = point_key(Scheme.AS, spec, salt="s")
+        assert point_key(Scheme.TS, spec, salt="s") != base
+        assert point_key(Scheme.AS, WorkloadSpec(seed=0, **SMALL),
+                         salt="s") != base
+        assert point_key(Scheme.AS, spec, salt="t") != base
+        plan = RequestPlan(requests=[_request(0)])
+        assert point_key(Scheme.AS, spec, plan, salt="s") != base
+        assert point_key(Scheme.AS, spec, salt="s") == base
