@@ -35,10 +35,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import asdict
 from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+_log = logging.getLogger("repro.cache")
 
 from repro.core.planrun import PlanResult, RequestOutcome
 from repro.core.schemes import Scheme, SchemeResult, WorkloadSpec
@@ -210,13 +215,28 @@ class ResultCache:
         edits invalidate old entries automatically.
     """
 
-    def __init__(self, root: Union[str, os.PathLike], salt: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        salt: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.root = os.fspath(root)
         self.salt = default_salt() if salt is None else salt
         #: Session counters (reported by the sweep CLI).
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Observable degrade path: unreadable/undecodable entries are
+        #: counted (``cache.corrupt_entries``) and logged, never
+        #: silently swallowed — a corrupted cache directory should be
+        #: visible, not just slow.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def corrupt_entries(self) -> int:
+        """Entries that existed on disk but could not be used."""
+        return int(self.metrics.get_counter("cache.corrupt_entries"))
 
     def key(
         self,
@@ -231,21 +251,39 @@ class ResultCache:
         return os.path.join(self.root, key[:2], key + ".json")
 
     def get(self, key: str) -> Optional[Union[SchemeResult, PlanResult]]:
-        """The memoised result, or ``None`` on a miss / unreadable entry."""
+        """The memoised result, or ``None`` on a miss.
+
+        An entry that exists but cannot be read or decoded degrades to
+        a miss *observably*: it increments ``cache.corrupt_entries``
+        and emits a debug log naming the entry and the cause, so a
+        corrupted cache directory shows up in metrics instead of
+        masquerading as a cold cache.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 doc = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            self._degrade(path, "unreadable entry", exc)
             return None
         try:
             result = result_from_dict(doc)
-        except (KeyError, TypeError, ValueError):
-            # Schema drift from an older version: treat as a miss.
-            self.misses += 1
+        except (KeyError, TypeError, ValueError) as exc:
+            # Schema drift from an older version of the result format.
+            self._degrade(path, "undecodable entry (schema drift?)", exc)
             return None
         self.hits += 1
         return result
+
+    def _degrade(self, path: str, why: str, exc: Exception) -> None:
+        """Count + log a corrupt entry, then treat it as a miss."""
+        self.misses += 1
+        self.metrics.inc("cache.corrupt_entries")
+        _log.debug("result cache: %s %s treated as a miss: %s: %s",
+                   why, path, type(exc).__name__, exc)
 
     def put(self, key: str, result: Union[SchemeResult, PlanResult]) -> None:
         """Store ``result`` under ``key`` (atomic rename, last wins)."""
@@ -270,13 +308,14 @@ class ResultCache:
     def __len__(self) -> int:
         n = 0
         try:
-            shards: List[str] = os.listdir(self.root)
+            shards: List[str] = sorted(os.listdir(self.root))
         except OSError:
             return 0
         for shard in shards:
             p = os.path.join(self.root, shard)
             if os.path.isdir(p):
-                n += sum(1 for f in os.listdir(p) if f.endswith(".json"))
+                n += sum(1 for f in sorted(os.listdir(p))
+                         if f.endswith(".json"))
         return n
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -524,6 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_sweep)
 
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
     p = sub.add_parser("calibrate", help="measure kernel rates on this host")
     p.add_argument("--mb", type=int, default=8)
     p.add_argument("--all", action="store_true",
@@ -583,7 +587,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Output piped into a pager/head that closed early — not an error.
         try:
             sys.stdout.close()
-        except Exception:
+        except (OSError, ValueError):
             pass
         return 0
 

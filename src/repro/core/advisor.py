@@ -144,7 +144,7 @@ class Advisor:
         """
         sizes = [float(request_bytes)] * n_requests
         pred = self.predict(kernel, sizes)
-        out = {}
+        out: Dict[str, float] = {}
         for scheme, predicted in (
             (Scheme.TS, pred.t_traditional),
             (Scheme.AS, pred.t_active),

@@ -17,10 +17,10 @@ return the result to the requesting application process directly."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.sim.engine import Environment
-from repro.sim.events import AllOf, AnyOf
+from repro.sim.events import AllOf, AnyOf, Event
 from repro.cluster.node import ComputeNode
 from repro.kernels.base import Kernel, KernelCheckpoint
 from repro.kernels.registry import KernelRegistry, default_registry
@@ -164,9 +164,9 @@ class ActiveStorageClient:
         operation: str,
         offset: int = 0,
         size: Optional[int] = None,
-        meta: Optional[dict] = None,
+        meta: Optional[Dict[str, Any]] = None,
         retry: Optional[RetryPolicy] = None,
-    ):
+    ) -> Generator[Event, Any, ActiveReadOutcome]:
         """Active read: the engine behind ``MPI_File_read_ex``.
 
         Simulation process returning an :class:`ActiveReadOutcome`.
@@ -249,14 +249,16 @@ class ActiveStorageClient:
         offset: int = 0,
         size: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
-    ):
+    ) -> Generator[Event, Any, List[IOReply]]:
         """Plain read passthrough (simulation process).
 
         With a :class:`RetryPolicy`, per-server pieces recover from
         crashes and hangs the same way active reads do.
         """
         if retry is None:
-            replies = yield from self.pvfs.read(fh, offset=offset, size=size)
+            replies: List[IOReply] = yield from self.pvfs.read(
+                fh, offset=offset, size=size
+            )
             return replies
         size = fh.size - offset if size is None else size
         requests = self.pvfs._build_requests(fh, offset, size, IOKind.NORMAL, None, None)
@@ -264,7 +266,9 @@ class ActiveStorageClient:
         return replies
 
     # -- fault recovery (see repro.faults) ----------------------------------
-    def _gather_with_retry(self, requests: List[IORequest], retry: RetryPolicy):
+    def _gather_with_retry(
+        self, requests: List[IORequest], retry: RetryPolicy
+    ) -> Generator[Event, Any, List[IOReply]]:
         """Drive every per-server piece through recovery (process)."""
         procs = [
             self.env.process(self._recover_piece(r, retry)) for r in requests
@@ -279,7 +283,9 @@ class ActiveStorageClient:
             raise
         return [p.value for p in procs]
 
-    def _recover_piece(self, request: IORequest, retry: RetryPolicy):
+    def _recover_piece(
+        self, request: IORequest, retry: RetryPolicy
+    ) -> Generator[Event, Any, IOReply]:
         """Complete one per-server request under faults (process).
 
         Per attempt: submit, then wait for the reply or the timeout.
@@ -300,7 +306,7 @@ class ActiveStorageClient:
             # handle the failure and the engine would crash the run.
             request.reply.defuse()
             deadline = self.env.timeout(retry.timeout)
-            reason = None
+            reason: Optional[str] = None
             try:
                 yield AnyOf(self.env, [request.reply, deadline])
             except PVFSError as err:
@@ -349,9 +355,9 @@ class ActiveStorageClient:
         kernel: Kernel,
         reply: IOReply,
         operation: str,
-        meta: Optional[dict],
+        meta: Optional[Dict[str, Any]],
         retry: Optional[RetryPolicy] = None,
-    ):
+    ) -> Generator[Event, Any, Tuple[Any, int, int]]:
         """Normal-read the remaining data and run the client-side PK.
 
         Returns ``(partial_result, bytes_read, bytes_computed)``.
@@ -390,7 +396,7 @@ class ActiveStorageClient:
             partial = kernel.finalize(state)
         return partial, int(remaining), int(remaining)
 
-    def _combine(self, kernel: Kernel, partials: List[Any]):
+    def _combine(self, kernel: Kernel, partials: List[Any]) -> Any:
         if not self.execute_kernels:
             return None
         real = [p for p in partials if p is not None]
@@ -401,7 +407,9 @@ class ActiveStorageClient:
         return kernel.combine(real)
 
     @staticmethod
-    def _meta_for(fh: FileHandle, meta: Optional[dict]) -> Optional[dict]:
-        merged = dict(fh.meta_dict)
+    def _meta_for(
+        fh: FileHandle, meta: Optional[Dict[str, Any]]
+    ) -> Optional[Dict[str, Any]]:
+        merged: Dict[str, Any] = dict(fh.meta_dict)
         merged.update(meta or {})
         return merged or None

@@ -9,7 +9,7 @@ memory channel between R and the kernels is also owned here.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.sim.engine import Environment
 from repro.cluster.network import Link
@@ -76,7 +76,7 @@ class ActiveStorageServer:
         return self.runtime.abort(rid)
 
     @property
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         """Runtime counters (served/demoted/interrupted)."""
         return dict(self.runtime.stats)
 

@@ -16,9 +16,10 @@ policy generator differs).
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
 
 from repro.sim.engine import Environment
+from repro.sim.events import Event
 from repro.cluster.probe import NodeProber, SystemProbe
 from repro.core.model import CostModel, RequestCost, SchedulingInstance
 from repro.core.policy import Decision, SchedulingPolicy
@@ -48,7 +49,11 @@ class ContentionEstimator(abc.ABC):
 class AlwaysOffloadEstimator(ContentionEstimator):
     """The AS baseline: every active request executes on storage."""
 
-    def evaluate(self, requests, running) -> SchedulingPolicy:
+    def evaluate(
+        self,
+        requests: List[IORequest],
+        running: List[IORequest],
+    ) -> SchedulingPolicy:
         policy = SchedulingPolicy(generated_at=0.0, default=Decision.ACTIVE)
         for req in requests:
             policy.decisions[req.rid] = Decision.ACTIVE
@@ -58,7 +63,11 @@ class AlwaysOffloadEstimator(ContentionEstimator):
 class NeverOffloadEstimator(ContentionEstimator):
     """Degenerate estimator demoting everything (TS expressed as policy)."""
 
-    def evaluate(self, requests, running) -> SchedulingPolicy:
+    def evaluate(
+        self,
+        requests: List[IORequest],
+        running: List[IORequest],
+    ) -> SchedulingPolicy:
         policy = SchedulingPolicy(generated_at=0.0, default=Decision.NORMAL)
         for req in requests:
             policy.decisions[req.rid] = Decision.NORMAL
@@ -296,9 +305,14 @@ class DOSASEstimator(ContentionEstimator):
     def start(self, env: Environment, runtime: "ActiveIORuntime") -> None:
         """Launch the periodic probe/refresh process."""
         if self.probe_period is not None:
-            env.process(self._periodic(env, runtime))
+            env.process(self._periodic(env, runtime, self.probe_period))
 
-    def _periodic(self, env: Environment, runtime: "ActiveIORuntime"):
+    def _periodic(
+        self,
+        env: Environment,
+        runtime: "ActiveIORuntime",
+        period: float,
+    ) -> Generator[Event, Any, None]:
         while True:
-            yield env.timeout(self.probe_period)
+            yield env.timeout(period)
             runtime.refresh_policy()

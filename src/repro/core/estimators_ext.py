@@ -20,7 +20,7 @@ weaknesses:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.probe import SystemProbe
 from repro.core.estimator import DOSASEstimator
@@ -38,7 +38,7 @@ class SmoothedDOSASEstimator(DOSASEstimator):
         the base estimator.
     """
 
-    def __init__(self, *args, alpha: float = 0.3, **kwargs) -> None:
+    def __init__(self, *args: Any, alpha: float = 0.3, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         if not 0 < alpha <= 1:
             raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
@@ -52,14 +52,15 @@ class SmoothedDOSASEstimator(DOSASEstimator):
         return self.alpha * sample + (1 - self.alpha) * previous
 
     def storage_capability(self, op: str, probe: SystemProbe) -> float:
-        self._smoothed_cpu = self._smooth(self._smoothed_cpu, probe.cpu_utilization)
+        cpu = self._smooth(self._smoothed_cpu, probe.cpu_utilization)
+        self._smoothed_cpu = cpu
         self._smoothed_mem = self._smooth(
             self._smoothed_mem, probe.memory_utilization
         )
         model = self._model(op)
         rate = model.rate
         if self.degrade_by_cpu:
-            rate *= max(0.1, 1.0 - self._smoothed_cpu)
+            rate *= max(0.1, 1.0 - cpu)
         return rate
 
 
@@ -72,13 +73,15 @@ class HysteresisDOSASEstimator(DOSASEstimator):
     row.
     """
 
-    def __init__(self, *args, confirmations: int = 2, **kwargs) -> None:
+    def __init__(self, *args: Any, confirmations: int = 2, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         if confirmations < 1:
             raise ValueError("confirmations must be >= 1")
         self.confirmations = int(confirmations)
         #: rid → (currently enforced verdict, candidate verdict, streak).
-        self._state: Dict[int, tuple] = {}
+        self._state: Dict[
+            int, Tuple[Optional[Decision], Optional[Decision], int]
+        ] = {}
 
     def evaluate(
         self,
@@ -92,7 +95,7 @@ class HysteresisDOSASEstimator(DOSASEstimator):
             probe=raw.probe,
             objective_value=raw.objective_value,
         )
-        seen = set()
+        seen: Set[int] = set()
         for rid, proposed in raw.decisions.items():
             seen.add(rid)
             enforced, candidate, streak = self._state.get(

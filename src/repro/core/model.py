@@ -37,10 +37,11 @@ requesting compute nodes (the max-term z).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.kernels.costs import KernelCostModel
 
@@ -184,7 +185,7 @@ class SchedulingInstance:
     """
 
     model: Optional[CostModel]
-    costs: tuple  # tuple[RequestCost, ...]
+    costs: Tuple[RequestCost, ...]
 
     @staticmethod
     def from_sizes(model: CostModel, sizes: Sequence[float], rids: Optional[Sequence[int]] = None) -> "SchedulingInstance":
@@ -216,22 +217,22 @@ class SchedulingInstance:
         return len(self.costs)
 
     @property
-    def sizes(self) -> np.ndarray:
+    def sizes(self) -> npt.NDArray[np.float64]:
         """d vector."""
         return np.array([c.d_i for c in self.costs], dtype=np.float64)
 
     @property
-    def x(self) -> np.ndarray:
+    def x(self) -> npt.NDArray[np.float64]:
         """x vector (Eq. 5)."""
         return np.array([c.x_i for c in self.costs], dtype=np.float64)
 
     @property
-    def y(self) -> np.ndarray:
+    def y(self) -> npt.NDArray[np.float64]:
         """y vector (Eq. 6)."""
         return np.array([c.y_i for c in self.costs], dtype=np.float64)
 
     @property
-    def w(self) -> np.ndarray:
+    def w(self) -> npt.NDArray[np.float64]:
         """w vector: per-request client compute time (Eq. 7's operand)."""
         return np.array([c.w_i for c in self.costs], dtype=np.float64)
 

@@ -10,15 +10,16 @@ benchmarks exercise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.sim.engine import Environment
-from repro.sim.events import AllOf
+from repro.sim.events import AllOf, Event
 from repro.cluster.config import NodeSpec, discfarm_config
 from repro.cluster.probe import NodeProber
 from repro.cluster.topology import ClusterTopology
 from repro.kernels.registry import default_registry
 from repro.pvfs.client import PVFSClient
+from repro.pvfs.filehandle import FileHandle
 from repro.pvfs.metadata import MetadataServer
 from repro.pvfs.server import IOServer
 from repro.core.asc import ActiveStorageClient, RetryPolicy
@@ -35,6 +36,7 @@ from repro.sim.exceptions import SimulationError
 from repro.workload.generator import PlannedRequest, RequestPlan
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
     from repro.faults.schedule import FaultSchedule
     from repro.obs.tracer import Tracer
 
@@ -139,7 +141,7 @@ def run_plan(
     # by id(): a recycled object address (plans rebuilt between calls,
     # GC reuse) would silently alias two requests to one file handle.
     indexed = list(enumerate(plan))
-    by_process: Dict[tuple, List[tuple]] = {}
+    by_process: Dict[Tuple[str, int], List[Tuple[int, PlannedRequest]]] = {}
     for idx, req in indexed:
         by_process.setdefault((req.app, req.process_index), []).append((idx, req))
     for entries in by_process.values():
@@ -169,7 +171,7 @@ def run_plan(
     )
     kernel_by_op = {
         op: registry.get(op)
-        for op in {r.operation for r in plan if r.operation is not None}
+        for op in sorted({r.operation for r in plan if r.operation is not None})
     }
     asses: List[ActiveStorageServer] = []
     if scheme in (Scheme.AS, Scheme.DOSAS):
@@ -194,14 +196,14 @@ def run_plan(
                 )
             )
 
-    injector = None
+    injector: Optional["FaultInjector"] = None
     if fault_schedule is not None:
         from repro.faults.injector import FaultInjector
 
         injector = FaultInjector(env, servers, fault_schedule).start()
 
     # One file per planned request, keyed by plan index.
-    handles = []
+    handles: List[FileHandle] = []
     for idx, req in indexed:
         meta = (
             {"width": spec.image_width}
@@ -221,7 +223,9 @@ def run_plan(
     outcomes: List[RequestOutcome] = []
     ascs: List[ActiveStorageClient] = []
 
-    def _process(proc_index: int, requests: List[tuple]):
+    def _process(
+        proc_index: int, requests: List[Tuple[int, PlannedRequest]]
+    ) -> Generator[Event, Any, None]:
         node = topo.compute_node(proc_index % len(topo.compute_nodes))
         client = PVFSClient(env, node, servers, mds)
         asc = ActiveStorageClient(
@@ -237,6 +241,8 @@ def run_plan(
             result = None
             disposition = "normal"
             if req.active and scheme is not Scheme.TS:
+                # Active planned requests always name an operation.
+                assert req.operation is not None
                 outcome = yield from asc.read_ex(fh, req.operation, retry=retry)
                 result = outcome.result
                 if outcome.demotions == 0:
@@ -249,6 +255,7 @@ def run_plan(
                 yield from asc.read(fh, retry=retry)
                 if req.active:
                     # TS: the kernel runs client-side after the read.
+                    assert req.operation is not None
                     kernel = kernel_by_op[req.operation]
                     yield from node.cpu.compute(float(req.size), kernel.rate)
             outcomes.append(

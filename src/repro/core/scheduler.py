@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.model import SchedulingInstance
 
@@ -154,7 +155,7 @@ class ThresholdScheduler(Scheduler):
         y = instance.y
 
         best_value = float("inf")
-        best_assignment: Optional[np.ndarray] = None
+        best_assignment: Optional[npt.NDArray[np.int64]] = None
         evaluations = 0
 
         candidates = {0.0}
@@ -186,7 +187,7 @@ class ThresholdScheduler(Scheduler):
                     a[pick] = 0
             # Re-evaluate exactly through the model (guards against any
             # bookkeeping slip and keeps the reported value canonical).
-            exact = instance.value(list(a))
+            exact = instance.value([int(v) for v in a])
             if exact < best_value - 1e-15:
                 best_value = exact
                 best_assignment = a.copy()
@@ -230,7 +231,7 @@ class BranchAndBoundScheduler(Scheduler):
         while stack:
             i, cost, z_cur, partial = stack.pop()
             evaluations += 1
-            bound = cost + min_xy_suffix[i] + z_cur
+            bound = cost + float(min_xy_suffix[i]) + z_cur
             if bound >= best_value:
                 continue
             if i == k:
@@ -240,10 +241,12 @@ class BranchAndBoundScheduler(Scheduler):
                     best_assignment = partial
                 continue
             # Branch a_i = 1 (active) — z unchanged.
-            stack.append((i + 1, cost + x[i], z_cur, partial + [1]))
+            stack.append((i + 1, cost + float(x[i]), z_cur, partial + [1]))
             # Branch a_i = 0 (demote) — z becomes max(z, w_i); since
             # weights descend, only the first demotion changes z.
-            stack.append((i + 1, cost + y[i], max(z_cur, w[i]), partial + [0]))
+            stack.append(
+                (i + 1, cost + float(y[i]), max(z_cur, float(w[i])), partial + [0])
+            )
 
         assert best_assignment is not None
         # Undo the size ordering.
@@ -274,7 +277,7 @@ class GreedyScheduler(Scheduler):
         )
 
 
-_SCHEDULERS = {
+_SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
     "exhaustive": ExhaustiveScheduler,
     "threshold": ThresholdScheduler,
     "branch_and_bound": BranchAndBoundScheduler,
@@ -282,7 +285,7 @@ _SCHEDULERS = {
 }
 
 
-def make_scheduler(name: str, **kwargs) -> Scheduler:
+def make_scheduler(name: str, **kwargs: Any) -> Scheduler:
     """Scheduler factory by name."""
     try:
         cls = _SCHEDULERS[name]

@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.sim.engine import Environment
-from repro.sim.events import AllOf
+from repro.sim.events import AllOf, Event
 from repro.cluster.config import ClusterConfig, MB, NodeSpec, discfarm_config
 from repro.cluster.network import SerialLink
 from repro.cluster.probe import NodeProber
@@ -31,11 +31,13 @@ from repro.cluster.topology import ClusterTopology
 from repro.kernels.costs import KernelCostModel
 from repro.kernels.registry import KernelRegistry, default_registry
 from repro.pvfs.client import PVFSClient
+from repro.pvfs.filehandle import FileHandle
 from repro.pvfs.metadata import MetadataServer, PVFSError
 from repro.pvfs.server import IOServer
 from repro.core.asc import ActiveStorageClient, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
     from repro.faults.schedule import FaultSchedule
     from repro.obs.tracer import Tracer
 from repro.core.ass import ActiveStorageServer
@@ -217,7 +219,7 @@ def _build_estimator(
     if scheme is Scheme.AS:
         return AlwaysOffloadEstimator()
     if scheme is Scheme.DOSAS:
-        kwargs = dict(
+        kwargs: Dict[str, Any] = dict(
             prober=prober,
             kernel_models=(
                 kernel_models
@@ -326,7 +328,7 @@ def run_scheme(
                 )
             )
 
-    injector = None
+    injector: Optional["FaultInjector"] = None
     if fault_schedule is not None:
         from repro.faults.injector import FaultInjector
 
@@ -338,7 +340,7 @@ def run_scheme(
         if spec.kernel in ("gaussian2d", "sobel")
         else None
     )
-    handles = []
+    handles: List[FileHandle] = []
     for i in range(spec.total_requests):
         file = mds.create(
             f"/data/req{i}",
@@ -368,7 +370,7 @@ def run_scheme(
         ascs.append(asc)
         return asc
 
-    def _ts_request(i: int):
+    def _ts_request(i: int) -> Generator[Event, Any, Tuple[float, Any]]:
         asc = _make_asc(i)
         if spec.arrival_spacing:
             yield env.timeout(spec.arrival_spacing * i)
@@ -381,7 +383,7 @@ def run_scheme(
             result = kernel.apply(data, meta=meta)
         return (env.now, result)
 
-    def _active_request(i: int):
+    def _active_request(i: int) -> Generator[Event, Any, Tuple[float, Any]]:
         asc = _make_asc(i)
         if spec.arrival_spacing:
             yield env.timeout(spec.arrival_spacing * i)
@@ -393,7 +395,7 @@ def run_scheme(
     # Background normal readers (Figure 1's normal-I/O share of the
     # queue): their data competes for the same NICs but they are not
     # part of the measured active workload.
-    background_handles = []
+    background_handles: List[FileHandle] = []
     for j in range(n_background):
         f = mds.create(
             f"/background/b{j}",
@@ -404,7 +406,7 @@ def run_scheme(
         )
         background_handles.append(mds.open(f.name))
 
-    def _background_reader(j: int):
+    def _background_reader(j: int) -> Generator[Event, Any, float]:
         node = topo.compute_node(spec.total_requests + j)
         client = PVFSClient(env, node, servers, mds)
         try:
@@ -456,7 +458,7 @@ def run_scheme(
             if isinstance(est, DOSASEstimator):
                 policy_values.extend(p.objective_value for p in est.policy_log)
 
-    results = []
+    results: List[Any] = []
     if spec.execute_kernels:
         if scheme is Scheme.TS:
             results = outcomes

@@ -1,0 +1,58 @@
+"""``repro.lint`` — AST static analysis for determinism & sim correctness.
+
+The repository guarantees *same seed ⇒ byte-identical results*.  This
+package enforces the invariants behind that guarantee at review time
+instead of discovering violations in flaky figure diffs:
+
+- **RPR1xx determinism** — process-global RNG state, wall-clock reads,
+  unordered iteration, ``id()`` keys.
+- **RPR2xx simulation correctness** — events constructed but never
+  yielded, host-blocking calls in process generators, ``env.now`` at
+  import time.
+- **RPR3xx hygiene** — mutable default arguments, silent broad excepts.
+
+Run it as ``repro lint [paths] [--format json] [--baseline FILE]``;
+suppress a reviewed exception inline with
+``# reprolint: disable=RPRxxx``.  See :doc:`docs/static_analysis.md`
+for the full catalogue and policy.
+"""
+
+from repro.lint.analyzer import (
+    PARSE_ERROR_CODE,
+    context_for_path,
+    discover_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    suppressed_lines,
+)
+from repro.lint.base import REGISTRY, FileContext, Finding, Rule, all_rules
+from repro.lint.baseline import (
+    apply_baseline,
+    counts,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.report import format_json, format_rule_catalogue, format_text
+
+__all__ = [
+    "PARSE_ERROR_CODE",
+    "REGISTRY",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "context_for_path",
+    "counts",
+    "discover_files",
+    "format_json",
+    "format_rule_catalogue",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "suppressed_lines",
+    "write_baseline",
+]

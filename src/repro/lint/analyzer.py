@@ -1,0 +1,171 @@
+"""File discovery, suppression handling and the lint driver.
+
+``lint_paths`` walks the given files/directories in sorted order
+(the analyzer practices what it preaches), parses each ``.py`` file
+once, runs every applicable rule, and filters findings through inline
+suppressions:
+
+.. code-block:: python
+
+    t = perf_counter()   # reprolint: disable=RPR102  host measurement
+    # reprolint: disable-next-line=RPR103
+    for name in os.listdir(d):
+        ...
+
+A suppression names the exact codes it silences — there is no blanket
+``disable=all`` on purpose: every suppression is a reviewed, visible
+exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
+
+from repro.lint.base import REGISTRY, FileContext, Finding, Rule, all_rules
+
+# Importing the rule modules populates the registry.
+from repro.lint import determinism as _determinism  # noqa: F401
+from repro.lint import hygiene as _hygiene  # noqa: F401
+from repro.lint import simulation as _simulation  # noqa: F401
+
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "context_for_path",
+    "suppressed_lines",
+    "PARSE_ERROR_CODE",
+]
+
+#: Pseudo-rule code for files the analyzer cannot parse.
+PARSE_ERROR_CODE = "RPR900"
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-next-line)\s*=\s*"
+    r"(RPR\d{3}(?:\s*,\s*RPR\d{3})*)"
+)
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hg", ".venv", "venv", "node_modules",
+    ".mypy_cache", ".pytest_cache", ".ruff_cache", "build", "dist",
+})
+
+
+def suppressed_lines(source: str) -> Dict[int, Set[str]]:
+    """Map line number → set of RPR codes suppressed on that line."""
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _DIRECTIVE.search(tok.string)
+            if m is None:
+                continue
+            kind, codes = m.group(1), m.group(2)
+            line = tok.start[0] + (1 if kind == "disable-next-line" else 0)
+            out.setdefault(line, set()).update(
+                c.strip() for c in codes.split(","))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The parse-error finding covers unreadable files.
+        return out
+    return out
+
+
+def context_for_path(path: str, source: str = "") -> FileContext:
+    """Auto-detect path scoping (``src`` vs ``benchmarks`` vs tests)."""
+    parts = os.path.normpath(path).replace(os.sep, "/").split("/")
+    in_benchmarks = "benchmarks" in parts
+    in_src = "src" in parts and not in_benchmarks
+    return FileContext(path=path, source=source,
+                       in_src=in_src, in_benchmarks=in_benchmarks)
+
+
+def _selected_rules(select: Optional[Iterable[str]]) -> List[Type[Rule]]:
+    if select is None:
+        return all_rules()
+    wanted = set(select)
+    unknown = wanted - set(REGISTRY)
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {sorted(unknown)}; "
+                         f"known: {sorted(REGISTRY)}")
+    return [REGISTRY[code] for code in sorted(wanted)]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    ctx: Optional[FileContext] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; returns findings sorted by location."""
+    if ctx is None:
+        ctx = context_for_path(path, source)
+    else:
+        ctx.source = source
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 0) or 1,
+                        code=PARSE_ERROR_CODE,
+                        message=f"cannot parse file: {exc.msg}")]
+    for rule_cls in _selected_rules(select):
+        if rule_cls.applies(ctx):
+            rule_cls(ctx).check(tree)
+    suppressions = suppressed_lines(source)
+    findings = [
+        f for f in ctx.findings
+        if f.code not in suppressions.get(f.line, ())
+    ]
+    return sorted(findings)
+
+
+def lint_file(
+    path: str,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one file on disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(path=path, line=1, col=1, code=PARSE_ERROR_CODE,
+                        message=f"cannot read file: {exc}")]
+    return lint_source(source, path=path,
+                       ctx=context_for_path(path, source), select=select)
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                # Sorted in-place so traversal order is deterministic.
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d not in _SKIP_DIRS
+                                     and not d.startswith("."))
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        else:
+            out.append(path)
+    return sorted(dict.fromkeys(out))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; sorted findings."""
+    findings: List[Finding] = []
+    for path in discover_files(paths):
+        findings.extend(lint_file(path, select=select))
+    return sorted(findings)

@@ -1,0 +1,236 @@
+"""Core types of the ``repro.lint`` static-analysis framework.
+
+A *rule* is an :class:`ast.NodeVisitor` subclass with a stable
+``RPRxxx`` code.  The analyzer parses each file once, instantiates
+every applicable rule with a shared :class:`FileContext`, runs it over
+the tree, and collects :class:`Finding` records.
+
+Rules are registered with the :func:`rule` class decorator, which
+keys them by code in :data:`REGISTRY`.  Codes are grouped by family:
+
+``RPR1xx``
+    Determinism — constructs that can make two runs of the same seed
+    diverge (global RNG state, wall-clock reads, unordered iteration,
+    memory-address keys).
+``RPR2xx``
+    Simulation correctness — misuse of the DES engine inside process
+    generators (dropped events, real blocking calls, ``env.now`` at
+    import time).
+``RPR3xx``
+    Hygiene — patterns that hide bugs (mutable default arguments,
+    silent broad exception handlers).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Dict, List, Optional, Type
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "REGISTRY",
+    "rule",
+    "all_rules",
+    "dotted_name",
+    "is_env_expr",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The conventional ``path:line:col: CODE message`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe view (used by the ``--format json`` reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Per-file facts shared by every rule run over that file.
+
+    ``in_src`` / ``in_benchmarks`` drive path-scoped rules (wall-clock
+    reads are a bug in simulation sources but the whole point of
+    ``benchmarks/``).  They are auto-detected from the path by
+    :func:`repro.lint.analyzer.context_for_path`; tests of individual
+    rules construct the context directly to pin the scope.
+    """
+
+    path: str
+    source: str = ""
+    #: True when the file belongs to the library sources (``src/``).
+    in_src: bool = True
+    #: True for measurement code (``benchmarks/``, calibration).
+    in_benchmarks: bool = False
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for all lint rules.
+
+    Subclasses set the class attributes and implement ``visit_*``
+    methods, reporting via :meth:`add`.  One instance is created per
+    (rule, file) pair, so per-file state can live on ``self``.
+    """
+
+    #: Stable identifier, e.g. ``"RPR101"`` — never reused once shipped.
+    code: ClassVar[str] = ""
+    #: Short kebab-case name, e.g. ``"global-rng"``.
+    name: ClassVar[str] = ""
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: ClassVar[str] = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        """Whether this rule runs on the file at all (path scoping)."""
+        return True
+
+    def add(self, node: ast.AST, message: str) -> None:
+        self.ctx.add(node, self.code, message)
+
+    def check(self, tree: ast.Module) -> None:
+        """Run the rule over a parsed module."""
+        self.visit(tree)
+
+
+#: code → rule class, in registration order.
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a rule by its ``code``."""
+    if not cls.code or not cls.code.startswith("RPR"):
+        raise ValueError(f"rule {cls.__name__} has no RPRxxx code")
+    if cls.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule, sorted by code."""
+    return [REGISTRY[code] for code in sorted(REGISTRY)]
+
+
+# -- shared AST helpers -------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Resolve a ``Name``/``Attribute`` chain to ``"a.b.c"``, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_env_expr(node: ast.AST) -> bool:
+    """True for expressions that look like a simulation environment.
+
+    Matches the codebase's conventions: a bare ``env`` name, or any
+    attribute access ending in ``.env`` / ``._env`` (``self.env``,
+    ``self.node.env``, …).
+    """
+    if isinstance(node, ast.Name):
+        return node.id in ("env", "_env")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("env", "_env")
+    return False
+
+
+def walk_with_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Map every node in ``tree`` to its parent node."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def body_is_silent(body: List[ast.stmt]) -> bool:
+    """True when an except-handler body visibly does nothing.
+
+    "Silent" means no re-raise and no call statement (logging, metric
+    increment, cleanup) — only ``pass``/``...``/``continue``/bookkeeping
+    assignments/bare returns.
+    """
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return False
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                return False
+    return True
+
+
+def generator_functions(tree: ast.AST) -> List[ast.FunctionDef]:
+    """Every function in ``tree`` whose own body contains a yield."""
+    out: List[ast.FunctionDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _has_own_yield(node):
+            out.append(node)  # type: ignore[arg-type]
+    return out
+
+
+def _has_own_yield(func: ast.AST) -> bool:
+    """Does ``func`` itself yield (ignoring nested function defs)?"""
+    for node in _walk_shallow(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _walk_shallow(func: ast.AST) -> List[ast.AST]:
+    """All nodes of a function body, not descending into nested defs."""
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def shallow_nodes(func: ast.AST) -> List[ast.AST]:
+    """Public alias of the shallow walker (used by generator rules)."""
+    return _walk_shallow(func)
+
+
+CallPredicate = Callable[[ast.Call], bool]

@@ -1,0 +1,86 @@
+"""Baseline ("ratchet") support for staged adoption.
+
+A baseline records how many findings of each ``(path, code)`` pair are
+*accepted* — typically the debt present when a rule first ships.  With
+``--baseline FILE``, lint only reports findings **beyond** the accepted
+count, so new violations fail CI while the recorded debt is paid down
+independently.  Counts ratchet naturally: regenerating the baseline
+after fixes can only lower them.
+
+Counts (not line numbers) keyed by file make the baseline stable under
+unrelated edits: inserting a line above an accepted finding does not
+un-accept it, while adding a *new* violation anywhere in the file trips
+the ratchet.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.lint.base import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline", "counts"]
+
+_FORMAT_VERSION = 1
+
+
+def counts(findings: List[Finding]) -> Dict[str, int]:
+    """``"path::code" → count`` for a list of findings."""
+    out: Dict[str, int] = {}
+    for f in findings:
+        key = f"{f.path}::{f.code}"
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Read accepted counts from a baseline file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: not a reprolint baseline "
+                         f"(expected version {_FORMAT_VERSION})")
+    accepted = doc.get("accepted", {})
+    if not isinstance(accepted, dict):
+        raise ValueError(f"{path}: malformed 'accepted' section")
+    return {str(k): int(v) for k, v in accepted.items()}
+
+
+def write_baseline(path: str, findings: List[Finding]) -> int:
+    """Record the current findings as accepted; returns entry count."""
+    accepted = counts(findings)
+    doc = {
+        "version": _FORMAT_VERSION,
+        "comment": ("reprolint baseline: accepted finding counts per "
+                    "path::code; regenerate with "
+                    "'repro lint ... --write-baseline'"),
+        "accepted": dict(sorted(accepted.items())),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(accepted)
+
+
+def apply_baseline(
+    findings: List[Finding],
+    accepted: Dict[str, int],
+) -> Tuple[List[Finding], int]:
+    """Drop the first ``accepted[path::code]`` findings of each pair.
+
+    Findings are location-sorted, so the earliest occurrences in each
+    file are the ones charged against the accepted count.  Returns the
+    surviving findings and the number suppressed by the baseline.
+    """
+    remaining = dict(accepted)
+    kept: List[Finding] = []
+    suppressed = 0
+    for f in sorted(findings):
+        key = f"{f.path}::{f.code}"
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(f)
+    return kept, suppressed

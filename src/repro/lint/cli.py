@@ -1,0 +1,90 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes follow the convention of the other subcommands: ``0`` clean
+(or all findings baselined/suppressed), ``1`` findings reported, ``2``
+usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional
+
+from repro.lint.analyzer import discover_files, lint_file
+from repro.lint.base import Finding
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.report import format_json, format_rule_catalogue, format_text
+
+__all__ = ["cmd_lint", "add_lint_parser"]
+
+
+def cmd_lint(args: argparse.Namespace, out: Optional[IO[str]] = None) -> int:
+    """Run the analyzer over ``args.paths`` and report findings."""
+    stream: IO[str] = out if out is not None else sys.stdout
+    if args.list_rules:
+        print(format_rule_catalogue(), file=stream)
+        return 0
+    select = args.select.split(",") if args.select else None
+    files = discover_files(args.paths)
+    findings: List[Finding] = []
+    try:
+        for path in files:
+            findings.extend(lint_file(path, select=select))
+    except ValueError as exc:  # unknown --select code
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings.sort()
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        n = write_baseline(args.baseline, findings)
+        print(f"wrote baseline {args.baseline}: {len(findings)} accepted "
+              f"finding(s) across {n} path/code pair(s)", file=stream)
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        try:
+            accepted = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, accepted)
+
+    if args.format == "json":
+        print(format_json(findings, checked_files=len(files),
+                          baseline_suppressed=suppressed), file=stream)
+    else:
+        print(format_text(findings, checked_files=len(files)), file=stream)
+        if suppressed:
+            print(f"({suppressed} finding(s) accepted by baseline "
+                  f"{args.baseline})", file=stream)
+    return 1 if findings else 0
+
+
+def add_lint_parser(sub: "argparse._SubParsersAction") -> None:
+    """Register the ``lint`` subcommand on the main CLI parser."""
+    p = sub.add_parser(
+        "lint",
+        help="static determinism & simulation-correctness analysis",
+        description=("AST-based analyzer enforcing the repo's determinism "
+                     "guarantees (see docs/static_analysis.md). Exit 1 on "
+                     "findings, 0 when clean."),
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to analyze (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format")
+    p.add_argument("--select", metavar="RPR101,RPR202,...",
+                   help="run only these rule codes")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="accepted-findings baseline (staged adoption)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="record current findings into --baseline FILE")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=cmd_lint)

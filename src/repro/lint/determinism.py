@@ -1,0 +1,280 @@
+"""Determinism rules (RPR1xx).
+
+The repository's headline guarantee is *same seed ⇒ byte-identical
+results* (trace exports, parallel sweeps merged identically to serial
+runs).  Every rule in this family targets a construct that has broken
+— or can break — that guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.base import (
+    FileContext,
+    Rule,
+    dotted_name,
+    rule,
+    walk_with_parents,
+)
+
+#: Functions on the process-global ``random`` module RNG.  Calling any
+#: of these couples the simulation to interpreter-wide hidden state.
+_RANDOM_GLOBAL_FNS = frozenset({
+    "betavariate", "binomialvariate", "choice", "choices", "expovariate",
+    "gammavariate", "gauss", "getrandbits", "getstate", "lognormvariate",
+    "normalvariate", "paretovariate", "randbytes", "randint", "random",
+    "randrange", "sample", "seed", "setstate", "shuffle", "triangular",
+    "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+#: ``numpy.random`` attributes that construct *independent* generators
+#: (fine) as opposed to touching the legacy global RandomState (not).
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+
+@rule
+class GlobalRngRule(Rule):
+    """RPR101 — module-level RNG state instead of an injected generator.
+
+    ``random.shuffle(...)`` or ``np.random.normal(...)`` draw from a
+    process-global stream: any other component (or an import side
+    effect, or a refactor that reorders calls) shifts the sequence and
+    silently changes every "seeded" run.  Inject a ``random.Random(seed)``
+    or ``numpy.random.default_rng(seed)`` instance instead.
+    """
+
+    code = "RPR101"
+    name = "global-rng"
+    summary = ("call into the process-global random/np.random state; "
+               "inject a seeded generator instead")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if (len(parts) == 2 and parts[0] == "random"
+                    and parts[1] in _RANDOM_GLOBAL_FNS):
+                self.add(node, f"call to process-global RNG {name}(); inject "
+                               "a seeded random.Random instance instead")
+            elif (len(parts) >= 3 and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in _NP_RANDOM_OK):
+                self.add(node, f"call to process-global RNG {name}(); inject "
+                               "a seeded numpy.random.default_rng instead")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            bad = sorted(a.name for a in node.names
+                         if a.name in _RANDOM_GLOBAL_FNS)
+            if bad:
+                self.add(node, "importing process-global RNG function(s) "
+                               f"{', '.join(bad)} from random; inject a "
+                               "seeded random.Random instance instead")
+        elif node.module in ("numpy.random",):
+            bad = sorted(a.name for a in node.names
+                         if a.name not in _NP_RANDOM_OK and a.name != "*")
+            if bad:
+                self.add(node, "importing process-global RNG function(s) "
+                               f"{', '.join(bad)} from numpy.random; inject "
+                               "a seeded numpy Generator instead")
+        self.generic_visit(node)
+
+
+#: ``time`` module functions that read a host clock.
+_TIME_CLOCK_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+
+#: ``(qualifier, attr)`` tails of datetime wall-clock constructors.
+_DATETIME_TAILS = (
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+)
+
+
+@rule
+class WallClockRule(Rule):
+    """RPR102 — wall-clock read inside simulation sources.
+
+    Simulated time is ``env.now``; host time (``time.time()``,
+    ``datetime.now()``, ``perf_counter()``) differs between runs and
+    hosts, so any result influenced by it is unreproducible.  Scoped to
+    library sources — measurement code (``benchmarks/``) exists to read
+    the host clock and is exempt.
+    """
+
+    code = "RPR102"
+    name = "wall-clock"
+    summary = "host clock read in simulation sources; use env.now"
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_src and not ctx.in_benchmarks
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if (len(parts) == 2 and parts[0] == "time"
+                    and parts[1] in _TIME_CLOCK_FNS):
+                self.add(node, f"wall-clock read {name}(); simulation code "
+                               "must use env.now (simulated seconds)")
+            elif len(parts) >= 2 and (parts[-2], parts[-1]) in _DATETIME_TAILS:
+                self.add(node, f"wall-clock read {name}(); simulation code "
+                               "must use env.now (simulated seconds)")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            bad = sorted(a.name for a in node.names if a.name in _TIME_CLOCK_FNS)
+            if bad:
+                self.add(node, f"importing wall-clock function(s) "
+                               f"{', '.join(bad)} from time into simulation "
+                               "sources; use env.now")
+        self.generic_visit(node)
+
+
+#: Call names (dotted tails) whose result has no defined order.
+_UNORDERED_CALLS = frozenset({"set", "frozenset"})
+_UNORDERED_FS_CALLS = frozenset({"listdir", "scandir"})
+_UNORDERED_GLOB_CALLS = frozenset({"glob", "iglob", "rglob", "iterdir"})
+#: Consumers whose output order follows input order (order escapes).
+_ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _unordered_reason(node: ast.expr) -> Optional[str]:
+    """Why iterating ``node`` has no deterministic order, or None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        tail = parts[-1]
+        if tail in _UNORDERED_CALLS and len(parts) == 1:
+            return f"{tail}(...) (hash order varies with PYTHONHASHSEED)"
+        if tail in _UNORDERED_FS_CALLS:
+            return f"{name}(...) (directory order is filesystem-defined)"
+        if tail in _UNORDERED_GLOB_CALLS:
+            return f"{name}(...) (traversal order is filesystem-defined)"
+    return None
+
+
+@rule
+class UnsortedIterRule(Rule):
+    """RPR103 — iteration over an unordered collection.
+
+    ``for x in {a, b}``, ``list(set(...))`` or looping over
+    ``os.listdir``/``glob`` results lets hash seeds and filesystem
+    layout pick the order — the exact bug class
+    ``PYTHONHASHSEED=0`` in CI papers over.  Wrap the iterable in
+    ``sorted(...)`` to pin the order.
+    """
+
+    code = "RPR103"
+    name = "unsorted-iteration"
+    summary = "iteration over set/listdir/glob results without sorted()"
+
+    def _check_iterable(self, node: ast.expr, context: str) -> None:
+        reason = _unordered_reason(node)
+        if reason is not None:
+            self.add(node, f"{context} over {reason}; wrap in sorted() "
+                           "to pin a deterministic order")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, "iteration")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iterable(node.iter, "iteration")
+        self.generic_visit(node)
+
+    def _check_comp(self, node: ast.expr, generators: List[ast.comprehension]) -> None:
+        for gen in generators:
+            self._check_iterable(gen.iter, "comprehension")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comp(node, node.generators)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comp(node, node.generators)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comp(node, node.generators)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comp(node, node.generators)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if node.args:
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_WRAPPERS):
+                self._check_iterable(node.args[0], f"{node.func.id}(...)")
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"):
+                self._check_iterable(node.args[0], "join(...)")
+        self.generic_visit(node)
+
+
+#: Methods whose first argument is a mapping key.
+_KEYED_METHODS = frozenset({"get", "setdefault", "pop"})
+
+
+@rule
+class IdKeyRule(Rule):
+    """RPR104 — ``id()`` used as a mapping key or sort key.
+
+    ``id(obj)`` is a memory address: it differs between runs, workers
+    and platforms, and is recycled the moment the object dies — the
+    exact bug behind the PR 3 ``handles[id(req)]`` collision.  Key by a
+    stable attribute (sequence number, request id) instead.
+    """
+
+    code = "RPR104"
+    name = "id-as-key"
+    summary = "id() used as a dict key or in a sort key"
+
+    _MSG = ("id() is a recycled memory address and differs across "
+            "runs/workers; key by a stable identifier instead")
+
+    def check(self, tree: ast.Module) -> None:
+        parents = walk_with_parents(tree)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "id"):
+                continue
+            child: ast.AST = node
+            parent = parents.get(child)
+            while parent is not None and not isinstance(parent, ast.stmt):
+                if isinstance(parent, ast.Subscript) and child is parent.slice:
+                    self.add(node, f"{self._MSG} (subscript key)")
+                    break
+                if isinstance(parent, ast.Dict) and child in parent.keys:
+                    self.add(node, f"{self._MSG} (dict literal key)")
+                    break
+                if (isinstance(parent, ast.Call)
+                        and isinstance(parent.func, ast.Attribute)
+                        and parent.func.attr in _KEYED_METHODS
+                        and parent.args and child is parent.args[0]):
+                    self.add(node, f"{self._MSG} "
+                                   f"(.{parent.func.attr}() key)")
+                    break
+                if isinstance(parent, ast.keyword) and parent.arg == "key":
+                    self.add(node, f"{self._MSG} (sort key)")
+                    break
+                child, parent = parent, parents.get(parent)
+
+
+__all__ = ["GlobalRngRule", "WallClockRule", "UnsortedIterRule", "IdKeyRule"]

@@ -1,0 +1,135 @@
+"""Hygiene rules (RPR3xx).
+
+Patterns that don't break determinism directly but hide the bugs that
+do: shared mutable default arguments, and exception handlers broad and
+silent enough to swallow a real failure (the ``id(request)`` collision
+of PR 3 survived as long as it did because nothing ever raised).
+Scoped to library sources — test helpers are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from repro.lint.base import FileContext, Rule, body_is_silent, dotted_name, rule
+
+#: Call names that build a fresh mutable container.
+_MUTABLE_FACTORY_TAILS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    "OrderedDict", "Counter",
+})
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+
+FunctionLike = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+@rule
+class MutableDefaultRule(Rule):
+    """RPR301 — mutable default argument.
+
+    Defaults are evaluated once at ``def`` time, so a ``[]`` / ``{}``
+    default is shared by every call — state leaks across requests and
+    across sweep points.  Use ``None`` and create the container in the
+    body (or a frozen/dataclass ``field(default_factory=...)``).
+    """
+
+    code = "RPR301"
+    name = "mutable-default"
+    summary = "mutable default argument (shared across calls)"
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def _check_defaults(self, node: FunctionLike) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, _MUTABLE_DISPLAYS):
+                self.add(default, "mutable default argument is shared "
+                                  "across calls; default to None and build "
+                                  "the container in the body")
+            elif isinstance(default, ast.Call):
+                name = dotted_name(default.func)
+                if name is not None and \
+                        name.split(".")[-1] in _MUTABLE_FACTORY_TAILS:
+                    self.add(default, f"mutable default argument {name}() is "
+                                      "shared across calls; default to None "
+                                      "and build the container in the body")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler_type: ast.expr) -> bool:
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(e) for e in handler_type.elts)
+    name = dotted_name(handler_type)
+    return name is not None and name.split(".")[-1] in _BROAD_NAMES
+
+
+@rule
+class SilentExceptRule(Rule):
+    """RPR302 — bare/broad except that silently swallows.
+
+    ``except:`` and ``except Exception: pass`` hide typos, determinism
+    regressions and engine invariant violations alike.  Either narrow
+    the exception type to what the code actually expects, or make the
+    degrade path observable (metric counter, log line, re-raise).
+    """
+
+    code = "RPR302"
+    name = "silent-except"
+    summary = "bare/broad except whose handler visibly does nothing"
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            if self._is_silent(node):
+                self.add(node, "bare except swallows every error "
+                               "(including KeyboardInterrupt); narrow the "
+                               "type or make the handler observable")
+        elif _is_broad(node.type) and self._is_silent(node):
+            self.add(node, "broad except handler visibly does nothing; "
+                           "narrow the exception type or count/log the "
+                           "degrade path")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_silent(node: ast.ExceptHandler) -> bool:
+        """Silent = no raise, no call, and the caught exception unused.
+
+        A handler that binds ``as exc`` and then *uses* the name is
+        routing the exception somewhere (an outcome value, an error
+        field) — that is handling, not swallowing.
+        """
+        if not body_is_silent(node.body):
+            return False
+        if node.name is not None:
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Name) and sub.id == node.name:
+                        return False
+        return True
+
+
+__all__ = ["MutableDefaultRule", "SilentExceptRule"]

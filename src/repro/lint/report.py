@@ -1,0 +1,58 @@
+"""Text and JSON reporters for lint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.base import REGISTRY, Finding, all_rules
+
+__all__ = ["format_text", "format_json", "format_rule_catalogue"]
+
+
+def format_text(findings: List[Finding], checked_files: int = 0) -> str:
+    """Human-readable report: one ``path:line:col: CODE msg`` per line."""
+    lines = [f.format() for f in findings]
+    by_code: Dict[str, int] = {}
+    for f in findings:
+        by_code[f.code] = by_code.get(f.code, 0) + 1
+    if findings:
+        summary = ", ".join(f"{code} x{n}" for code, n in sorted(by_code.items()))
+        lines.append(f"{len(findings)} finding(s) in {checked_files} "
+                     f"file(s): {summary}")
+    else:
+        lines.append(f"0 findings in {checked_files} file(s)")
+    return "\n".join(lines)
+
+
+def format_json(
+    findings: List[Finding],
+    checked_files: int = 0,
+    baseline_suppressed: int = 0,
+) -> str:
+    """Machine-readable report (stable key order, one document)."""
+    doc = {
+        "version": 1,
+        "checked_files": checked_files,
+        "baseline_suppressed": baseline_suppressed,
+        "counts": _counts_by_code(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _counts_by_code(findings: List[Finding]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for f in findings:
+        out[f.code] = out.get(f.code, 0) + 1
+    return out
+
+
+def format_rule_catalogue() -> str:
+    """The ``--list-rules`` table."""
+    width = max(len(r.name) for r in REGISTRY.values())
+    lines = []
+    for rule_cls in all_rules():
+        lines.append(f"{rule_cls.code}  {rule_cls.name:<{width}}  "
+                     f"{rule_cls.summary}")
+    return "\n".join(lines)

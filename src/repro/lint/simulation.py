@@ -1,0 +1,217 @@
+"""Simulation-correctness rules (RPR2xx).
+
+These rules understand the shape of DES *process generators* — Python
+generators driven by :class:`repro.sim.Process` that ``yield`` events.
+A generator counts as a sim process when at least one of its ``yield``
+expressions references an environment (``env`` / ``self.env``) or one
+of the engine's waitable factories; plain data generators (e.g. trace
+readers yielding records) are deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Union
+
+from repro.lint.base import (
+    Rule,
+    dotted_name,
+    generator_functions,
+    is_env_expr,
+    rule,
+    shallow_nodes,
+)
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Environment / resource factory methods whose results are waitables.
+_WAITABLE_FACTORIES = frozenset({
+    "timeout", "event", "process", "all_of", "any_of",
+    "request", "release", "acquire", "put", "get",
+})
+
+#: Constructor names of waitable classes.
+_WAITABLE_CLASSES = frozenset({
+    "Event", "Timeout", "AllOf", "AnyOf", "Condition",
+})
+
+
+def _is_waitable_construction(node: ast.expr) -> Optional[str]:
+    """Name of the waitable this call constructs, or None."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) >= 2 and parts[-1] in ("timeout", "event", "all_of", "any_of"):
+        return name
+    if parts[-1] in _WAITABLE_CLASSES:
+        return name
+    return None
+
+
+def _yields_events(func: FunctionNode) -> bool:
+    """Heuristic: does this generator yield engine waitables?"""
+    for node in shallow_nodes(func):
+        if isinstance(node, ast.Yield) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if is_env_expr(sub):
+                    return True
+                if isinstance(sub, ast.Call):
+                    name = dotted_name(sub.func)
+                    if name is not None and \
+                            name.split(".")[-1] in _WAITABLE_FACTORIES:
+                        return True
+    return False
+
+
+def _sim_process_generators(tree: ast.Module) -> List[FunctionNode]:
+    return [f for f in generator_functions(tree) if _yields_events(f)]
+
+
+@rule
+class DroppedEventRule(Rule):
+    """RPR201 — waitable constructed in a process generator, never used.
+
+    ``env.timeout(d)`` without a ``yield`` does not wait — the delay is
+    silently skipped; an ``Event()`` nobody yields, triggers or stores
+    can never wake its waiters.  Both are almost always a missing
+    ``yield``.
+    """
+
+    code = "RPR201"
+    name = "dropped-event"
+    summary = "Event/Timeout constructed in a process generator but never yielded/used"
+
+    def check(self, tree: ast.Module) -> None:
+        for func in _sim_process_generators(tree):
+            nodes = shallow_nodes(func)
+            # Bare-statement constructions: the result is discarded.
+            for node in nodes:
+                if isinstance(node, ast.Expr):
+                    what = _is_waitable_construction(node.value)
+                    if what is not None:
+                        self.add(node, f"{what}(...) constructed and "
+                                       "discarded — a process must yield a "
+                                       "waitable for it to take effect")
+            # Assigned-but-never-referenced constructions.
+            assigned = {}
+            for node in nodes:
+                if (isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)):
+                    what = _is_waitable_construction(node.value)
+                    if what is not None:
+                        assigned[node.targets[0].id] = (node, what)
+            if not assigned:
+                continue
+            for node in nodes:
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    assigned.pop(node.id, None)
+            for varname in sorted(assigned):
+                node, what = assigned[varname]
+                self.add(node, f"{what}(...) assigned to {varname!r} but "
+                               f"{varname!r} is never yielded, triggered "
+                               "or passed on")
+
+
+#: Dotted call names that block the host thread / touch the host OS.
+_BLOCKING_DOTTED = frozenset({
+    "time.sleep", "os.system", "os.popen", "subprocess.run",
+    "subprocess.call", "subprocess.check_call", "subprocess.check_output",
+    "subprocess.Popen", "socket.socket", "socket.create_connection",
+})
+#: Bare builtins that block on host I/O.
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+#: pathlib-style I/O method tails.
+_BLOCKING_METHOD_TAILS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+
+@rule
+class BlockingCallRule(Rule):
+    """RPR202 — host-blocking call inside a sim process generator.
+
+    Simulated work must be modelled as ``yield env.timeout(cost)``;
+    ``time.sleep`` stalls the host without advancing ``env.now``, and
+    file/subprocess I/O makes the "simulation" depend on host state.
+    """
+
+    code = "RPR202"
+    name = "blocking-call"
+    summary = "time.sleep/file I/O/subprocess call inside a sim process generator"
+
+    def check(self, tree: ast.Module) -> None:
+        for func in _sim_process_generators(tree):
+            for node in shallow_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (name in _BLOCKING_DOTTED
+                        or (len(parts) == 1 and parts[0] in _BLOCKING_BUILTINS)
+                        or (len(parts) >= 2
+                            and parts[-1] in _BLOCKING_METHOD_TAILS)):
+                    self.add(node, f"host-blocking call {name}(...) inside a "
+                                   "sim process generator; model the cost "
+                                   "with yield env.timeout(...) instead")
+
+
+@rule
+class EnvNowAtImportRule(Rule):
+    """RPR203 — ``env.now`` read at module or class scope.
+
+    At import time there is no running simulation: the value read is
+    whatever a module-level environment happened to hold when the file
+    was imported (usually 0.0), frozen forever — including into default
+    argument values, which are evaluated once at ``def`` time.
+    """
+
+    code = "RPR203"
+    name = "env-now-at-import"
+    summary = "env.now read at module/class scope (frozen at import time)"
+
+    def check(self, tree: ast.Module) -> None:
+        self._walk_scope(tree)
+
+    def _walk_scope(self, scope: ast.AST) -> None:
+        """Visit module/class-level expressions; stop at function bodies."""
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Defaults and decorators evaluate in the enclosing
+                # (module/class) scope; the body does not.
+                for default in (list(child.args.defaults)
+                                + [d for d in child.args.kw_defaults
+                                   if d is not None]):
+                    self._scan(default)
+                for deco in child.decorator_list:
+                    self._scan(deco)
+                continue
+            if isinstance(child, ast.Lambda):
+                continue
+            if isinstance(child, ast.ClassDef):
+                self._walk_scope(child)
+                continue
+            self._scan(child)
+
+    def _scan(self, node: ast.AST) -> None:
+        """Flag ``node`` and every non-function descendant."""
+        self._flag_env_now(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            self._scan(child)
+
+    def _flag_env_now(self, node: ast.AST) -> None:
+        if (isinstance(node, ast.Attribute) and node.attr == "now"
+                and is_env_expr(node.value)):
+            self.add(node, "env.now read at module/class scope is frozen at "
+                           "import time; read it inside the running process")
+
+
+__all__ = ["DroppedEventRule", "BlockingCallRule", "EnvNowAtImportRule"]

@@ -30,7 +30,7 @@ attributes are stored as sorted tuples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "SpanEvent",
@@ -95,9 +95,9 @@ class SpanEvent:
     span_id: Optional[int] = None
     attrs: Tuple[Tuple[str, Any], ...] = ()
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form (used by the raw export)."""
-        d: dict = {
+        d: Dict[str, Any] = {
             "time": self.time,
             "kind": self.kind,
             "phase": self.phase,
@@ -112,7 +112,7 @@ class SpanEvent:
         return d
 
     @classmethod
-    def from_dict(cls, d: dict) -> "SpanEvent":
+    def from_dict(cls, d: Dict[str, Any]) -> "SpanEvent":
         """Inverse of :meth:`to_dict` (for trace-file tooling)."""
         return cls(
             time=d["time"],
@@ -137,7 +137,7 @@ class Tracer:
 
     #: Class-level so ``tracer.enabled`` costs no per-instance storage
     #: and the null tracer can override it.
-    enabled = True
+    enabled: ClassVar[bool] = True
 
     def __init__(self, trace_engine: bool = False) -> None:
         self.events: List[SpanEvent] = []
@@ -154,7 +154,7 @@ class Tracer:
         track: str,
         rid: Optional[int],
         span_id: Optional[int],
-        attrs: dict,
+        attrs: Dict[str, Any],
     ) -> None:
         self.events.append(
             SpanEvent(
@@ -224,7 +224,7 @@ class Tracer:
 
     def open_spans(self) -> List[Tuple[str, Optional[int]]]:
         """``(kind, span_id)`` keys with unbalanced begin/end counts."""
-        balance: dict = {}
+        balance: Dict[Tuple[str, Optional[int]], int] = {}
         for e in self.events:
             if e.phase == "b":
                 balance[(e.kind, e.span_id)] = balance.get((e.kind, e.span_id), 0) + 1
@@ -243,7 +243,7 @@ class NullTracer(Tracer):
 
     __slots__ = ()
 
-    enabled = False
+    enabled: ClassVar[bool] = False
 
     def __init__(self) -> None:
         super().__init__()

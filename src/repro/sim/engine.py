@@ -20,7 +20,7 @@ import heapq
 from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -59,7 +59,7 @@ class Environment:
         #: read this at call time, so swapping in a real ``Tracer``
         #: before the run instruments the whole stack; the default
         #: no-op tracer costs one ``enabled`` check per site.
-        self.tracer = NULL_TRACER
+        self.tracer: Tracer = NULL_TRACER
 
     # -- clock ------------------------------------------------------------
     @property
@@ -81,7 +81,7 @@ class Environment:
         """Create an event that triggers ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start a new process running ``generator``."""
         return Process(self, generator)
 

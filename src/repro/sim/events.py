@@ -15,12 +15,13 @@ is re-raised inside each waiting process).
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
 
 from repro.sim.exceptions import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
+    from repro.sim.process import Process
 
 
 class _Pending:
@@ -187,9 +188,9 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Event") -> None:
+    def __init__(self, env: "Environment", process: "Process") -> None:
         self.env = env
-        self.callbacks = [process._resume]  # type: ignore[attr-defined]
+        self.callbacks = [process._resume]
         self._ok = True
         self._value = None
         self._defused = False
@@ -233,7 +234,7 @@ class Condition(Event):
         if not self._events and self._value is PENDING:
             self.succeed({})
 
-    def _collect_values(self) -> dict:
+    def _collect_values(self) -> Dict["Event", Any]:
         """Values of the constituent events that have fired so far.
 
         ``processed`` (not ``triggered``) is the right test: a Timeout

@@ -20,7 +20,7 @@ Sec. III-C: "record and interrupt current active I/O being serviced").
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Any, Generator, Optional, TYPE_CHECKING
+from typing import Any, Generator, Optional, TYPE_CHECKING, Type
 
 from repro.sim.events import Event, Initialize, PENDING, PRIORITY_NORMAL, PRIORITY_URGENT
 from repro.sim.exceptions import Interrupt, SimulationError, StopProcess
@@ -34,7 +34,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target", "name")
 
-    def __init__(self, env: "Environment", generator: Generator) -> None:
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -42,7 +42,7 @@ class Process(Event):
         #: The event this process is currently waiting on (None when
         #: it has not started or is being resumed).
         self._target: Optional[Event] = None
-        self.name = getattr(generator, "__name__", str(generator))
+        self.name: str = getattr(generator, "__name__", str(generator))
         Initialize(env, self)
 
     # -- introspection ------------------------------------------------------
@@ -57,7 +57,7 @@ class Process(Event):
         return self._target
 
     # -- interruption -------------------------------------------------------
-    def interrupt(self, cause: Any = None, exc_type: type = Interrupt) -> None:
+    def interrupt(self, cause: Any = None, exc_type: Type[Interrupt] = Interrupt) -> None:
         """Throw :class:`Interrupt` (or a subclass) into this process.
 
         The interrupt is delivered asynchronously via an urgent

@@ -19,7 +19,7 @@ import heapq
 import itertools
 from collections import deque
 from heapq import heappush
-from typing import Any, Deque, List, Optional, TYPE_CHECKING
+from typing import Any, Deque, List, Tuple, TYPE_CHECKING
 
 from repro.sim.events import Event, PRIORITY_URGENT
 from repro.sim.exceptions import SimulationError
@@ -221,7 +221,7 @@ class PriorityRequest(Request):
         super().__init__(resource)
 
     @property
-    def key(self) -> tuple:
+    def key(self) -> Tuple[int, float, int]:
         """Heap ordering: priority, then arrival time, then FIFO order."""
         return (self.priority, self.time, self._order)
 
@@ -240,7 +240,7 @@ class PriorityResource(Resource):
     def __init__(self, env: "Environment", capacity: int = 1, name: str = "") -> None:
         self._counter = itertools.count()
         super().__init__(env, capacity, name=name)
-        self._heap: List[tuple] = []
+        self._heap: List[Tuple[Tuple[int, float, int], PriorityRequest]] = []
 
     def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
         """Claim a slot with ``priority`` (lower is served first)."""

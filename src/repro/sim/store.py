@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Any, Callable, Deque, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Deque, List, TYPE_CHECKING
 
 from repro.sim.events import Event
 

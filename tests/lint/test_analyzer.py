@@ -1,0 +1,134 @@
+"""Suppressions, path scoping, discovery and parse-error handling."""
+
+from __future__ import annotations
+
+import os
+
+from repro.lint import (
+    PARSE_ERROR_CODE,
+    context_for_path,
+    discover_files,
+    lint_file,
+    lint_paths,
+    suppressed_lines,
+)
+from tests.lint.util import codes, lint_snippet
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        fs = lint_snippet("""
+            import time
+
+            def measure():
+                return time.time()  # reprolint: disable=RPR102
+        """)
+        assert fs == []
+
+    def test_disable_next_line(self):
+        fs = lint_snippet("""
+            import os
+
+            def f(d):
+                # reprolint: disable-next-line=RPR103
+                return [p for p in os.listdir(d)]
+        """)
+        assert fs == []
+
+    def test_suppression_is_code_specific(self):
+        # Suppressing RPR101 does not hide the RPR102 on the same line.
+        fs = lint_snippet("""
+            import time
+
+            def measure():
+                return time.time()  # reprolint: disable=RPR101
+        """)
+        assert codes(fs) == ["RPR102"]
+
+    def test_multiple_codes_one_directive(self):
+        fs = lint_snippet("""
+            import time
+            import random
+
+            def f():
+                return time.time(), random.random()  # reprolint: disable=RPR101,RPR102
+        """)
+        assert fs == []
+
+    def test_suppression_only_applies_to_its_line(self):
+        fs = lint_snippet("""
+            import time
+
+            def f():
+                a = time.time()  # reprolint: disable=RPR102
+                b = time.time()
+                return a, b
+        """)
+        assert codes(fs) == ["RPR102"]
+
+    def test_directive_parser(self):
+        src = ("x = 1  # reprolint: disable=RPR101\n"
+               "# reprolint: disable-next-line=RPR102, RPR103\n"
+               "y = 2\n")
+        lines = suppressed_lines(src)
+        assert lines == {1: {"RPR101"}, 3: {"RPR102", "RPR103"}}
+
+
+class TestPathScoping:
+    def test_src_context(self):
+        ctx = context_for_path("src/repro/sim/engine.py")
+        assert ctx.in_src and not ctx.in_benchmarks
+
+    def test_benchmarks_context(self):
+        ctx = context_for_path("benchmarks/bench_engine.py")
+        assert ctx.in_benchmarks and not ctx.in_src
+
+    def test_tests_context(self):
+        ctx = context_for_path("tests/sim/test_engine.py")
+        assert not ctx.in_src and not ctx.in_benchmarks
+
+    def test_absolute_src_path(self):
+        ctx = context_for_path("/root/repo/src/repro/cache.py")
+        assert ctx.in_src
+
+
+class TestDiscoveryAndErrors:
+    def test_discovery_is_sorted_and_skips_pycache(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("y = 2\n")
+        sub = tmp_path / "__pycache__"
+        sub.mkdir()
+        (sub / "c.py").write_text("z = 3\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        files = discover_files([str(tmp_path)])
+        assert files == [str(tmp_path / "a.py"), str(tmp_path / "b.py")]
+
+    def test_parse_error_reported_as_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        fs = lint_file(str(bad))
+        assert codes(fs) == [PARSE_ERROR_CODE]
+        assert "cannot parse" in fs[0].message
+
+    def test_missing_file_reported(self):
+        fs = lint_file(os.path.join("definitely", "missing.py"))
+        assert codes(fs) == [PARSE_ERROR_CODE]
+
+    def test_lint_paths_aggregates(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro"
+        src_dir.mkdir(parents=True)
+        (src_dir / "one.py").write_text(
+            "import time\n\n\ndef f():\n    return time.time()\n")
+        (src_dir / "two.py").write_text(
+            "def g(xs):\n    return list(set(xs))\n")
+        fs = lint_paths([str(tmp_path)])
+        assert codes(fs) == ["RPR102", "RPR103"]
+
+    def test_select_unknown_code_raises(self, tmp_path):
+        (tmp_path / "x.py").write_text("x = 1\n")
+        try:
+            lint_paths([str(tmp_path)], select=["RPR999"])
+        except ValueError as exc:
+            assert "RPR999" in str(exc)
+        else:
+            raise AssertionError("unknown select code should raise")

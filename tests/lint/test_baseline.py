@@ -1,0 +1,67 @@
+"""Baseline (ratchet) workflow: write, load, filter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    apply_baseline,
+    counts,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _finding(path="src/repro/x.py", line=1, code="RPR102", msg="m"):
+    return Finding(path=path, line=line, col=1, code=code, message=msg)
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        findings = [_finding(line=1), _finding(line=5),
+                    _finding(path="src/repro/y.py", code="RPR103")]
+        bl = tmp_path / "baseline.json"
+        n = write_baseline(str(bl), findings)
+        assert n == 2  # two path::code pairs
+        accepted = load_baseline(str(bl))
+        assert accepted == {"src/repro/x.py::RPR102": 2,
+                            "src/repro/y.py::RPR103": 1}
+
+    def test_apply_suppresses_accepted_counts(self):
+        accepted = {"src/repro/x.py::RPR102": 1}
+        findings = [_finding(line=1), _finding(line=9)]
+        kept, suppressed = apply_baseline(findings, accepted)
+        assert suppressed == 1
+        # The earliest occurrence is charged to the baseline; the
+        # *new* (later) one is still reported.
+        assert [f.line for f in kept] == [9]
+
+    def test_apply_ignores_unrelated_entries(self):
+        accepted = {"src/repro/other.py::RPR102": 5}
+        findings = [_finding()]
+        kept, suppressed = apply_baseline(findings, accepted)
+        assert suppressed == 0 and len(kept) == 1
+
+    def test_clean_run_stays_clean(self):
+        kept, suppressed = apply_baseline([], {"a::RPR101": 3})
+        assert kept == [] and suppressed == 0
+
+    def test_counts_helper(self):
+        findings = [_finding(), _finding(line=2), _finding(code="RPR103")]
+        assert counts(findings) == {"src/repro/x.py::RPR102": 2,
+                                    "src/repro/x.py::RPR103": 1}
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        bl = tmp_path / "bad.json"
+        bl.write_text(json.dumps({"version": 99, "accepted": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bl))
+
+    def test_load_rejects_non_baseline_json(self, tmp_path):
+        bl = tmp_path / "bad.json"
+        bl.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_baseline(str(bl))

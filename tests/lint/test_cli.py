@@ -1,0 +1,93 @@
+"""The ``repro lint`` subcommand: formats, exit codes, baseline flags."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.cli import build_parser
+
+
+def _run(argv):
+    out = io.StringIO()
+    args = build_parser().parse_args(argv)
+    rc = args.func(args, out=out)
+    return rc, out.getvalue()
+
+
+def _write_dirty_tree(tmp_path):
+    src_dir = tmp_path / "src" / "repro"
+    src_dir.mkdir(parents=True)
+    (src_dir / "dirty.py").write_text(
+        "import time\n\n\ndef f():\n    return time.time()\n")
+    return str(tmp_path)
+
+
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro"
+        src_dir.mkdir(parents=True)
+        (src_dir / "clean.py").write_text("def f(env):\n    return env.now\n")
+        rc, out = _run(["lint", str(tmp_path)])
+        assert rc == 0
+        assert "0 findings" in out
+
+    def test_findings_exit_one_text_format(self, tmp_path):
+        root = _write_dirty_tree(tmp_path)
+        rc, out = _run(["lint", root])
+        assert rc == 1
+        assert "RPR102" in out and "dirty.py" in out
+
+    def test_json_format(self, tmp_path):
+        root = _write_dirty_tree(tmp_path)
+        rc, out = _run(["lint", root, "--format", "json"])
+        assert rc == 1
+        doc = json.loads(out)
+        assert doc["version"] == 1
+        assert doc["counts"] == {"RPR102": 1}
+        assert doc["checked_files"] == 1
+        (finding,) = doc["findings"]
+        assert finding["code"] == "RPR102"
+        assert finding["path"].endswith("dirty.py")
+        assert finding["line"] == 5
+
+    def test_select_restricts_rules(self, tmp_path):
+        root = _write_dirty_tree(tmp_path)
+        rc, _out = _run(["lint", root, "--select", "RPR103"])
+        assert rc == 0  # the RPR102 finding is outside the selection
+
+    def test_list_rules(self, tmp_path):
+        rc, out = _run(["lint", "--list-rules"])
+        assert rc == 0
+        for code in ["RPR101", "RPR102", "RPR103", "RPR104",
+                     "RPR201", "RPR202", "RPR203", "RPR301", "RPR302"]:
+            assert code in out
+
+    def test_write_then_use_baseline(self, tmp_path):
+        root = _write_dirty_tree(tmp_path)
+        bl = tmp_path / "baseline.json"
+        rc, out = _run(["lint", root, "--baseline", str(bl),
+                        "--write-baseline"])
+        assert rc == 0 and bl.exists()
+        # With the baseline, the recorded debt no longer fails the run…
+        rc, out = _run(["lint", root, "--baseline", str(bl)])
+        assert rc == 0
+        assert "accepted by baseline" in out
+        # …but a new violation in the same file still does.
+        dirty = tmp_path / "src" / "repro" / "dirty.py"
+        dirty.write_text(dirty.read_text()
+                         + "\n\ndef g():\n    return time.time()\n")
+        rc, out = _run(["lint", root, "--baseline", str(bl)])
+        assert rc == 1
+        assert "RPR102" in out
+
+    def test_baseline_json_reports_suppressed_count(self, tmp_path):
+        root = _write_dirty_tree(tmp_path)
+        bl = tmp_path / "baseline.json"
+        _run(["lint", root, "--baseline", str(bl), "--write-baseline"])
+        rc, out = _run(["lint", root, "--baseline", str(bl),
+                        "--format", "json"])
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["baseline_suppressed"] == 1
+        assert doc["findings"] == []

@@ -1,0 +1,254 @@
+"""Good/bad fixtures for the RPR1xx determinism rules."""
+
+from __future__ import annotations
+
+from tests.lint.util import codes, lint_snippet
+
+
+class TestRPR101GlobalRng:
+    def test_random_module_call_flagged(self):
+        fs = lint_snippet("""
+            import random
+
+            def jitter():
+                return random.random()
+        """)
+        assert codes(fs) == ["RPR101"]
+        assert "random.random" in fs[0].message
+
+    def test_random_shuffle_flagged(self):
+        fs = lint_snippet("""
+            import random
+
+            def shuffle_requests(reqs):
+                random.shuffle(reqs)
+        """)
+        assert codes(fs) == ["RPR101"]
+
+    def test_numpy_global_rng_flagged(self):
+        fs = lint_snippet("""
+            import numpy as np
+
+            def noise(n):
+                return np.random.normal(size=n)
+        """)
+        assert codes(fs) == ["RPR101"]
+
+    def test_numpy_seed_flagged(self):
+        fs = lint_snippet("""
+            import numpy
+
+            def reseed():
+                numpy.random.seed(0)
+        """)
+        assert codes(fs) == ["RPR101"]
+
+    def test_from_import_of_global_fn_flagged(self):
+        fs = lint_snippet("from random import shuffle, randint\n")
+        assert codes(fs) == ["RPR101"]
+        assert "randint" in fs[0].message and "shuffle" in fs[0].message
+
+    def test_seeded_instances_ok(self):
+        fs = lint_snippet("""
+            import random
+            import numpy as np
+
+            def make_rngs(seed):
+                r = random.Random(seed)
+                g = np.random.default_rng(seed)
+                return r.random(), g.normal()
+        """)
+        assert fs == []
+
+    def test_instance_method_named_like_global_ok(self):
+        # rng.shuffle is an instance call, not random.shuffle.
+        fs = lint_snippet("""
+            def run(rng, xs):
+                rng.shuffle(xs)
+                return rng.random()
+        """)
+        assert fs == []
+
+
+class TestRPR102WallClock:
+    def test_time_time_flagged_in_src(self):
+        fs = lint_snippet("""
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        assert codes(fs) == ["RPR102"]
+
+    def test_perf_counter_flagged(self):
+        fs = lint_snippet("""
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """)
+        assert codes(fs) == ["RPR102"]
+
+    def test_datetime_now_flagged(self):
+        fs = lint_snippet("""
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+        """)
+        assert codes(fs) == ["RPR102"]
+
+    def test_from_time_import_flagged(self):
+        fs = lint_snippet("from time import perf_counter\n")
+        assert codes(fs) == ["RPR102"]
+
+    def test_benchmarks_exempt(self):
+        fs = lint_snippet(
+            "import time\n\n\ndef t():\n    return time.time()\n",
+            path="benchmarks/bench_x.py",
+        )
+        assert fs == []
+
+    def test_tests_exempt(self):
+        fs = lint_snippet(
+            "import time\n\n\ndef t():\n    return time.time()\n",
+            path="tests/test_x.py",
+        )
+        assert fs == []
+
+    def test_env_now_ok(self):
+        fs = lint_snippet("""
+            def proc(env):
+                start = env.now
+                yield env.timeout(1.0)
+                return env.now - start
+        """)
+        assert fs == []
+
+
+class TestRPR103UnsortedIteration:
+    def test_for_over_set_literal_flagged(self):
+        fs = lint_snippet("""
+            def f(a, b):
+                out = []
+                for x in {a, b}:
+                    out.append(x)
+                return out
+        """)
+        assert codes(fs) == ["RPR103"]
+
+    def test_list_of_set_flagged(self):
+        fs = lint_snippet("""
+            def f(xs):
+                return list(set(xs))
+        """)
+        assert codes(fs) == ["RPR103"]
+
+    def test_comprehension_over_listdir_flagged(self):
+        fs = lint_snippet("""
+            import os
+
+            def f(d):
+                return [p for p in os.listdir(d)]
+        """)
+        assert codes(fs) == ["RPR103"]
+
+    def test_for_over_glob_flagged(self):
+        fs = lint_snippet("""
+            import glob
+
+            def f(pat):
+                for p in glob.glob(pat):
+                    print(p)
+        """)
+        assert codes(fs) == ["RPR103"]
+
+    def test_join_of_set_flagged(self):
+        fs = lint_snippet('def f(xs):\n    return ",".join(set(xs))\n')
+        assert codes(fs) == ["RPR103"]
+
+    def test_sorted_wrapping_ok(self):
+        fs = lint_snippet("""
+            import os
+
+            def f(xs, d):
+                for x in sorted(set(xs)):
+                    print(x)
+                return [p for p in sorted(os.listdir(d))]
+        """)
+        assert fs == []
+
+    def test_order_free_reductions_ok(self):
+        # min/max/sum-over-ints don't depend on iteration order.
+        fs = lint_snippet("""
+            def f(xs):
+                return min(set(xs)), max(set(xs)), len(set(xs))
+        """)
+        assert fs == []
+
+    def test_dict_iteration_ok(self):
+        # dicts iterate in insertion order — deterministic.
+        fs = lint_snippet("""
+            def f(d):
+                return [k for k in d]
+        """)
+        assert fs == []
+
+
+class TestRPR104IdAsKey:
+    def test_subscript_store_flagged(self):
+        fs = lint_snippet("""
+            def f(handles, req, h):
+                handles[id(req)] = h
+        """)
+        assert codes(fs) == ["RPR104"]
+
+    def test_subscript_load_flagged(self):
+        fs = lint_snippet("""
+            def f(handles, req):
+                return handles[id(req)]
+        """)
+        assert codes(fs) == ["RPR104"]
+
+    def test_dict_literal_key_flagged(self):
+        fs = lint_snippet("""
+            def f(a, b):
+                return {id(a): 1, id(b): 2}
+        """)
+        assert codes(fs) == ["RPR104", "RPR104"]
+
+    def test_get_method_key_flagged(self):
+        fs = lint_snippet("""
+            def f(d, x):
+                return d.get(id(x))
+        """)
+        assert codes(fs) == ["RPR104"]
+
+    def test_sort_key_flagged(self):
+        fs = lint_snippet("""
+            def f(xs):
+                return sorted(xs, key=lambda r: id(r))
+        """)
+        assert codes(fs) == ["RPR104"]
+
+    def test_tuple_key_flagged(self):
+        fs = lint_snippet("""
+            def f(d, x):
+                d[(id(x), 0)] = 1
+        """)
+        assert codes(fs) == ["RPR104"]
+
+    def test_id_in_repr_ok(self):
+        fs = lint_snippet("""
+            def f(x):
+                return f"<obj at {id(x):#x}>"
+        """)
+        assert fs == []
+
+    def test_stable_key_ok(self):
+        fs = lint_snippet("""
+            def f(handles, req, h):
+                handles[req.rid] = h
+                return sorted(handles)
+        """)
+        assert fs == []

@@ -1,0 +1,147 @@
+"""Good/bad fixtures for the RPR3xx hygiene rules."""
+
+from __future__ import annotations
+
+from tests.lint.util import codes, lint_snippet
+
+
+class TestRPR301MutableDefault:
+    def test_list_default_flagged(self):
+        fs = lint_snippet("""
+            def f(xs=[]):
+                return xs
+        """)
+        assert codes(fs) == ["RPR301"]
+
+    def test_dict_default_flagged(self):
+        fs = lint_snippet("""
+            def f(opts={}):
+                return opts
+        """)
+        assert codes(fs) == ["RPR301"]
+
+    def test_set_call_default_flagged(self):
+        fs = lint_snippet("""
+            def f(seen=set()):
+                return seen
+        """)
+        assert codes(fs) == ["RPR301"]
+
+    def test_kwonly_default_flagged(self):
+        fs = lint_snippet("""
+            def f(*, acc=[]):
+                return acc
+        """)
+        assert codes(fs) == ["RPR301"]
+
+    def test_lambda_default_flagged(self):
+        fs = lint_snippet("g = lambda xs=[]: xs\n")
+        assert codes(fs) == ["RPR301"]
+
+    def test_none_default_ok(self):
+        fs = lint_snippet("""
+            def f(xs=None):
+                xs = [] if xs is None else xs
+                return xs
+        """)
+        assert fs == []
+
+    def test_immutable_defaults_ok(self):
+        fs = lint_snippet("""
+            def f(a=0, b="x", c=(1, 2), d=frozenset_like, e=None):
+                return a, b, c, d, e
+        """)
+        assert fs == []
+
+    def test_tests_path_exempt(self):
+        fs = lint_snippet("def f(xs=[]):\n    return xs\n",
+                          path="tests/helper.py")
+        assert fs == []
+
+
+class TestRPR302SilentExcept:
+    def test_bare_except_pass_flagged(self):
+        fs = lint_snippet("""
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+        """)
+        assert codes(fs) == ["RPR302"]
+
+    def test_broad_except_pass_flagged(self):
+        fs = lint_snippet("""
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+        """)
+        assert codes(fs) == ["RPR302"]
+
+    def test_broad_in_tuple_flagged(self):
+        fs = lint_snippet("""
+            def f():
+                try:
+                    work()
+                except (ValueError, Exception):
+                    pass
+        """)
+        assert codes(fs) == ["RPR302"]
+
+    def test_silent_bookkeeping_only_flagged(self):
+        # An uncalled counter bump with no log/raise is still silent.
+        fs = lint_snippet("""
+            def f(self):
+                try:
+                    work()
+                except Exception:
+                    self.misses += 1
+                    return None
+        """)
+        assert codes(fs) == ["RPR302"]
+
+    def test_narrow_except_ok(self):
+        fs = lint_snippet("""
+            def f():
+                try:
+                    work()
+                except (OSError, ValueError):
+                    pass
+        """)
+        assert fs == []
+
+    def test_logged_handler_ok(self):
+        fs = lint_snippet("""
+            def f(log):
+                try:
+                    work()
+                except Exception:
+                    log.warning("work failed")
+        """)
+        assert fs == []
+
+    def test_reraise_ok(self):
+        fs = lint_snippet("""
+            def f():
+                try:
+                    work()
+                except BaseException:
+                    cleanup_flag = True
+                    raise
+        """)
+        assert fs == []
+
+    def test_bound_and_used_exception_ok(self):
+        # Routing the exception into an outcome is handling, not
+        # swallowing (the sim Process terminal handler pattern).
+        fs = lint_snippet("""
+            def f():
+                try:
+                    work()
+                except BaseException as exc:
+                    outcome, ok = exc, False
+                return outcome, ok
+        """)
+        assert fs == []

@@ -1,0 +1,163 @@
+"""Good/bad fixtures for the RPR2xx simulation-correctness rules."""
+
+from __future__ import annotations
+
+from tests.lint.util import codes, lint_snippet
+
+
+class TestRPR201DroppedEvent:
+    def test_discarded_timeout_flagged(self):
+        fs = lint_snippet("""
+            def proc(env):
+                env.timeout(5.0)
+                yield env.timeout(1.0)
+        """)
+        assert codes(fs) == ["RPR201"]
+        assert "discarded" in fs[0].message
+
+    def test_assigned_never_used_flagged(self):
+        fs = lint_snippet("""
+            def proc(env):
+                grace = env.timeout(3.0)
+                yield env.timeout(1.0)
+        """)
+        assert codes(fs) == ["RPR201"]
+        assert "grace" in fs[0].message
+
+    def test_unused_event_flagged(self):
+        fs = lint_snippet("""
+            def proc(env):
+                done = env.event()
+                yield env.timeout(1.0)
+        """)
+        assert codes(fs) == ["RPR201"]
+
+    def test_yielded_timeout_ok(self):
+        fs = lint_snippet("""
+            def proc(env):
+                t = env.timeout(3.0)
+                yield t
+        """)
+        assert fs == []
+
+    def test_event_passed_on_ok(self):
+        fs = lint_snippet("""
+            def proc(env, server):
+                done = env.event()
+                server.submit(done)
+                yield done
+        """)
+        assert fs == []
+
+    def test_process_start_ok(self):
+        # env.process() starts running regardless — no yield required.
+        fs = lint_snippet("""
+            def proc(env, worker):
+                env.process(worker(env))
+                yield env.timeout(1.0)
+        """)
+        assert fs == []
+
+    def test_plain_data_generator_ignored(self):
+        # Not a sim process (yields records, not events).
+        fs = lint_snippet("""
+            def read_records(path, env_factory):
+                t = env_factory.timeout(1.0)
+                yield {"row": 1}
+        """)
+        assert fs == []
+
+
+class TestRPR202BlockingCall:
+    def test_time_sleep_flagged(self):
+        fs = lint_snippet("""
+            import time
+
+            def proc(env):
+                time.sleep(0.5)
+                yield env.timeout(1.0)
+        """, select=["RPR202"])
+        assert codes(fs) == ["RPR202"]
+
+    def test_open_flagged(self):
+        fs = lint_snippet("""
+            def proc(env):
+                with open("results.json") as fh:
+                    fh.read()
+                yield env.timeout(1.0)
+        """, select=["RPR202"])
+        assert codes(fs) == ["RPR202"]
+
+    def test_subprocess_flagged(self):
+        fs = lint_snippet("""
+            import subprocess
+
+            def proc(env):
+                subprocess.run(["ls"])
+                yield env.timeout(1.0)
+        """, select=["RPR202"])
+        assert codes(fs) == ["RPR202"]
+
+    def test_pathlib_io_flagged(self):
+        fs = lint_snippet("""
+            def proc(env, path):
+                path.write_text("x")
+                yield env.timeout(1.0)
+        """, select=["RPR202"])
+        assert codes(fs) == ["RPR202"]
+
+    def test_timeout_modelled_cost_ok(self):
+        fs = lint_snippet("""
+            def proc(env, cost):
+                yield env.timeout(cost)
+        """, select=["RPR202"])
+        assert fs == []
+
+    def test_file_reading_data_generator_ok(self):
+        # A trace loader is a plain generator, not a sim process.
+        fs = lint_snippet("""
+            def load(path):
+                with open(path) as fh:
+                    for line in fh:
+                        yield line
+        """, select=["RPR202"])
+        assert fs == []
+
+
+class TestRPR203EnvNowAtImport:
+    def test_module_scope_flagged(self):
+        fs = lint_snippet("""
+            env = make_env()
+            START = env.now
+        """, select=["RPR203"])
+        assert codes(fs) == ["RPR203"]
+
+    def test_class_scope_flagged(self):
+        fs = lint_snippet("""
+            class Probe:
+                created_at = env.now
+        """, select=["RPR203"])
+        assert codes(fs) == ["RPR203"]
+
+    def test_default_argument_flagged(self):
+        # Defaults evaluate once, at def time.
+        fs = lint_snippet("""
+            def probe(env, at=env.now):
+                return at
+        """, select=["RPR203"])
+        assert codes(fs) == ["RPR203"]
+
+    def test_read_inside_function_ok(self):
+        fs = lint_snippet("""
+            def probe(env):
+                return env.now
+        """, select=["RPR203"])
+        assert fs == []
+
+    def test_self_env_now_in_method_ok(self):
+        fs = lint_snippet("""
+            class Server:
+                def stamp(self):
+                    return self.env.now
+        """, select=["RPR203"])
+        assert fs == []

@@ -1,0 +1,41 @@
+"""The repo's own sources must satisfy the analyzer (zero findings).
+
+This is the enforcement half of the determinism guarantee: any PR that
+reintroduces a global-RNG call, a wall-clock read, unsorted iteration,
+an ``id()`` key, or a silent broad except in ``src/`` fails here (and
+in the ``reprolint`` CI job) before it can flake a figure diff.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.lint import REGISTRY, all_rules, lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_src_has_zero_findings():
+    findings = lint_paths([str(REPO_ROOT / "src")])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_tests_and_benchmarks_have_zero_findings():
+    findings = lint_paths([str(REPO_ROOT / "tests"),
+                           str(REPO_ROOT / "benchmarks"),
+                           str(REPO_ROOT / "examples")])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_at_least_eight_domain_rules_shipped():
+    assert len(REGISTRY) >= 8
+    families = {code[:4] for code in REGISTRY}
+    assert families == {"RPR1", "RPR2", "RPR3"}
+
+
+def test_rule_metadata_complete():
+    for rule_cls in all_rules():
+        assert rule_cls.code.startswith("RPR") and len(rule_cls.code) == 6
+        assert rule_cls.name, rule_cls
+        assert rule_cls.summary, rule_cls
+        assert rule_cls.__doc__ and rule_cls.code in rule_cls.__doc__

@@ -1,0 +1,25 @@
+"""Shared helpers for the lint test suite."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional, Sequence
+
+from repro.lint import Finding, lint_source
+
+
+def lint_snippet(
+    code: str,
+    select: Optional[Sequence[str]] = None,
+    path: str = "src/repro/_fixture.py",
+) -> List[Finding]:
+    """Lint a dedented snippet as if it lived at ``path``.
+
+    The default path places the snippet inside library sources, so
+    path-scoped rules (RPR102, RPR301, RPR302) apply.
+    """
+    return lint_source(textwrap.dedent(code), path=path, select=select)
+
+
+def codes(findings: List[Finding]) -> List[str]:
+    return [f.code for f in findings]
