@@ -47,6 +47,7 @@ Quickstart
 
 from repro.core.schemes import DEFAULT_SEED, Scheme, SchemeResult, WorkloadSpec, run_scheme
 from repro.cluster.config import GB, KB, MB, discfarm_config
+from repro.qos import QoSConfig
 
 __version__ = "1.1.0"
 
@@ -55,6 +56,7 @@ __all__ = [
     "GB",
     "KB",
     "MB",
+    "QoSConfig",
     "ResultCache",
     "Scheme",
     "SchemeResult",

@@ -1,0 +1,85 @@
+"""Chaos-soak report formatting.
+
+Turns a :class:`repro.qos.soak.SoakReport` into the table the CLI
+prints: one row per (seed, scheme) with goodput, retry pressure, how
+the active work was answered, and whether the run stayed clean.  The
+acceptance verdict — protected DOSAS goodput at least plain AS goodput
+on every seed, zero conservation violations — is computed here so the
+CLI and the CI smoke job share one definition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.analysis.report import format_table
+
+if TYPE_CHECKING:  # import cycle guard: analysis must not pull core at import
+    from repro.qos.soak import SoakReport, SoakRun
+
+
+def _mbps(goodput: float) -> str:
+    return f"{goodput / 1e6:.1f}" if goodput else "-"
+
+
+def _row(seed: int, run: "SoakRun") -> List[str]:
+    status = "ok"
+    if run.failed:
+        status = "FAILED"
+    elif run.violations:
+        status = f"{len(run.violations)} violation(s)"
+    return [
+        str(seed),
+        run.scheme,
+        _mbps(run.goodput),
+        "-" if run.makespan == float("inf") else f"{run.makespan:.3f}",
+        str(run.retries),
+        str(run.served_active),
+        str(run.demoted),
+        status,
+    ]
+
+
+def soak_acceptance(report: "SoakReport") -> List[str]:
+    """Why this report fails acceptance (empty = it passes).
+
+    A protected report must show zero invariant violations, no dead
+    runs, and DOSAS goodput >= plain AS goodput on every seed.  An
+    unprotected report is degradation *evidence*, so only invariant
+    violations count against it — dying in a retry storm is the point.
+    """
+    problems = list(report.violations())
+    if report.protected:
+        for sr in report.seeds:
+            if sr.dosas.failed:
+                problems.append(f"seed {sr.seed}: DOSAS died: {sr.dosas.failed}")
+            if sr.dosas.goodput < sr.plain_as.goodput:
+                problems.append(
+                    f"seed {sr.seed}: DOSAS goodput "
+                    f"{_mbps(sr.dosas.goodput)} MB/s below plain AS "
+                    f"{_mbps(sr.plain_as.goodput)} MB/s"
+                )
+    return problems
+
+
+def format_soak_report(report: "SoakReport") -> str:
+    """Human-readable soak summary: per-seed table plus the verdict."""
+    rows = []
+    for sr in report.seeds:
+        rows.append(_row(sr.seed, sr.dosas))
+        rows.append(_row(sr.seed, sr.plain_as))
+    table = format_table(
+        ["seed", "scheme", "MB/s", "makespan", "retries", "served", "demoted",
+         "status"],
+        rows,
+    )
+    mode = "protected" if report.protected else "UNPROTECTED"
+    lines = [f"chaos soak [{mode}] — scenario '{report.scenario}', "
+             f"{len(report.seeds)} seed(s)", table]
+    problems = soak_acceptance(report)
+    if problems:
+        lines.append("acceptance: FAIL")
+        lines.extend(f"  - {p}" for p in problems)
+    else:
+        lines.append("acceptance: PASS")
+    return "\n".join(lines)

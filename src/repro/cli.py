@@ -464,6 +464,33 @@ def cmd_headline(args, out=None) -> int:
     return 0
 
 
+def cmd_soak(args, out=None) -> int:
+    """Chaos-soak the overload-protection stack; exit 1 on violations."""
+    out = out if out is not None else sys.stdout
+    # Deferred import: the soak harness pulls in repro.core and the
+    # fault library, which most CLI invocations never need.
+    from repro.analysis.soak import format_soak_report, soak_acceptance
+    from repro.qos.soak import SoakSpec, run_soak
+
+    spec = SoakSpec(
+        scenario=args.scenario,
+        seeds=tuple(args.seeds),
+        n_requests=args.requests,
+        request_bytes=args.mb * MB,
+        protected=not args.unprotected,
+        max_virtual_time=args.max_virtual_time,
+    )
+    report = run_soak(spec)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+    if args.json:
+        print(report.to_json(), file=out)
+    else:
+        print(format_soak_report(report), file=out)
+    return 1 if soak_acceptance(report) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument schema."""
     parser = argparse.ArgumentParser(
@@ -536,6 +563,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("headline", help="the 40%%/21%% improvement claims")
     p.set_defaults(func=cmd_headline)
+
+    p = sub.add_parser(
+        "soak", help="chaos-soak the overload-protection stack")
+    p.add_argument("--scenario", default="chaos", choices=["chaos"])
+    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    p.add_argument("--requests", type=int, default=10,
+                   help="concurrent active I/Os per client group")
+    p.add_argument("--mb", type=int, default=32, help="bytes per request (MB)")
+    p.add_argument("--unprotected", action="store_true",
+                   help="disable the QoS stack and use the retry-storm "
+                        "policy (degradation demo)")
+    p.add_argument("--max-virtual-time", type=float, default=120.0,
+                   help="watchdog bound on each run's simulated seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the deterministic JSON report")
+    p.add_argument("--out", metavar="FILE",
+                   help="also write the JSON report to FILE")
+    p.set_defaults(func=cmd_soak)
 
     p = sub.add_parser("gantt", help="per-request timeline of one run")
     p.add_argument("--scheme", default="dosas", choices=[s.value for s in Scheme])

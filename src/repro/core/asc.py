@@ -16,9 +16,13 @@ return the result to the requesting application process directly."
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from repro.qos.breaker import BreakerBoard, CircuitBreaker
+from repro.qos.budget import RetryBudget
+from repro.qos.tokens import TokenBucket
 from repro.sim.engine import Environment
 from repro.sim.events import AllOf, AnyOf, Event
 from repro.cluster.node import ComputeNode
@@ -34,6 +38,7 @@ from repro.pvfs.requests import (
     read_extent_stream,
     slice_extents,
 )
+from repro.pvfs.server import DeadlineExceeded
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,12 @@ class RetryPolicy:
         Multiplier per further re-issue.
     backoff_cap:
         Upper bound on any single backoff delay.
+    full_jitter:
+        When True, each backoff delay is drawn uniformly from
+        ``[0, nominal]`` (AWS full-jitter), so synchronized clients
+        don't re-issue in lockstep.  The draw uses the seeded RNG the
+        caller passes to :meth:`backoff`, so it stays deterministic
+        given the spec seed.
     """
 
     timeout: float = 5.0
@@ -60,6 +71,7 @@ class RetryPolicy:
     backoff_base: float = 0.25
     backoff_factor: float = 2.0
     backoff_cap: float = 4.0
+    full_jitter: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout <= 0:
@@ -70,14 +82,28 @@ class RetryPolicy:
             raise ValueError("backoff delays must be non-negative")
         if self.backoff_factor < 1:
             raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
 
-    def backoff(self, attempt: int) -> float:
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> float:
         """Delay before re-issue number ``attempt`` (0-based)."""
-        return min(self.backoff_cap, self.backoff_base * self.backoff_factor ** attempt)
+        delay = min(self.backoff_cap, self.backoff_base * self.backoff_factor ** attempt)
+        if self.full_jitter and rng is not None:
+            return rng.uniform(0.0, delay)
+        return delay
 
 
 class RetryExhausted(PVFSError):
-    """A per-server piece failed/timed out beyond ``max_retries``."""
+    """A per-server piece failed/timed out beyond ``max_retries``.
+
+    ``last_cause`` carries the final underlying failure — the last
+    failed reply's exception, or None when the last attempt simply
+    timed out without an answer.
+    """
+
+    def __init__(self, message: str, last_cause: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.last_cause = last_cause
 
 
 @dataclass
@@ -135,6 +161,11 @@ class ActiveStorageClient:
         registry: Optional[KernelRegistry] = None,
         execute_kernels: bool = False,
         client_speed_factor: float = 1.0,
+        breakers: Optional[BreakerBoard] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        pace: Optional[TokenBucket] = None,
+        deadline: Optional[float] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -144,6 +175,15 @@ class ActiveStorageClient:
         self.registry = registry or default_registry
         self.execute_kernels = execute_kernels
         self.client_speed_factor = float(client_speed_factor)
+        #: Overload protection (see repro.qos): per-server circuit
+        #: breakers, the run-global retry-token pool, submit pacing,
+        #: the relative deadline stamped on every request, and the
+        #: seeded RNG full-jitter backoff draws from.
+        self.breakers = breakers
+        self.retry_budget = retry_budget
+        self.pace = pace
+        self.deadline = deadline
+        self.rng = rng
         #: rid-independent registration log (operation, size, fh).
         self.registrations: List[_Registration] = []
         #: Fault-recovery counters for the analysis layer.
@@ -152,6 +192,10 @@ class ActiveStorageClient:
             "retry_timeouts": 0,
             "retry_failures": 0,
             "requests_recovered": 0,
+            "retries_denied_budget": 0,
+            "breaker_fast_fails": 0,
+            "breaker_demotions": 0,
+            "deadline_failures": 0,
         }
         #: One entry per abandoned attempt: time, rid, parent, attempt,
         #: reason — the analysis layer derives recovery latency from it.
@@ -270,6 +314,11 @@ class ActiveStorageClient:
         self, requests: List[IORequest], retry: RetryPolicy
     ) -> Generator[Event, Any, List[IOReply]]:
         """Drive every per-server piece through recovery (process)."""
+        if self.deadline is not None:
+            now = self.env.now
+            for request in requests:
+                if request.deadline is None:
+                    request.deadline = now + self.deadline
         procs = [
             self.env.process(self._recover_piece(r, retry)) for r in requests
         ]
@@ -288,18 +337,51 @@ class ActiveStorageClient:
     ) -> Generator[Event, Any, IOReply]:
         """Complete one per-server request under faults (process).
 
-        Per attempt: submit, then wait for the reply or the timeout.
-        On timeout or a failed reply, abandon the attempt (cancel
-        server-side so no late answer races the retry), back off
-        exponentially, and re-issue carrying the newest checkpoint —
-        bytes a previous attempt completed are never re-read.
+        Per attempt: consult the circuit breaker, pace the submission,
+        submit, then wait for the reply or the timeout.  On timeout or
+        a failed reply, abandon the attempt (cancel server-side so no
+        late answer races the retry), back off exponentially, and
+        re-issue carrying the newest checkpoint — bytes a previous
+        attempt completed are never re-read.  Re-issues additionally
+        need a token from the global retry budget, and an expired
+        per-request deadline ends recovery immediately.
         """
         checkpoint: Optional[KernelCheckpoint] = request.resume_from
+        last_error: Optional[BaseException] = None
+        gave_up = ""
         for attempt in range(retry.max_retries + 1):
             if attempt > 0:
+                if self.retry_budget is not None and not self.retry_budget.try_acquire():
+                    self.stats["retries_denied_budget"] += 1
+                    gave_up = "retry budget exhausted"
+                    break
                 self.stats["retries"] += 1
-                yield self.env.timeout(retry.backoff(attempt - 1))
+                yield self.env.timeout(retry.backoff(attempt - 1, rng=self.rng))
                 request = self.pvfs.reissue(request, resume_from=checkpoint)
+            if request.deadline is not None and self.env.now >= request.deadline:
+                self.stats["deadline_failures"] += 1
+                last_error = DeadlineExceeded(
+                    f"request {request.rid} missed its deadline before "
+                    f"attempt {attempt}"
+                )
+                gave_up = "deadline expired"
+                break
+            breaker = self._breaker_for(request)
+            if breaker is not None and not breaker.allow(self.env.now):
+                if request.is_active:
+                    # Route around the sick node: demote to local
+                    # compute right away instead of hammering it.
+                    self.stats["breaker_demotions"] += 1
+                    return self._demoted_locally(request, checkpoint)
+                # A normal read has nowhere else to get the data —
+                # fast-fail the attempt (no traffic) and back off.
+                self.stats["breaker_fast_fails"] += 1
+                self._log_retry(request, attempt, "breaker-open")
+                continue
+            if self.pace is not None:
+                wait = self.pace.reserve(request.size, self.env.now)
+                if wait > 0:
+                    yield self.env.timeout(wait)
             self.pvfs.submit(request)
             # Preemptive defuse: if the reply fails *after* the timeout
             # below already decided the race, nobody would otherwise
@@ -311,42 +393,86 @@ class ActiveStorageClient:
                 yield AnyOf(self.env, [request.reply, deadline])
             except PVFSError as err:
                 reason = f"failed: {err}"
+                last_error = err
             if reason is None and request.reply.processed and request.reply.ok:
                 # Also covers the same-timestamp race where the timeout
                 # decided the AnyOf but the real reply landed anyway.
                 reply: IOReply = request.reply.value
+                if breaker is not None:
+                    breaker.on_success(self.env.now)
                 if attempt > 0:
                     self.stats["requests_recovered"] += 1
                 return reply
+            if breaker is not None:
+                breaker.on_failure(self.env.now)
             if reason is None:
                 reason = "timeout"
                 self.stats["retry_timeouts"] += 1
             else:
                 self.stats["retry_failures"] += 1
             self.pvfs.server_for(request).cancel(request.rid)
-            tr = self.env.tracer
-            if tr.enabled:
-                tr.instant(
-                    self.env.now,
-                    "retry",
-                    f"client:{self.node.name}",
-                    rid=request.rid,
-                    parent=request.parent_id,
-                    attempt=attempt,
-                    reason=reason,
-                )
-            self.retry_log.append(
-                {
-                    "time": self.env.now,
-                    "rid": request.rid,
-                    "parent": request.parent_id,
-                    "attempt": attempt,
-                    "reason": reason,
-                }
-            )
+            self._log_retry(request, attempt, reason)
         raise RetryExhausted(
             f"request {request.rid} ({request.operation or 'normal'}) gave up "
-            f"after {retry.max_retries + 1} attempts"
+            + (f"({gave_up})" if gave_up
+               else f"after {retry.max_retries + 1} attempts"),
+            last_cause=last_error,
+        ) from last_error
+
+    def _breaker_for(self, request: IORequest) -> Optional[CircuitBreaker]:
+        if self.breakers is None:
+            return None
+        return self.breakers.for_server(self.pvfs.server_for(request).server_index)
+
+    def _demoted_locally(
+        self, request: IORequest, checkpoint: Optional[KernelCheckpoint]
+    ) -> IOReply:
+        """Synthesize a demoted reply without touching the server."""
+        done = checkpoint.bytes_done if checkpoint is not None else 0
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(
+                self.env.now,
+                "breaker-demote",
+                f"client:{self.node.name}",
+                rid=request.rid,
+                server=self.pvfs.server_for(request).node.name,
+            )
+        return IOReply(
+            rid=request.rid,
+            completed=False,
+            checkpoint=checkpoint,
+            fh=request.fh,
+            offset=request.offset + done,
+            remaining=request.size - done,
+            extents=request.extents,
+            bytes_done=done,
+            bytes_streamed=0.0,
+            demoted=True,
+            served_active=False,
+            finished_at=self.env.now,
+        )
+
+    def _log_retry(self, request: IORequest, attempt: int, reason: str) -> None:
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(
+                self.env.now,
+                "retry",
+                f"client:{self.node.name}",
+                rid=request.rid,
+                parent=request.parent_id,
+                attempt=attempt,
+                reason=reason,
+            )
+        self.retry_log.append(
+            {
+                "time": self.env.now,
+                "rid": request.rid,
+                "parent": request.parent_id,
+                "attempt": attempt,
+                "reason": reason,
+            }
         )
 
     # -- demotion completion (paper: "manage the rest of the processing") ----------

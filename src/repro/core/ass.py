@@ -75,6 +75,10 @@ class ActiveStorageServer:
         """Forwarded by the I/O server on client cancellation."""
         return self.runtime.abort(rid)
 
+    def shed(self, rid: int) -> bool:
+        """Forwarded by the I/O server's admission control (overload)."""
+        return self.runtime.shed(rid)
+
     @property
     def stats(self) -> Dict[str, int]:
         """Runtime counters (served/demoted/interrupted)."""

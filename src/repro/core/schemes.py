@@ -19,6 +19,7 @@ the decision trace — the raw material for every evaluation figure.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
@@ -34,6 +35,7 @@ from repro.pvfs.client import PVFSClient
 from repro.pvfs.filehandle import FileHandle
 from repro.pvfs.metadata import MetadataServer, PVFSError
 from repro.pvfs.server import IOServer
+from repro.qos import AdmissionController, BreakerBoard, QoSConfig, RetryBudget, TokenBucket
 from repro.core.asc import ActiveStorageClient, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -170,6 +172,13 @@ class SchemeResult:
     wasted_bytes: int = 0
     fault_log: List[Dict[str, Any]] = field(default_factory=list)
     retry_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-server metric snapshots (``MetricsRegistry.summary()`` plus
+    #: ``server`` / ``outstanding_final``) — the raw material for the
+    #: soak harness's conservation invariants.
+    server_metrics: List[Dict[str, Any]] = field(default_factory=list)
+    #: Aggregated overload-protection counters (see repro.qos); always
+    #: present so the analysis schema is stable with or without QoS.
+    qos_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def mean_latency(self) -> float:
@@ -254,6 +263,7 @@ def run_scheme(
     retry_policy: Optional[RetryPolicy] = None,
     max_virtual_time: Optional[float] = None,
     tracer: Optional["Tracer"] = None,
+    qos: Optional[QoSConfig] = None,
 ) -> SchemeResult:
     """Build the machine, run the workload, collect the numbers.
 
@@ -263,6 +273,12 @@ def run_scheme(
     ``max_virtual_time``) execute under a bounded-virtual-time
     watchdog, so a recovery bug raises ``WatchdogTimeout`` instead of
     hanging.
+
+    ``qos`` (a :class:`repro.qos.QoSConfig`) arms overload protection:
+    per-server admission control and intake policing, per-client
+    circuit breakers, submit pacing, a run-global retry budget, and
+    per-request deadlines.  Breakers, budget and deadlines act through
+    the retry machinery, so they need a retry policy to take effect.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) captures the full
     request-lifecycle timeline of the run — see ``repro.obs`` and
@@ -294,9 +310,20 @@ def run_scheme(
         n_io_servers=spec.n_storage, default_stripe_size=config.stripe_size
     )
     servers = [
-        IOServer(env, sn, topo.link_for(sn), mds, config, server_index=i)
+        IOServer(
+            env, sn, topo.link_for(sn), mds, config, server_index=i,
+            admission=(
+                AdmissionController.from_config(qos, start=env.now)
+                if qos is not None else None
+            ),
+        )
         for i, sn in enumerate(topo.storage_nodes)
     ]
+    retry_budget = (
+        RetryBudget(qos.retry_budget)
+        if qos is not None and qos.retry_budget is not None
+        else None
+    )
 
     registry = default_registry
     kernel = registry.get(spec.kernel)
@@ -366,6 +393,22 @@ def run_scheme(
             client,
             registry=registry,
             execute_kernels=spec.execute_kernels,
+            breakers=(
+                BreakerBoard(
+                    threshold=qos.breaker_threshold, cooldown=qos.breaker_cooldown
+                )
+                if qos is not None else None
+            ),
+            retry_budget=retry_budget,
+            pace=(
+                TokenBucket(qos.pace_rate, qos.pace_burst, start=env.now)
+                if qos is not None and qos.pace_rate is not None
+                else None
+            ),
+            deadline=qos.deadline if qos is not None else None,
+            # Per-client seeded stream so full-jitter backoff is
+            # deterministic yet de-synchronized across clients.
+            rng=random.Random(seed * 1_000_003 + 9973 * i),
         )
         ascs.append(asc)
         return asc
@@ -452,6 +495,7 @@ def run_scheme(
                 stats["demoted_new"]
                 + stats["demoted_queued"]
                 + stats["interrupted"]
+                + stats["shed_overload"]
             )
             interrupted += stats["interrupted"]
             est = ass.estimator
@@ -476,6 +520,38 @@ def run_scheme(
         failed_requests += ass.stats["failed"]
         wasted_bytes += ass.stats["wasted_bytes"]
 
+    server_metrics: List[Dict[str, Any]] = [
+        {
+            "server": s.node.name,
+            "outstanding_final": len(s.outstanding),
+            **s.metrics.summary(),
+        }
+        for s in servers
+    ]
+
+    def _server_sum(name: str) -> int:
+        return int(sum(s.metrics.get_counter(name) for s in servers))
+
+    def _asc_sum(name: str) -> int:
+        return sum(a.stats[name] for a in ascs)
+
+    qos_stats: Dict[str, Any] = {
+        "requests_shed": _server_sum("requests_shed"),
+        "requests_shed_queued": _server_sum("requests_shed_queued"),
+        "requests_overloaded": _server_sum("requests_overloaded"),
+        "deadline_rejected": _server_sum("deadline_rejected"),
+        "deadline_expired": _server_sum("deadline_expired"),
+        "late_replies": _server_sum("late_replies"),
+        "requests_failed_crash": _server_sum("requests_failed_crash"),
+        "breaker_demotions": _asc_sum("breaker_demotions"),
+        "breaker_fast_fails": _asc_sum("breaker_fast_fails"),
+        "retries_denied_budget": _asc_sum("retries_denied_budget"),
+        "deadline_failures": _asc_sum("deadline_failures"),
+        "retry_budget_remaining": (
+            retry_budget.remaining if retry_budget is not None else None
+        ),
+    }
+
     return SchemeResult(
         scheme=scheme,
         spec=spec,
@@ -493,4 +569,6 @@ def run_scheme(
         wasted_bytes=wasted_bytes,
         fault_log=list(injector.log) if injector is not None else [],
         retry_events=retry_events,
+        server_metrics=server_metrics,
+        qos_stats=qos_stats,
     )

@@ -38,6 +38,7 @@ from repro.faults.schedule import (
     partition,
     probe_loss,
     scenario,
+    with_guaranteed_crash,
 )
 from repro.faults.injector import FaultInjector, WatchdogTimeout, run_with_watchdog
 
@@ -56,4 +57,5 @@ __all__ = [
     "probe_loss",
     "run_with_watchdog",
     "scenario",
+    "with_guaranteed_crash",
 ]

@@ -325,6 +325,33 @@ def chaos(
     )
 
 
+def with_guaranteed_crash(
+    schedule: FaultSchedule,
+    at: float = 0.05,
+    downtime: float = 0.4,
+    target: int = 0,
+    before: Optional[float] = None,
+) -> FaultSchedule:
+    """``schedule`` with at least one crash/restart cycle.
+
+    The chaos generator draws kinds at random, so a given seed may
+    produce no crash at all — or only one so late the workload has
+    already finished; soak runs that assert crash-recovery invariants
+    (retry storms, breaker trips, conservation under ``ServerCrashed``)
+    append one deterministically when no crash fires by ``before``
+    (``None`` accepts a crash at any time).
+    """
+    cutoff = float("inf") if before is None else before
+    if any(
+        e.kind is FaultKind.CRASH and e.at <= cutoff for e in schedule.events
+    ):
+        return schedule
+    crash = FaultEvent(
+        at=at, kind=FaultKind.CRASH, target=target, duration=downtime
+    )
+    return replace(schedule, events=schedule.events + (crash,))
+
+
 #: name → factory.  ``scenario(name, **overrides)`` is the front door.
 SCENARIOS: Dict[str, Callable[..., FaultSchedule]] = {
     "degraded-node": degraded_node,

@@ -229,6 +229,7 @@ class PVFSClient:
             submitted_at=self.env.now,
             meta=dict(request.meta),
             resume_from=resume_from if resume_from is not None else request.resume_from,
+            deadline=request.deadline,
             extents=request.extents,
         )
 

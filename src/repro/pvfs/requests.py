@@ -140,6 +140,10 @@ class IORequest:
     resume_from:
         Checkpoint when this request resumes a previously interrupted
         kernel execution.
+    deadline:
+        Absolute simulated time after which the work is worthless.
+        Servers refuse expired arrivals and cancel expired queued work
+        with ``DeadlineExceeded``; ``None`` means no deadline.
     """
 
     rid: int
@@ -154,6 +158,7 @@ class IORequest:
     submitted_at: float
     meta: dict = field(default_factory=dict)
     resume_from: Optional[KernelCheckpoint] = None
+    deadline: Optional[float] = None
     #: WRITE requests may carry real bytes (None in timing-only runs).
     payload: Optional[np.ndarray] = None
     #: The exact file pieces this request covers, as

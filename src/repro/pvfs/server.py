@@ -17,7 +17,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Protocol, Tuple
 
 from repro.obs.metrics import MetricsRegistry
+from repro.qos.admission import AdmissionController, AdmissionDecision
 from repro.sim.engine import Environment
+from repro.sim.events import Timer
 from repro.sim.exceptions import Failure
 from repro.sim.process import Process
 from repro.cluster.config import ClusterConfig
@@ -39,6 +41,14 @@ class ServerUnavailable(ServerFault):
     """The server is down and rejected a new request."""
 
 
+class ServerOverloaded(ServerFault):
+    """Admission control refused the request (queue full / intake policed)."""
+
+
+class DeadlineExceeded(ServerFault):
+    """The request's deadline passed before the server could answer it."""
+
+
 class ActiveHandler(Protocol):
     """What the DOSAS Active Storage Server implements."""
 
@@ -57,6 +67,7 @@ class IOServer:
         mds: MetadataServer,
         config: ClusterConfig,
         server_index: int = 0,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -64,6 +75,8 @@ class IOServer:
         self.mds = mds
         self.config = config
         self.server_index = server_index
+        #: Overload protection on intake (None accepts everything).
+        self.admission = admission
         self.active_handler: Optional[ActiveHandler] = None
         #: Accepted requests not yet replied — the Figure-1 I/O queue.
         self.outstanding: Dict[int, IORequest] = {}
@@ -77,6 +90,8 @@ class IOServer:
         #: Serving process per rid for normal/write requests, so a
         #: crash or client cancellation can interrupt them mid-service.
         self._service: Dict[int, Process] = {}
+        #: Armed deadline timer per rid (cancelled on any completion).
+        self._deadline_timers: Dict[int, Timer] = {}
 
     # -- wiring ---------------------------------------------------------------
     def attach_active_handler(self, handler: ActiveHandler) -> None:
@@ -105,7 +120,58 @@ class IOServer:
                 )
             )
             return
+        now = self.env.now
+        if request.deadline is not None and now >= request.deadline:
+            # Expired on arrival: refusing is cheaper than serving work
+            # nobody will wait for.
+            self.metrics.inc("deadline_rejected")
+            if tr.enabled:
+                tr.instant(now, "deadline-reject", self._track, rid=request.rid)
+            request.reply.fail(
+                DeadlineExceeded(
+                    f"request {request.rid} reached server {self.node.name} "
+                    f"past its deadline"
+                )
+            )
+            return
+        if self.admission is not None:
+            verdict = self.admission.screen(
+                len(self.outstanding), request.is_active, request.size, now
+            )
+            if verdict is AdmissionDecision.REJECT and not request.is_active:
+                # DOSAS shedding order: demote queued active work to
+                # client-side execution before refusing a normal read.
+                if self.shed_queued_active(limit=1):
+                    verdict = self.admission.screen(
+                        len(self.outstanding), request.is_active, request.size, now
+                    )
+            if verdict is AdmissionDecision.SHED:
+                self._shed(request)
+                return
+            if verdict is AdmissionDecision.REJECT:
+                self.metrics.inc("requests_overloaded")
+                if tr.enabled:
+                    tr.instant(
+                        now,
+                        "overload-reject",
+                        self._track,
+                        rid=request.rid,
+                        queue=len(self.outstanding),
+                    )
+                request.reply.fail(
+                    ServerOverloaded(
+                        f"server {self.node.name} rejected request "
+                        f"{request.rid}: queue depth {len(self.outstanding)}"
+                    )
+                )
+                return
         self.outstanding[request.rid] = request
+        if request.deadline is not None:
+            self._deadline_timers[request.rid] = Timer(
+                self.env,
+                request.deadline - now,
+                lambda rid=request.rid: self._expire(rid),
+            )
         self.metrics.inc("requests_received")
         self.metrics.inc(f"requests_{request.kind.value}")
         self.metrics.time_gauge("queue_length").set(len(self.outstanding))
@@ -163,8 +229,15 @@ class IOServer:
         handler = self.active_handler
         if handler is not None and hasattr(handler, "on_crash"):
             handler.on_crash(cause)
+        for timer in self._deadline_timers.values():
+            timer.cancel()
+        self._deadline_timers.clear()
         victims = list(self.outstanding.values())
         self.outstanding.clear()
+        if victims:
+            # Conservation counter: received = completed + cancelled +
+            # failed_crash + deadline_expired + still-outstanding.
+            self.metrics.inc("requests_failed_crash", len(victims))
         for req in victims:
             if tr.enabled:
                 tr.end(
@@ -196,6 +269,9 @@ class IOServer:
         Returns True if the request was still queued here.
         """
         request = self.outstanding.pop(rid, None)
+        timer = self._deadline_timers.pop(rid, None)
+        if timer is not None:
+            timer.cancel()
         proc = self._service.pop(rid, None)
         if proc is not None and proc.is_alive and proc is not self.env.active_process:
             proc.interrupt("client-cancel", exc_type=Failure)
@@ -216,6 +292,90 @@ class IOServer:
                     self.env.now, "request", self._track, rid=rid, outcome="cancelled"
                 )
         return request is not None
+
+    # -- overload protection (see repro.qos) ---------------------------------
+    def _shed(self, request: IORequest) -> None:
+        """Answer an active arrival as demoted without queueing it.
+
+        The reply mirrors the runtime's demotion (``completed=0``, any
+        prior checkpoint carried through) so the ASC finishes the work
+        client-side — the request never enters ``outstanding``.
+        """
+        self.metrics.inc("requests_shed")
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(
+                self.env.now,
+                "shed",
+                self._track,
+                rid=request.rid,
+                queue=len(self.outstanding),
+            )
+        checkpoint = request.resume_from
+        done = checkpoint.bytes_done if checkpoint is not None else 0
+        request.reply.succeed(
+            IOReply(
+                rid=request.rid,
+                completed=False,
+                checkpoint=checkpoint,
+                fh=request.fh,
+                offset=request.offset + done,
+                remaining=request.size - done,
+                extents=request.extents,
+                bytes_done=done,
+                bytes_streamed=0.0,
+                demoted=True,
+                served_active=False,
+                finished_at=self.env.now,
+            )
+        )
+
+    def shed_queued_active(self, limit: Optional[int] = None) -> int:
+        """Demote queued (not yet running) active work to the clients.
+
+        The admission controller calls this to free queue room before
+        a normal read is refused; each shed request is answered through
+        the runtime's demotion path (so it counts as completed work
+        here).  Returns how many requests were shed.
+        """
+        handler = self.active_handler
+        if handler is None or not hasattr(handler, "shed"):
+            return 0
+        shed = 0
+        for req in self.queued_active_requests():
+            if limit is not None and shed >= limit:
+                break
+            if handler.shed(req.rid):
+                shed += 1
+                self.metrics.inc("requests_shed_queued")
+        return shed
+
+    def _expire(self, rid: int) -> None:
+        """Deadline timer fired: cancel the work, fail the reply typed."""
+        self._deadline_timers.pop(rid, None)
+        request = self.outstanding.pop(rid, None)
+        if request is None:
+            return
+        proc = self._service.pop(rid, None)
+        if proc is not None and proc.is_alive and proc is not self.env.active_process:
+            proc.interrupt("deadline", exc_type=Failure)
+        handler = self.active_handler
+        if request.is_active and handler is not None and hasattr(handler, "abort"):
+            handler.abort(rid)
+        self.metrics.inc("deadline_expired")
+        self.metrics.time_gauge("queue_length").set(len(self.outstanding))
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.end(
+                self.env.now, "request", self._track, rid=rid, outcome="deadline"
+            )
+        if not request.reply.triggered:
+            request.reply.fail(
+                DeadlineExceeded(
+                    f"request {rid} exceeded its deadline on server "
+                    f"{self.node.name}"
+                )
+            )
 
     # -- normal I/O path -----------------------------------------------------------
     def _serve_normal(self, request: IORequest):
@@ -294,11 +454,27 @@ class IOServer:
         Also the completion entry point for the active handler.
         """
         if self.outstanding.pop(request.rid, None) is None:
-            if request.reply.triggered:
-                # Late completion of a request that crashed away or was
-                # answered through another path — drop silently.
+            if request.reply.triggered or request.reply.defused:
+                # Late completion of a request that crashed away, was
+                # answered through another path, or was abandoned by a
+                # cancelling client mid-delivery (defused reply, the
+                # kernel's detached transfer outlives the cancel) —
+                # counted so soak invariant checks can see the drop.
+                self.metrics.inc("late_replies")
+                tr = self.env.tracer
+                if tr.enabled:
+                    tr.instant(
+                        self.env.now,
+                        "late-reply",
+                        self._track,
+                        rid=request.rid,
+                        completed=reply.completed,
+                    )
                 return
             raise PVFSError(f"finishing unknown request {request.rid}")
+        timer = self._deadline_timers.pop(request.rid, None)
+        if timer is not None:
+            timer.cancel()
         self.metrics.inc("requests_completed")
         self.metrics.inc("bytes_streamed", reply.bytes_streamed)
         self.metrics.time_gauge("queue_length").set(len(self.outstanding))

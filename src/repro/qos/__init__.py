@@ -1,0 +1,50 @@
+"""Overload protection for the DOSAS reproduction.
+
+The paper's premise is that storage nodes melt down when too many
+active I/Os pile onto them; this package keeps the melt-down bounded
+and recoverable with four mechanisms, threaded through the stack by
+``repro.core.schemes.run_scheme(..., qos=QoSConfig(...))``:
+
+``AdmissionController`` (``repro.qos.admission``)
+    Bounded queue depth + token-bucket intake policing per I/O server.
+    Active arrivals over the bound are *shed* (demoted to client-side
+    execution, mirroring DOSAS demotion); normal reads are refused with
+    a typed ``ServerOverloaded`` only after queued active work has
+    been demoted to make room.
+``TokenBucket`` (``repro.qos.tokens``)
+    AdapTBF-style rate/bandwidth limiting, deterministic because its
+    refill is driven purely by simulated time.
+``CircuitBreaker`` / ``BreakerBoard`` (``repro.qos.breaker``)
+    Per-server breakers on each client: consecutive crashes, timeouts
+    or overload rejections open the path; clients route around the
+    sick node (active work demotes to local compute) and a half-open
+    probe discovers recovery.
+``RetryBudget`` (``repro.qos.budget``)
+    A global token pool over ``RetryPolicy`` so the whole system's
+    retry volume is bounded — the anti-retry-storm brake.
+
+Deadline propagation rides on ``IORequest.deadline`` (see
+``repro.pvfs``); servers cancel expired work with a ``DeadlineExceeded``
+failure.  The chaos-soak harness that exercises the whole package
+under randomized fault schedules lives in ``repro.qos.soak`` (imported
+lazily — it pulls in ``repro.core``).
+
+See ``docs/failure_model.md`` for the overload model.
+"""
+
+from repro.qos.admission import AdmissionController, AdmissionDecision
+from repro.qos.breaker import BreakerBoard, BreakerState, CircuitBreaker
+from repro.qos.budget import RetryBudget
+from repro.qos.config import QoSConfig
+from repro.qos.tokens import TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BreakerBoard",
+    "BreakerState",
+    "CircuitBreaker",
+    "QoSConfig",
+    "RetryBudget",
+    "TokenBucket",
+]

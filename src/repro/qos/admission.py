@@ -1,0 +1,96 @@
+"""Admission control for the I/O server's intake.
+
+Pure policy: the controller sees only the queue depth and the request
+shape, and answers accept / shed / reject.  The I/O server owns all
+side effects (synthesizing demoted replies, failing rejected replies,
+demoting queued active work to make room) so this module stays free of
+any ``repro.pvfs`` import — which is what keeps the qos ↔ pvfs
+dependency acyclic.
+
+The shedding order mirrors DOSAS demotion: an active request that hits
+a full queue is turned into client-side work (its data still flows, the
+compute moves), and a normal read is refused only after the server has
+tried to demote queued active work to free a slot.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.qos.config import QoSConfig
+from repro.qos.tokens import TokenBucket
+
+
+class AdmissionDecision(enum.Enum):
+    """What to do with one arriving request."""
+
+    ACCEPT = "accept"
+    #: Demote to client-side execution (active requests only).
+    SHED = "shed"
+    #: Refuse with a typed ``ServerOverloaded`` failure.
+    REJECT = "reject"
+
+
+class AdmissionController:
+    """Bounded queue depth plus optional token-bucket intake policing."""
+
+    __slots__ = ("max_queue_depth", "shed_active_first", "intake")
+
+    def __init__(
+        self,
+        max_queue_depth: Optional[int] = 16,
+        shed_active_first: bool = True,
+        intake: Optional[TokenBucket] = None,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self.shed_active_first = shed_active_first
+        self.intake = intake
+
+    @classmethod
+    def from_config(cls, config: QoSConfig, start: float = 0.0) -> Optional["AdmissionController"]:
+        """Build a controller (or None when the config disables intake control).
+
+        Each server needs its own controller — the intake bucket holds
+        per-server state.
+        """
+        if config.max_queue_depth is None and config.intake_rate is None:
+            return None
+        intake = (
+            TokenBucket(config.intake_rate, config.intake_burst, start=start)
+            if config.intake_rate is not None
+            else None
+        )
+        return cls(
+            max_queue_depth=config.max_queue_depth,
+            shed_active_first=config.shed_active_first,
+            intake=intake,
+        )
+
+    def screen(
+        self, queue_depth: int, is_active: bool, size: float, now: float
+    ) -> AdmissionDecision:
+        """Decide one arrival.  Consumes intake tokens only on ACCEPT.
+
+        Depth is checked before the bucket so a depth rejection never
+        burns tokens; the server may shed queued active work and screen
+        again, at which point both checks re-run.
+        """
+        if self.max_queue_depth is not None and queue_depth >= self.max_queue_depth:
+            return self._overflow(is_active)
+        if self.intake is not None and not self.intake.try_consume(size, now):
+            return self._overflow(is_active)
+        return AdmissionDecision.ACCEPT
+
+    def _overflow(self, is_active: bool) -> AdmissionDecision:
+        if is_active and self.shed_active_first:
+            return AdmissionDecision.SHED
+        return AdmissionDecision.REJECT
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<AdmissionController depth={self.max_queue_depth} "
+            f"policed={self.intake is not None}>"
+        )

@@ -1,0 +1,44 @@
+"""A global retry budget shared by every client in a run.
+
+Per-piece retry policies bound how often one request re-issues; the
+budget bounds how much retrying the *whole system* does.  Under a mass
+failure (every client's pieces timing out at once) per-piece bounds
+multiply into a retry storm — the budget is the brake: once the pool
+is empty, further re-issues give up immediately instead of piling more
+load onto nodes that are already drowning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RetryBudget:
+    """A finite pool of retry tokens (``None`` ⇒ unlimited)."""
+
+    __slots__ = ("tokens", "granted", "denied")
+
+    def __init__(self, tokens: Optional[int]) -> None:
+        if tokens is not None and tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        self.tokens = tokens
+        self.granted = 0
+        self.denied = 0
+
+    def try_acquire(self) -> bool:
+        """Take one retry token; False when the pool is dry."""
+        if self.tokens is not None and self.granted >= self.tokens:
+            self.denied += 1
+            return False
+        self.granted += 1
+        return True
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Tokens left (None for an unlimited budget)."""
+        if self.tokens is None:
+            return None
+        return self.tokens - self.granted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RetryBudget granted={self.granted} remaining={self.remaining}>"

@@ -1,0 +1,92 @@
+"""Overload-protection configuration.
+
+One frozen knob object describes every QoS mechanism this package
+offers; ``repro.core.schemes.run_scheme`` threads it through the stack
+(admission controllers on servers, breakers/budgets/pacing on
+clients).  ``None`` on any knob disables that mechanism, so
+``QoSConfig()`` with no arguments is a sane, conservative default and
+a fully disabled configuration is simply not passing a config at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class QoSConfig:
+    """Knobs for the overload-protection stack.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Bound on each I/O server's outstanding table.  At the bound,
+        active arrivals are shed to client-side execution and normal
+        reads are refused with ``ServerOverloaded`` (after queued
+        active work has been demoted to make room — the DOSAS shedding
+        order).  ``None`` leaves intake unbounded.
+    shed_active_first:
+        When True (default), an active request hitting a full queue is
+        demoted (reply ``completed=0``) instead of rejected, mirroring
+        the paper's demotion path; False rejects it like a normal read.
+    intake_rate / intake_burst:
+        AdapTBF-style token-bucket policing of each server's intake, in
+        bytes per simulated second / burst bytes.  A request whose size
+        cannot be covered is shed (active) or rejected (normal).
+        ``None`` disables policing.
+    pace_rate / pace_burst:
+        Client-side pacing of submissions over the link, bytes per
+        second / burst bytes.  Unlike intake policing this never drops:
+        the client waits for tokens before submitting.
+    breaker_threshold:
+        Consecutive per-server failures (crash, timeout, overload) that
+        trip a client's circuit breaker from closed to open.
+    breaker_cooldown:
+        Seconds an open breaker waits before letting one half-open
+        probe request through.
+    retry_budget:
+        Global pool of retry tokens shared by every client in a run; a
+        re-issue that finds the pool empty gives up immediately
+        (``RetryExhausted``) instead of joining a retry storm.
+        ``None`` leaves retries bounded only by the per-piece policy.
+    deadline:
+        Relative per-request deadline in simulated seconds.  Requests
+        carry ``now + deadline`` absolute; servers cancel expired work
+        and answer with ``DeadlineExceeded``.  ``None`` disables it.
+    """
+
+    max_queue_depth: Optional[int] = 16
+    shed_active_first: bool = True
+    intake_rate: Optional[float] = None
+    intake_burst: Optional[float] = None
+    pace_rate: Optional[float] = None
+    pace_burst: Optional[float] = None
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 1.0
+    retry_budget: Optional[int] = 64
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        for name in ("intake_rate", "pace_rate"):
+            value: Optional[float] = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("intake_burst", "pace_burst"):
+            burst: Optional[float] = getattr(self, name)
+            if burst is not None and burst <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.intake_burst is not None and self.intake_rate is None:
+            raise ValueError("intake_burst needs intake_rate")
+        if self.pace_burst is not None and self.pace_rate is None:
+            raise ValueError("pace_burst needs pace_rate")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")

@@ -1,0 +1,315 @@
+"""The chaos-soak harness: overload + random faults, invariants asserted.
+
+``run_soak`` drives the full stack through an *overload* scenario
+(more concurrent active I/Os than storage cores) under a seeded random
+fault schedule that always contains at least one crash, once per seed,
+for both DOSAS and plain AS.  Each run is checked against conservation
+invariants derived from the per-server metric snapshots:
+
+- every request the server accepted is accounted for exactly once:
+  ``received == completed + cancelled + failed_crash + deadline_expired``
+  with an empty outstanding table at the end;
+- every logical client operation finished (no watchdog timeout, one
+  completion time per request).
+
+The report is plain data with a deterministic JSON rendering — the
+same seed produces a byte-identical report, which the CI smoke job and
+the determinism test both pin.
+
+This module imports ``repro.core`` and therefore is *not* re-exported
+from ``repro.qos`` (whose other modules must stay import-cycle-free);
+reach it as ``repro.qos.soak``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.config import MB
+from repro.core.asc import RetryPolicy
+from repro.core.schemes import Scheme, SchemeResult, WorkloadSpec, run_scheme
+from repro.faults.injector import WatchdogTimeout
+from repro.faults.schedule import FaultSchedule, chaos, with_guaranteed_crash
+from repro.pvfs.client import reset_parent_ids
+from repro.pvfs.metadata import PVFSError
+from repro.pvfs.requests import reset_request_ids
+from repro.qos.config import QoSConfig
+
+
+@dataclass(frozen=True)
+class SoakSpec:
+    """One chaos-soak campaign.
+
+    The workload defaults deliberately overload the machine: each
+    storage node sees ``n_requests`` concurrent active I/Os against
+    ``storage_cores`` cores, so admission control and demotion have
+    real work to do even before the faults land.
+    """
+
+    scenario: str = "chaos"
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    kernel: str = "gaussian2d"
+    n_requests: int = 10
+    request_bytes: int = 32 * MB
+    n_storage: int = 2
+    storage_cores: int = 2
+    #: Arm the overload-protection stack (admission, breakers, budget).
+    protected: bool = True
+    #: Watchdog bound on each run's virtual time.
+    max_virtual_time: float = 120.0
+    #: Fault density of the chaos schedule.
+    n_fault_events: int = 4
+    fault_span: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.scenario != "chaos":
+            raise ValueError("the soak harness only knows the 'chaos' scenario")
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+
+
+def default_qos(spec: SoakSpec) -> QoSConfig:
+    """The protection stack a soak run arms.
+
+    The queue bound sits just above the per-node concurrency so steady
+    state fits but a retry storm cannot pile up; breakers react fast
+    (the chaos crash durations are sub-second); the retry budget allows
+    a handful of recoveries per request and no more.
+    """
+    return QoSConfig(
+        max_queue_depth=2 * spec.n_requests,
+        breaker_threshold=3,
+        breaker_cooldown=0.3,
+        retry_budget=8 * spec.n_requests * spec.n_storage,
+        deadline=spec.max_virtual_time / 2,
+    )
+
+
+def protected_retry(base: RetryPolicy) -> RetryPolicy:
+    """The schedule's retry policy with de-synchronizing full jitter."""
+    return replace(base, full_jitter=True)
+
+
+def unprotected_retry() -> RetryPolicy:
+    """The retry-storm policy: aggressive, near-zero backoff, no jitter.
+
+    This is what a naive client does under overload — every timeout
+    re-issues almost immediately, so each crash multiplies the queue
+    the restarted server faces.  Soak runs use it with
+    ``protected=False`` to pin the degradation the QoS stack exists to
+    prevent; such runs may fail outright (``RetryExhausted``), which
+    the report records instead of raising.
+    """
+    return RetryPolicy(
+        timeout=1.0, max_retries=24, backoff_base=0.05, backoff_factor=1.0,
+        backoff_cap=0.05,
+    )
+
+
+def check_invariants(result: SchemeResult) -> List[str]:
+    """Conservation violations in one run's server metrics (empty = clean)."""
+    violations: List[str] = []
+    if len(result.per_request_times) != result.spec.total_requests:
+        violations.append(
+            f"completions: {len(result.per_request_times)} request finish "
+            f"times for {result.spec.total_requests} requests"
+        )
+    for m in result.server_metrics:
+        name = m["server"]
+        received = int(m.get("requests_received", 0))
+        completed = int(m.get("requests_completed", 0))
+        cancelled = int(m.get("requests_cancelled", 0))
+        crash_failed = int(m.get("requests_failed_crash", 0))
+        expired = int(m.get("deadline_expired", 0))
+        outstanding = int(m.get("outstanding_final", 0))
+        accounted = completed + cancelled + crash_failed + expired + outstanding
+        if received != accounted:
+            violations.append(
+                f"{name}: conservation broken — received {received} != "
+                f"completed {completed} + cancelled {cancelled} + "
+                f"crash-failed {crash_failed} + expired {expired} + "
+                f"outstanding {outstanding}"
+            )
+        if outstanding != 0:
+            violations.append(
+                f"{name}: {outstanding} requests still outstanding at the end"
+            )
+    return violations
+
+
+@dataclass
+class SoakRun:
+    """One scheme's outcome under one seed."""
+
+    scheme: str
+    goodput: float
+    makespan: float
+    retries: int
+    retry_timeouts: int
+    served_active: int
+    demoted: int
+    qos_stats: Dict[str, Any]
+    violations: List[str] = field(default_factory=list)
+    #: Non-empty when the run died (watchdog / RetryExhausted) — the
+    #: degradation an unprotected retry storm is allowed to show.
+    failed: str = ""
+
+
+@dataclass
+class SoakSeedResult:
+    """DOSAS vs plain AS under one seed's fault schedule."""
+
+    seed: int
+    schedule: str
+    n_fault_events: int
+    dosas: SoakRun
+    plain_as: SoakRun
+
+
+@dataclass
+class SoakReport:
+    """The whole campaign, deterministic given the spec."""
+
+    scenario: str
+    protected: bool
+    seeds: List[SoakSeedResult] = field(default_factory=list)
+
+    def violations(self) -> List[str]:
+        """Every invariant violation across all seeds and schemes."""
+        out: List[str] = []
+        for sr in self.seeds:
+            for run in (sr.dosas, sr.plain_as):
+                out.extend(
+                    f"seed {sr.seed} [{run.scheme}]: {v}" for v in run.violations
+                )
+        return out
+
+    def to_json(self) -> str:
+        """Byte-stable rendering: same seed ⇒ identical text."""
+        return json.dumps(asdict(self), sort_keys=True, indent=2)
+
+
+def _schedule_for(spec: SoakSpec, seed: int) -> FaultSchedule:
+    base = chaos(
+        seed=seed,
+        n_events=spec.n_fault_events,
+        span=spec.fault_span,
+        n_targets=spec.n_storage,
+        horizon=spec.max_virtual_time,
+    )
+    # The workload must actually feel a crash: require one inside the
+    # first half of the fault span or add an early one.
+    return with_guaranteed_crash(
+        base, at=0.1, downtime=0.4, before=spec.fault_span / 2
+    )
+
+
+def _run_one(
+    scheme: Scheme,
+    spec: SoakSpec,
+    seed: int,
+    schedule: FaultSchedule,
+    qos: Optional[QoSConfig],
+    retry: RetryPolicy,
+) -> SoakRun:
+    workload = WorkloadSpec(
+        kernel=spec.kernel,
+        n_requests=spec.n_requests,
+        request_bytes=spec.request_bytes,
+        n_storage=spec.n_storage,
+        storage_cores=spec.storage_cores,
+        seed=seed,
+    )
+    # Process-global id sequences restart so two soaks of the same seed
+    # serialise byte-identically (rids leak into nothing the report
+    # keeps, but determinism of the runs themselves is non-negotiable).
+    reset_request_ids()
+    reset_parent_ids()
+    violations: List[str] = []
+    try:
+        result = run_scheme(
+            scheme,
+            workload,
+            fault_schedule=schedule,
+            retry_policy=retry,
+            max_virtual_time=spec.max_virtual_time,
+            qos=qos,
+        )
+    except WatchdogTimeout as err:
+        # A hung run breaks the "every request finishes" invariant.
+        return SoakRun(
+            scheme=scheme.value,
+            goodput=0.0,
+            makespan=float("inf"),
+            retries=0,
+            retry_timeouts=0,
+            served_active=0,
+            demoted=0,
+            qos_stats={},
+            violations=[f"watchdog timeout: {err}"],
+            failed=f"watchdog timeout: {err}",
+        )
+    except PVFSError as err:
+        # The run died (typically RetryExhausted in a retry storm).
+        # That is degradation evidence, not an accounting violation —
+        # protected-mode tests assert ``failed == ""`` separately.
+        return SoakRun(
+            scheme=scheme.value,
+            goodput=0.0,
+            makespan=float("inf"),
+            retries=0,
+            retry_timeouts=0,
+            served_active=0,
+            demoted=0,
+            qos_stats={},
+            failed=f"{type(err).__name__}: {err}",
+        )
+    violations = check_invariants(result)
+    return SoakRun(
+        scheme=scheme.value,
+        goodput=result.goodput,
+        makespan=result.makespan,
+        retries=result.retries,
+        retry_timeouts=result.retry_timeouts,
+        served_active=result.served_active,
+        demoted=result.demoted,
+        qos_stats=dict(result.qos_stats),
+        violations=violations,
+    )
+
+
+def run_soak(spec: SoakSpec) -> SoakReport:
+    """Run the campaign: per seed, DOSAS and plain AS under one schedule.
+
+    ``plain_as`` is always the unprotected baseline — plain AS with the
+    schedule's stock retry policy and no QoS stack.  The DOSAS run arms
+    the protection stack when ``spec.protected`` and otherwise uses the
+    retry-storm policy, so the two report flavours pin both acceptance
+    outcomes: protected DOSAS beats the plain baseline with clean
+    accounting; unprotected DOSAS melts down against the same faults.
+    """
+    report = SoakReport(scenario=spec.scenario, protected=spec.protected)
+    for seed in spec.seeds:
+        schedule = _schedule_for(spec, seed)
+        if spec.protected:
+            qos: Optional[QoSConfig] = default_qos(spec)
+            retry = protected_retry(schedule.retry)
+        else:
+            qos = None
+            retry = unprotected_retry()
+        dosas = _run_one(Scheme.DOSAS, spec, seed, schedule, qos, retry)
+        plain = _run_one(
+            Scheme.AS, spec, seed, schedule, None, schedule.retry
+        )
+        report.seeds.append(
+            SoakSeedResult(
+                seed=seed,
+                schedule=schedule.name,
+                n_fault_events=len(schedule.events),
+                dosas=dosas,
+                plain_as=plain,
+            )
+        )
+    return report

@@ -1,0 +1,91 @@
+"""Deterministic token bucket driven by simulated time.
+
+The bucket holds no clock of its own: every operation takes ``now``
+explicitly and refills lazily from the elapsed simulated time, so the
+bucket is exactly reproducible given the same call sequence — the
+AdapTBF-style primitive behind both server intake policing and
+client-side pacing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TokenBucket:
+    """A lazily refilled token bucket.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added per simulated second.
+    capacity:
+        Maximum stored tokens (defaults to one second of refill).
+    start:
+        Simulated time of construction (refill baseline).
+    """
+
+    __slots__ = ("rate", "capacity", "_tokens", "_last")
+
+    def __init__(
+        self, rate: float, capacity: Optional[float] = None, start: float = 0.0
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity) if capacity is not None else float(rate)
+        self._tokens = self.capacity
+        self._last = float(start)
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._last = max(self._last, now)
+
+    def available(self, now: float) -> float:
+        """Tokens available at ``now`` (may be negative under debt)."""
+        self._refill(now)
+        return self._tokens
+
+    def try_consume(self, amount: float, now: float) -> bool:
+        """Take ``amount`` tokens if covered; False leaves the bucket alone.
+
+        A request larger than the whole capacity could never be covered,
+        so it is allowed whenever the bucket is full — it then drives
+        the balance negative and later arrivals pay the debt.  Without
+        this, policing would starve oversized requests forever.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self._refill(now)
+        if amount <= self._tokens or (
+            amount > self.capacity and self._tokens >= self.capacity
+        ):
+            self._tokens -= amount
+            return True
+        return False
+
+    def reserve(self, amount: float, now: float) -> float:
+        """Consume ``amount`` unconditionally; return the pacing delay.
+
+        The bucket may go negative (tokens are borrowed from the
+        future); the return value is how long the caller must wait for
+        the balance to recover to zero — the shaping discipline, where
+        nothing is dropped but everything is slowed to the rate.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self._refill(now)
+        self._tokens -= amount
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TokenBucket rate={self.rate} capacity={self.capacity} "
+            f"tokens={self._tokens:.1f}>"
+        )

@@ -39,6 +39,7 @@ from repro.sim.events import (
     Event,
     PENDING,
     Timeout,
+    Timer,
 )
 from repro.sim.engine import Environment
 from repro.sim.process import Process
@@ -80,4 +81,5 @@ __all__ = [
     "TimeSeries",
     "TimeWeightedStat",
     "Timeout",
+    "Timer",
 ]

@@ -183,6 +183,51 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
 
 
+class Timer(Event):
+    """A cancellable one-shot timer that runs a callback when it fires.
+
+    Unlike :class:`Timeout`, a Timer is not meant to be yielded on: it
+    carries a zero-argument callback that the event loop invokes at
+    ``now + delay`` unless :meth:`cancel` ran first.  A cancelled timer
+    still drains through the event queue (removing heap entries would
+    cost O(n)) but its callback is suppressed, so cancellation is O(1).
+
+    Used for server-side deadline enforcement, where most timers are
+    cancelled by normal completion long before they fire.
+    """
+
+    __slots__ = ("delay", "cancelled", "_fn")
+
+    def __init__(self, env: "Environment", delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.env = env
+        self.callbacks = [self._fire]
+        self._ok = True
+        self._value: Any = None
+        self._defused = False
+        self.delay = delay
+        self.cancelled = False
+        self._fn: Optional[Callable[[], None]] = fn
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, env._eid, self))
+
+    def cancel(self) -> None:
+        """Suppress the callback; safe to call after the timer fired."""
+        self.cancelled = True
+        self._fn = None
+
+    def _fire(self, event: "Event") -> None:
+        fn = self._fn
+        self._fn = None
+        if fn is not None and not self.cancelled:
+            fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<Timer delay={self.delay} ({state}) at {id(self):#x}>"
+
+
 class Initialize(Event):
     """Internal event that kicks off a newly created process."""
 

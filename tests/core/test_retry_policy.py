@@ -1,0 +1,65 @@
+"""RetryPolicy knob validation and the seeded full-jitter backoff."""
+
+import random
+
+import pytest
+
+from repro.core.asc import RetryExhausted, RetryPolicy
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(timeout=0.0),
+        dict(max_retries=-1),
+        dict(backoff_base=-0.1),
+        dict(backoff_factor=0.5),
+        dict(backoff_base=1.0, backoff_cap=0.5),
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_zero_backoff_policy_is_legal(self):
+        # cap == base == 0 is the (storm-prone but valid) extreme.
+        policy = RetryPolicy(backoff_base=0.0, backoff_factor=1.0,
+                             backoff_cap=0.0)
+        assert policy.backoff(3) == 0.0
+
+
+class TestBackoff:
+    def test_exponential_growth_under_the_cap(self):
+        policy = RetryPolicy(backoff_base=0.25, backoff_factor=2.0,
+                             backoff_cap=4.0)
+        assert [policy.backoff(a) for a in range(6)] == [
+            0.25, 0.5, 1.0, 2.0, 4.0, 4.0
+        ]
+
+    def test_full_jitter_stays_within_the_nominal_delay(self):
+        policy = RetryPolicy(backoff_base=0.25, backoff_factor=2.0,
+                             backoff_cap=4.0, full_jitter=True)
+        rng = random.Random(7)
+        for attempt in range(8):
+            nominal = min(4.0, 0.25 * 2.0 ** attempt)
+            assert 0.0 <= policy.backoff(attempt, rng) <= nominal
+
+    def test_full_jitter_is_deterministic_given_the_seed(self):
+        policy = RetryPolicy(full_jitter=True)
+        a = [policy.backoff(i, random.Random(42)) for i in range(5)]
+        b = [policy.backoff(i, random.Random(42)) for i in range(5)]
+        assert a == b
+
+    def test_jitter_needs_an_rng(self):
+        # Without an RNG the policy falls back to the nominal delay, so
+        # callers that never opted in see no behaviour change.
+        policy = RetryPolicy(full_jitter=True)
+        assert policy.backoff(0) == policy.backoff(0) == 0.25
+
+
+class TestRetryExhausted:
+    def test_carries_the_last_cause(self):
+        cause = TimeoutError("boom")
+        err = RetryExhausted("gave up", last_cause=cause)
+        assert err.last_cause is cause
+
+    def test_cause_defaults_to_none(self):
+        assert RetryExhausted("gave up").last_cause is None

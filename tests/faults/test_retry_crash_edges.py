@@ -1,0 +1,113 @@
+"""Retry × crash edge cases: crashes landing inside the retry machinery.
+
+Deterministic fault schedules pin three edges the soak only hits by
+chance: a crash that lands while clients sit in retry backoff, a
+server restart racing the circuit breaker's half-open probe, and
+``RetryExhausted`` carrying its last underlying cause.
+"""
+
+import pytest
+
+from repro.cluster.config import MB
+from repro.core.asc import RetryExhausted, RetryPolicy
+from repro.core.schemes import Scheme, WorkloadSpec, run_scheme
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.pvfs.server import ServerUnavailable
+from repro.qos import QoSConfig
+
+SPEC = WorkloadSpec(
+    kernel="sum", n_requests=3, request_bytes=32 * MB, n_storage=2,
+    execute_kernels=True, seed=0,
+)
+
+
+def _values(result):
+    return [float(v) for v in result.results]
+
+
+class TestCrashMidBackoff:
+    def test_second_crash_lands_inside_the_backoff_window(self):
+        # Crash 1 at 0.02 fails the first attempts instantly; clients
+        # back off for a fixed 0.2 s.  Crash 2 at 0.15 lands while
+        # they sleep, so the re-issue at ~0.22 meets a down server
+        # again and only the next attempt (post-restart) succeeds.
+        sched = FaultSchedule(
+            name="crash-mid-backoff",
+            events=(
+                FaultEvent(at=0.02, kind=FaultKind.CRASH, target=0,
+                           duration=0.1),
+                FaultEvent(at=0.15, kind=FaultKind.CRASH, target=0,
+                           duration=0.2),
+            ),
+            retry=RetryPolicy(timeout=0.05, max_retries=8, backoff_base=0.2,
+                              backoff_factor=1.0, backoff_cap=0.2),
+            horizon=30.0,
+        )
+        baseline = run_scheme(Scheme.AS, SPEC)
+        r = run_scheme(Scheme.AS, SPEC, fault_schedule=sched)
+        assert len(r.per_request_times) == SPEC.total_requests
+        assert r.retries >= 2
+        # Node 0's work cannot finish before the second restart.
+        assert r.makespan > 0.35
+        assert _values(r) == _values(baseline)
+
+
+class TestRestartDuringHalfOpenProbe:
+    QOS = QoSConfig(max_queue_depth=None, breaker_threshold=1,
+                    breaker_cooldown=0.15, retry_budget=None)
+
+    def _schedule(self):
+        return FaultSchedule(
+            name="probe-vs-restart",
+            events=(
+                FaultEvent(at=0.02, kind=FaultKind.CRASH, target=0,
+                           duration=0.4),
+            ),
+            # The timeout must cover a healthy striped transfer
+            # (~0.14 s/piece, serialized under contention) or every
+            # post-restart attempt times out and the read livelocks;
+            # the generous retry cap absorbs the timeout rounds the
+            # probes burn while recovering transfers contend.
+            retry=RetryPolicy(timeout=0.6, max_retries=60,
+                              backoff_base=0.05, backoff_factor=1.0,
+                              backoff_cap=0.05),
+            horizon=30.0,
+        )
+
+    def test_normal_reads_probe_until_the_restart_wins(self):
+        # TS = all-normal reads: a tripped breaker fast-fails attempts
+        # (no traffic) until each cooldown grants a probe; probes
+        # during the 0.4 s outage fail and re-trip, the first
+        # post-restart probe closes the breaker and the read completes.
+        sched = self._schedule()
+        baseline = run_scheme(Scheme.TS, SPEC)
+        r = run_scheme(Scheme.TS, SPEC, fault_schedule=sched, qos=self.QOS)
+        assert len(r.per_request_times) == SPEC.total_requests
+        assert r.qos_stats["breaker_fast_fails"] >= 1
+        assert r.makespan > 0.42
+        assert _values(r) == _values(baseline)
+
+    def test_active_requests_route_around_the_open_breaker(self):
+        # The same outage under AS: active work demotes to local
+        # compute instead of waiting out the breaker, and the results
+        # still match the fault-free run bit for bit.
+        sched = self._schedule()
+        baseline = run_scheme(Scheme.AS, SPEC)
+        r = run_scheme(Scheme.AS, SPEC, fault_schedule=sched, qos=self.QOS)
+        assert len(r.per_request_times) == SPEC.total_requests
+        assert r.qos_stats["breaker_demotions"] >= 1
+        assert _values(r) == _values(baseline)
+
+
+class TestRetryExhaustedCause:
+    def test_last_cause_is_the_underlying_server_fault(self):
+        sched = FaultSchedule(
+            name="perma-crash",
+            events=(FaultEvent(at=0.02, kind=FaultKind.CRASH),),
+            retry=RetryPolicy(timeout=0.2, max_retries=1, backoff_base=0.05),
+            horizon=30.0,
+        )
+        with pytest.raises(RetryExhausted) as excinfo:
+            run_scheme(Scheme.AS, SPEC, fault_schedule=sched)
+        assert isinstance(excinfo.value.last_cause, ServerUnavailable)
+        assert excinfo.value.__cause__ is excinfo.value.last_cause

@@ -1,0 +1,79 @@
+"""Admission policy units: config validation, screen decisions, tokens."""
+
+import pytest
+
+from repro.qos import (
+    AdmissionController,
+    AdmissionDecision,
+    QoSConfig,
+    TokenBucket,
+)
+
+
+class TestQoSConfig:
+    def test_defaults_validate(self):
+        cfg = QoSConfig()
+        assert cfg.max_queue_depth == 16
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_queue_depth=0),
+        dict(intake_rate=-1.0),
+        dict(intake_burst=4.0),           # burst without a rate
+        dict(pace_burst=4.0),             # burst without a rate
+        dict(breaker_threshold=0),
+        dict(breaker_cooldown=0.0),
+        dict(retry_budget=-1),
+        dict(deadline=0.0),
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            QoSConfig(**kwargs)
+
+
+class TestFromConfig:
+    def test_disabled_when_no_intake_knob_set(self):
+        cfg = QoSConfig(max_queue_depth=None)
+        assert AdmissionController.from_config(cfg) is None
+
+    def test_builds_bucket_from_rate(self):
+        cfg = QoSConfig(max_queue_depth=4, intake_rate=100.0, intake_burst=50.0)
+        ac = AdmissionController.from_config(cfg, start=2.0)
+        assert ac is not None
+        assert ac.intake is not None
+        assert ac.intake.capacity == 50.0
+
+
+class TestScreen:
+    def test_accepts_under_the_depth_bound(self):
+        ac = AdmissionController(max_queue_depth=2)
+        verdict = ac.screen(queue_depth=1, is_active=False, size=1.0, now=0.0)
+        assert verdict is AdmissionDecision.ACCEPT
+
+    def test_full_queue_sheds_active_but_rejects_normal(self):
+        ac = AdmissionController(max_queue_depth=2)
+        active = ac.screen(queue_depth=2, is_active=True, size=1.0, now=0.0)
+        normal = ac.screen(queue_depth=2, is_active=False, size=1.0, now=0.0)
+        assert active is AdmissionDecision.SHED
+        assert normal is AdmissionDecision.REJECT
+
+    def test_shed_active_first_off_rejects_active_too(self):
+        ac = AdmissionController(max_queue_depth=1, shed_active_first=False)
+        verdict = ac.screen(queue_depth=1, is_active=True, size=1.0, now=0.0)
+        assert verdict is AdmissionDecision.REJECT
+
+    def test_depth_rejection_burns_no_tokens(self):
+        bucket = TokenBucket(rate=10.0, capacity=10.0, start=0.0)
+        ac = AdmissionController(max_queue_depth=1, intake=bucket)
+        ac.screen(queue_depth=1, is_active=False, size=5.0, now=0.0)
+        assert bucket.available(0.0) == pytest.approx(10.0)
+
+    def test_empty_bucket_overflows(self):
+        bucket = TokenBucket(rate=10.0, capacity=10.0, start=0.0)
+        ac = AdmissionController(max_queue_depth=None, intake=bucket)
+        assert ac.screen(0, False, 10.0, 0.0) is AdmissionDecision.ACCEPT
+        assert ac.screen(0, False, 10.0, 0.0) is AdmissionDecision.REJECT
+        assert ac.screen(0, True, 10.0, 0.0) is AdmissionDecision.SHED
+
+    def test_validates_depth(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)

@@ -1,0 +1,95 @@
+"""The chaos-soak acceptance bar.
+
+Protected: DOSAS goodput at least plain AS goodput on every seed, zero
+conservation violations, byte-identical reports for the same seed.
+Unprotected: the same scenario melts down in a retry storm — more
+retries than the protected run, or an outright ``RetryExhausted``
+death — which is exactly the degradation the QoS stack prevents.
+"""
+
+import pytest
+
+from repro.analysis.soak import format_soak_report, soak_acceptance
+from repro.qos.soak import SoakSpec, run_soak
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def protected_report():
+    return run_soak(SoakSpec(seeds=SEEDS, protected=True))
+
+
+@pytest.fixture(scope="module")
+def unprotected_report():
+    return run_soak(SoakSpec(seeds=SEEDS, protected=False))
+
+
+class TestProtected:
+    def test_zero_conservation_violations(self, protected_report):
+        assert protected_report.violations() == []
+
+    def test_no_run_died(self, protected_report):
+        for sr in protected_report.seeds:
+            assert sr.dosas.failed == ""
+            assert sr.plain_as.failed == ""
+
+    def test_dosas_goodput_at_least_plain_as(self, protected_report):
+        for sr in protected_report.seeds:
+            assert sr.dosas.goodput >= sr.plain_as.goodput, (
+                f"seed {sr.seed}: DOSAS {sr.dosas.goodput:.0f} < "
+                f"plain AS {sr.plain_as.goodput:.0f}"
+            )
+
+    def test_acceptance_passes(self, protected_report):
+        assert soak_acceptance(protected_report) == []
+
+    def test_every_schedule_contains_an_early_crash(self, protected_report):
+        for sr in protected_report.seeds:
+            assert sr.n_fault_events >= 1
+
+
+class TestUnprotected:
+    def test_retry_storm_degradation(self, protected_report, unprotected_report):
+        """Each seed shows the storm: many more retries, or a dead run."""
+        for psr, usr in zip(protected_report.seeds, unprotected_report.seeds):
+            if usr.dosas.failed:
+                assert "RetryExhausted" in usr.dosas.failed
+            else:
+                assert usr.dosas.retries > psr.dosas.retries
+
+    def test_at_least_one_seed_storms_hard(self, unprotected_report):
+        storms = sum(
+            1 for sr in unprotected_report.seeds
+            if sr.dosas.failed or sr.dosas.retries >= 2 * sr.plain_as.retries
+        )
+        assert storms >= 1
+
+    def test_degradation_is_not_a_violation(self, unprotected_report):
+        # The invariants are about accounting, not about dying politely.
+        assert soak_acceptance(unprotected_report) == []
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_report(self):
+        spec = SoakSpec(seeds=(0,))
+        assert run_soak(spec).to_json() == run_soak(spec).to_json()
+
+
+class TestFormatting:
+    def test_report_renders_with_verdict(self, protected_report):
+        text = format_soak_report(protected_report)
+        assert "acceptance: PASS" in text
+        assert "dosas" in text and "as" in text
+
+    def test_late_replies_are_accounted(self, protected_report, unprotected_report):
+        """The cancel-during-delivery race surfaces as ``late_replies``
+        (not a crash): at least one soak run exercises it."""
+        runs = [
+            run
+            for report in (protected_report, unprotected_report)
+            for sr in report.seeds
+            for run in (sr.dosas, sr.plain_as)
+        ]
+        late = sum(int(r.qos_stats.get("late_replies", 0)) for r in runs)
+        assert late >= 1

@@ -1,0 +1,65 @@
+"""Token bucket: deterministic refill, oversize debt, pacing reserve."""
+
+import pytest
+
+from repro.qos import TokenBucket
+
+
+class TestTryConsume:
+    def test_starts_full_and_drains(self):
+        b = TokenBucket(rate=10.0, capacity=5.0, start=0.0)
+        assert b.available(0.0) == pytest.approx(5.0)
+        assert b.try_consume(3.0, now=0.0)
+        assert b.available(0.0) == pytest.approx(2.0)
+        assert not b.try_consume(3.0, now=0.0)
+
+    def test_refills_at_rate_up_to_capacity(self):
+        b = TokenBucket(rate=10.0, capacity=5.0, start=0.0)
+        assert b.try_consume(5.0, now=0.0)
+        assert not b.try_consume(1.0, now=0.05)  # only 0.5 back
+        assert b.try_consume(1.0, now=0.1)
+        # Far future: clamped at capacity, not rate * elapsed.
+        assert b.available(100.0) == pytest.approx(5.0)
+
+    def test_capacity_defaults_to_rate(self):
+        b = TokenBucket(rate=8.0)
+        assert b.available(0.0) == pytest.approx(8.0)
+
+    def test_oversize_request_admitted_when_full(self):
+        # A request larger than the whole bucket must not starve
+        # forever: a full bucket admits it and goes into debt.
+        b = TokenBucket(rate=10.0, capacity=5.0, start=0.0)
+        assert b.try_consume(20.0, now=0.0)
+        assert b.available(0.0) == pytest.approx(-15.0)
+        assert not b.try_consume(0.1, now=0.0)
+        # Debt pays down at the refill rate.
+        assert b.try_consume(1.0, now=1.6)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=-1.0)
+
+
+class TestReserve:
+    def test_no_wait_while_tokens_remain(self):
+        b = TokenBucket(rate=10.0, capacity=10.0, start=0.0)
+        assert b.reserve(4.0, now=0.0) == pytest.approx(0.0)
+        assert b.reserve(6.0, now=0.0) == pytest.approx(0.0)
+
+    def test_wait_grows_with_debt(self):
+        # reserve() always books the send and answers with the pacing
+        # delay that restores the rate — it shapes, never drops.
+        b = TokenBucket(rate=10.0, capacity=10.0, start=0.0)
+        b.reserve(10.0, now=0.0)
+        assert b.reserve(5.0, now=0.0) == pytest.approx(0.5)
+        assert b.reserve(5.0, now=0.0) == pytest.approx(1.0)
+
+    def test_deterministic_given_times(self):
+        a = TokenBucket(rate=3.0, capacity=6.0, start=0.0)
+        b = TokenBucket(rate=3.0, capacity=6.0, start=0.0)
+        times = [0.0, 0.1, 0.4, 0.4, 2.0]
+        assert [a.reserve(2.5, t) for t in times] == [
+            b.reserve(2.5, t) for t in times
+        ]
