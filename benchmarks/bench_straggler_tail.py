@@ -1,0 +1,78 @@
+"""Robustness — tail latency under stragglers, dispatcher off vs on.
+
+Seeded straggler injection (persistent slow servers + transient
+slowdowns) against every scheme, with the straggler-aware dispatcher
+off and on.  The headline number is the DOSAS p99: queue-depth-aware
+replica routing plus hedged reads should cut the tail without moving
+the median.  Run directly (``python benchmarks/bench_straggler_tail.py
+--seeds 1 2 --out FILE``) the bench becomes the CI smoke gate: exit 1
+if scheduler-on p99 exceeds scheduler-off for DOSAS on any seed.
+"""
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.straggler.bench import run_tail_bench, tail_bench_json
+
+
+def bench_straggler_tail(record):
+    def sweep():
+        return run_tail_bench(seed=1)
+
+    report = record.once(sweep)
+    rows = []
+    for scheme, modes in report["schemes"].items():
+        for mode in ("off", "on"):
+            m = modes[mode]
+            rows.append([
+                scheme, mode,
+                f"{m['latency']['p50']:.3f}", f"{m['latency']['p95']:.3f}",
+                f"{m['latency']['p99']:.3f}", f"{m['latency']['max']:.3f}",
+                m["hedges_issued"], m["hedges_won"], m["hedges_wasted"],
+            ])
+    record.table(
+        "Tail latency under stragglers (32 x 32 MB, 4 servers, 2 replicas)",
+        ["scheme", "dispatch", "p50", "p95", "p99", "max",
+         "hedged", "won", "wasted"],
+        rows,
+    )
+    dosas = report["schemes"]["dosas"]
+    record.values(
+        dosas_p99_off=dosas["off"]["latency"]["p99"],
+        dosas_p99_on=dosas["on"]["latency"]["p99"],
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CI smoke gate: assert the dispatcher never worsens the DOSAS p99."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the JSON report to FILE")
+    args = parser.parse_args(argv)
+    reports = [run_tail_bench(seed=s) for s in args.seeds]
+    text = tail_bench_json(reports)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    failures: List[str] = []
+    for report in reports:
+        dosas = report["schemes"]["dosas"]
+        off = dosas["off"]["latency"]["p99"]
+        on = dosas["on"]["latency"]["p99"]
+        verdict = "ok" if on <= off else "REGRESSION"
+        print(f"seed {report['seed']}: dosas p99 off {off:.3f} "
+              f"on {on:.3f}  {verdict}")
+        if on > off:
+            failures.append(
+                f"seed {report['seed']}: scheduler-on p99 {on:.3f} > "
+                f"scheduler-off {off:.3f}"
+            )
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

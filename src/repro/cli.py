@@ -164,6 +164,10 @@ def cmd_run(args, out=None) -> int:
         print(f"error: unknown kernel {args.kernel!r}; known: "
               f"{list_kernels()}", file=sys.stderr)
         return 2
+    if args.replicas > args.storage_nodes:
+        print("error: --replicas cannot exceed --storage-nodes",
+              file=sys.stderr)
+        return 2
     spec = WorkloadSpec(
         kernel=args.kernel,
         n_requests=args.requests,
@@ -172,6 +176,8 @@ def cmd_run(args, out=None) -> int:
         jitter=args.jitter,
         seed=args.seed,
         kernel_slots=args.kernel_slots,
+        straggler_scheduler=args.straggler,
+        n_replicas=args.replicas,
     )
     if getattr(args, "faults", None):
         return _run_with_faults(args, spec, out)
@@ -211,6 +217,9 @@ def _run_with_faults(args, spec: WorkloadSpec, out) -> int:
     if args.faults == "chaos":
         overrides.setdefault("seed", args.seed if args.seed is not None else 0)
         overrides["n_targets"] = spec.n_storage
+    elif args.faults == "stragglers":
+        overrides.setdefault("seed", args.seed if args.seed is not None else 0)
+        overrides["n_servers"] = spec.n_storage
     sched = scenario(args.faults, **overrides)
     print(f"scenario: {sched.name}  "
           f"(events={len(sched.timeline())}, horizon={sched.horizon}s, "
@@ -479,6 +488,7 @@ def cmd_soak(args, out=None) -> int:
         request_bytes=args.mb * MB,
         protected=not args.unprotected,
         max_virtual_time=args.max_virtual_time,
+        straggler=not args.no_straggler,
     )
     report = run_soak(spec)
     if args.out:
@@ -528,7 +538,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", metavar="SCENARIO",
                    help="inject a failure scenario (degraded-node, "
                         "crash-restart, partition, kernel-stall, "
-                        "probe-loss, chaos)")
+                        "probe-loss, chaos, slowdown, stragglers)")
+    p.add_argument("--straggler", action="store_true",
+                   help="arm the straggler-aware dispatcher (latency "
+                        "board, replica routing, hedged reads)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replicas per stripe unit (chained declustering); "
+                        ">1 gives the straggler dispatcher real choices")
     p.add_argument("--fault-at", type=float, default=None,
                    help="override the scenario's first-fault time (s)")
     p.add_argument("--scheme", choices=[s.value for s in Scheme],
@@ -574,6 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--unprotected", action="store_true",
                    help="disable the QoS stack and use the retry-storm "
                         "policy (degradation demo)")
+    p.add_argument("--no-straggler", action="store_true",
+                   help="keep the straggler dispatcher (and replicas) "
+                        "off the protected DOSAS runs")
     p.add_argument("--max-virtual-time", type=float, default=120.0,
                    help="watchdog bound on each run's simulated seconds")
     p.add_argument("--json", action="store_true",

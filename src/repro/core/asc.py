@@ -39,6 +39,7 @@ from repro.pvfs.requests import (
     slice_extents,
 )
 from repro.pvfs.server import DeadlineExceeded
+from repro.straggler.dispatch import StragglerDispatcher
 
 
 @dataclass(frozen=True)
@@ -166,6 +167,7 @@ class ActiveStorageClient:
         pace: Optional[TokenBucket] = None,
         deadline: Optional[float] = None,
         rng: Optional[random.Random] = None,
+        dispatcher: Optional[StragglerDispatcher] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -184,6 +186,11 @@ class ActiveStorageClient:
         self.pace = pace
         self.deadline = deadline
         self.rng = rng
+        #: Straggler-aware routing (see repro.straggler): when set,
+        #: retried pieces are dispatched over replica candidate sets
+        #: with hedged backups; ``None`` keeps the classic
+        #: layout-primary path bit-for-bit unchanged.
+        self.dispatcher = dispatcher
         #: rid-independent registration log (operation, size, fh).
         self.registrations: List[_Registration] = []
         #: Fault-recovery counters for the analysis layer.
@@ -196,6 +203,9 @@ class ActiveStorageClient:
             "breaker_fast_fails": 0,
             "breaker_demotions": 0,
             "deadline_failures": 0,
+            "hedges_issued": 0,
+            "hedges_won": 0,
+            "hedges_wasted": 0,
         }
         #: One entry per abandoned attempt: time, rid, parent, attempt,
         #: reason — the analysis layer derives recovery latency from it.
@@ -366,7 +376,25 @@ class ActiveStorageClient:
                 )
                 gave_up = "deadline expired"
                 break
-            breaker = self._breaker_for(request)
+            if self.dispatcher is None:
+                ranked: Optional[List[int]] = None
+                breaker = self._breaker_for(request)
+            else:
+                # Straggler-aware routing: rank replica candidates
+                # (breaker-blocked servers excluded, deadline pressure
+                # honoured) and guard the attempt with the *chosen*
+                # primary's breaker, not the layout primary's.
+                ranked = self.dispatcher.order(
+                    self.pvfs.candidates_for(request),
+                    self.env.now,
+                    breakers=self.breakers,
+                    deadline=request.deadline,
+                )
+                breaker = (
+                    self.breakers.for_server(ranked[0])
+                    if self.breakers is not None
+                    else None
+                )
             if breaker is not None and not breaker.allow(self.env.now):
                 if request.is_active:
                     # Route around the sick node: demote to local
@@ -382,6 +410,22 @@ class ActiveStorageClient:
                 wait = self.pace.reserve(request.size, self.env.now)
                 if wait > 0:
                     yield self.env.timeout(wait)
+            if ranked is not None:
+                hedged_reply, h_reason, h_error = yield from self._attempt_hedged(
+                    request, ranked, breaker, retry, checkpoint
+                )
+                if h_error is not None:
+                    last_error = h_error
+                if hedged_reply is not None:
+                    if attempt > 0:
+                        self.stats["requests_recovered"] += 1
+                    return hedged_reply
+                if h_reason == "timeout":
+                    self.stats["retry_timeouts"] += 1
+                else:
+                    self.stats["retry_failures"] += 1
+                self._log_retry(request, attempt, h_reason)
+                continue
             self.pvfs.submit(request)
             # Preemptive defuse: if the reply fails *after* the timeout
             # below already decided the race, nobody would otherwise
@@ -418,6 +462,157 @@ class ActiveStorageClient:
                else f"after {retry.max_retries + 1} attempts"),
             last_cause=last_error,
         ) from last_error
+
+    def _attempt_hedged(
+        self,
+        request: IORequest,
+        ranked: List[int],
+        breaker: Optional[CircuitBreaker],
+        retry: RetryPolicy,
+        checkpoint: Optional[KernelCheckpoint],
+    ) -> Generator[Event, Any, Tuple[Optional[IOReply], str, Optional[BaseException]]]:
+        """One dispatcher-routed attempt: primary plus hedged backups.
+
+        Simulation process.  Submits to ``ranked[0]``; once the
+        adaptive hedge delay elapses without an answer (and the hedge
+        budget permits), a backup clone goes to the next candidate —
+        first successful reply wins.  Every reply is preemptively
+        defused, so a loser completing after (or racing) its cancel
+        drains through the server's late-reply accounting instead of
+        crashing the engine, and hedge conservation
+        (``won + wasted == issued``) holds structurally: each issued
+        hedge settles exactly once at the single exit below.
+
+        Breaker composition: the chosen primary's breaker hears
+        success only when the *primary* wins and failure when the
+        primary demonstrably failed (hard error or attempt timeout).  A
+        hedge win says the primary was slow, not sick — it costs the
+        primary a full-elapsed-time latency observation, nothing more.
+
+        Returns ``(reply, reason, error)``: a winning reply, or
+        ``None`` with the abandon reason for the retry loop.
+        """
+        dispatcher = self.dispatcher
+        assert dispatcher is not None
+        env = self.env
+        servers = self.pvfs.servers
+        primary_idx = ranked[0]
+        backups = ranked[1:]
+
+        self.pvfs.submit_to(request, servers[primary_idx])
+        request.reply.defuse()
+        dispatcher.note_primary()
+        dispatcher.board.note_submit(primary_idx)
+        issued_at = env.now
+        deadline = env.timeout(retry.timeout)
+        max_hedges = min(dispatcher.config.max_hedges, len(backups))
+        hedge_timer: Optional[Event] = (
+            env.timeout(dispatcher.hedge_delay()) if max_hedges > 0 else None
+        )
+        pending: List[Tuple[IORequest, int]] = [(request, primary_idx)]
+        hedged: List[Tuple[IORequest, int]] = []
+        winner: Optional[Tuple[IORequest, int]] = None
+        primary_settled = False
+        last_error: Optional[BaseException] = None
+        reason = ""
+
+        while True:
+            waits: List[Event] = [r.reply for r, _ in pending]
+            waits.append(deadline)
+            if hedge_timer is not None:
+                waits.append(hedge_timer)
+            try:
+                yield AnyOf(env, waits)
+            except PVFSError as err:
+                last_error = err
+                reason = f"failed: {err}"
+            for entry in pending:
+                if entry[0].reply.processed and entry[0].reply.ok:
+                    # Covers the same-timestamp race where the timeout
+                    # (or a loser's failure) decided the AnyOf but a
+                    # real reply landed anyway.
+                    winner = entry
+                    break
+            if winner is not None:
+                break
+            still: List[Tuple[IORequest, int]] = []
+            for entry in pending:
+                r, idx = entry
+                if not r.reply.processed:
+                    still.append(entry)
+                    continue
+                # A hard-failed attempt: its server's breaker learns
+                # immediately (latency boards don't — a crash is not a
+                # slowness signal).
+                if isinstance(r.reply.value, BaseException):
+                    last_error = r.reply.value
+                if idx == primary_idx and not primary_settled:
+                    primary_settled = True
+                    if breaker is not None:
+                        breaker.on_failure(env.now)
+                elif idx != primary_idx and self.breakers is not None:
+                    self.breakers.for_server(idx).on_failure(env.now)
+            pending = still
+            if deadline.processed:
+                reason = reason or "timeout"
+                break
+            if not pending:
+                reason = reason or "failed: every replica attempt failed"
+                break
+            if hedge_timer is not None and hedge_timer.processed:
+                hedge_timer = None
+                if dispatcher.try_hedge():
+                    idx = backups[len(hedged)]
+                    clone = self.pvfs.reissue(request, resume_from=checkpoint)
+                    self.pvfs.submit_to(clone, servers[idx])
+                    clone.reply.defuse()
+                    dispatcher.board.note_submit(idx)
+                    self.stats["hedges_issued"] += 1
+                    hedged.append((clone, idx))
+                    pending.append((clone, idx))
+                    tr = env.tracer
+                    if tr.enabled:
+                        tr.instant(
+                            env.now,
+                            "hedge",
+                            f"client:{self.node.name}",
+                            rid=clone.rid,
+                            parent=clone.parent_id,
+                            server=servers[idx].node.name,
+                        )
+                    if len(hedged) < max_hedges:
+                        hedge_timer = env.timeout(dispatcher.hedge_delay())
+
+        # Single exit: settle losers, then the hedge ledger, then the
+        # primary's breaker and the latency board.
+        for r, idx in pending:
+            if winner is not None and r is winner[0]:
+                continue
+            servers[idx].cancel(r.rid)
+        # Every submission of this attempt — primary plus hedges, won,
+        # lost, or timed out — leaves the in-flight ledger exactly once.
+        for _, idx in [(request, primary_idx)] + hedged:
+            dispatcher.board.note_settle(idx)
+        for r, idx in hedged:
+            if winner is not None and r is winner[0]:
+                self.stats["hedges_won"] += 1
+            else:
+                self.stats["hedges_wasted"] += 1
+        if winner is not None:
+            win_req, win_idx = winner
+            dispatcher.observe(win_idx, env.now - win_req.submitted_at)
+            if win_req is request:
+                if breaker is not None:
+                    breaker.on_success(env.now)
+            else:
+                dispatcher.observe(primary_idx, env.now - issued_at)
+            win_reply: IOReply = win_req.reply.value
+            return win_reply, "", None
+        if reason == "timeout":
+            dispatcher.observe(primary_idx, env.now - issued_at)
+        if not primary_settled and breaker is not None:
+            breaker.on_failure(env.now)
+        return None, reason, last_error
 
     def _breaker_for(self, request: IORequest) -> Optional[CircuitBreaker]:
         if self.breakers is None:

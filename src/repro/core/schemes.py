@@ -37,6 +37,7 @@ from repro.pvfs.metadata import MetadataServer, PVFSError
 from repro.pvfs.server import IOServer
 from repro.qos import AdmissionController, BreakerBoard, QoSConfig, RetryBudget, TokenBucket
 from repro.core.asc import ActiveStorageClient, RetryPolicy
+from repro.straggler import LatencyBoard, StragglerConfig, StragglerDispatcher
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
@@ -119,6 +120,17 @@ class WorkloadSpec:
     #: DOSAS estimator variant: "base", "smoothed", or "hysteresis"
     #: (the extended estimators of ``repro.core.estimators_ext``).
     estimator_variant: str = "base"
+    #: Straggler-aware client dispatch (see repro.straggler): when on,
+    #: clients rank replica candidates by observed latency and hedge
+    #: slow reads.  Takes effect only with a retry policy (routing
+    #: lives in the per-piece recovery path).
+    straggler_scheduler: bool = False
+    #: Servers able to serve each byte (1 = the classic single home).
+    n_replicas: int = 1
+    #: Straggler-policy knobs (flat so the result cache can round-trip
+    #: the spec through ``asdict``/``WorkloadSpec(**...)``).
+    hedge_delay_floor: float = 0.5
+    hedge_quantile: float = 95.0
 
     def __post_init__(self) -> None:
         if self.n_requests <= 0:
@@ -139,6 +151,16 @@ class WorkloadSpec:
             raise ValueError(
                 f"unknown estimator_variant {self.estimator_variant!r}"
             )
+        if self.n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if self.n_replicas > self.n_storage:
+            raise ValueError(
+                f"n_replicas {self.n_replicas} exceeds n_storage {self.n_storage}"
+            )
+        if self.hedge_delay_floor <= 0:
+            raise ValueError("hedge_delay_floor must be positive")
+        if not 0 < self.hedge_quantile <= 100:
+            raise ValueError("hedge_quantile must lie in (0, 100]")
 
     @property
     def total_requests(self) -> int:
@@ -179,6 +201,15 @@ class SchemeResult:
     #: Aggregated overload-protection counters (see repro.qos); always
     #: present so the analysis schema is stable with or without QoS.
     qos_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Hedged-request ledger (see repro.straggler); conservation
+    #: ``won + wasted == issued`` is asserted by the soak harness.
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    hedges_wasted: int = 0
+    #: Per-request latency (finish − its own arrival), sorted — the
+    #: tail-latency bench's raw material.  ``per_request_times`` keeps
+    #: absolute finish times for backwards compatibility.
+    per_request_latencies: List[float] = field(default_factory=list)
 
     @property
     def mean_latency(self) -> float:
@@ -328,6 +359,20 @@ def run_scheme(
     registry = default_registry
     kernel = registry.get(spec.kernel)
 
+    # Straggler-aware dispatch: one latency board + dispatcher shared
+    # by every client (each client alone sees too few requests to
+    # learn anything); the shared rng stays deterministic because the
+    # simulation is single-threaded.
+    dispatcher: Optional[StragglerDispatcher] = None
+    if spec.straggler_scheduler:
+        board = LatencyBoard(
+            StragglerConfig(
+                hedge_delay_floor=spec.hedge_delay_floor,
+                hedge_quantile=spec.hedge_quantile,
+            )
+        )
+        dispatcher = StragglerDispatcher(board, seed=seed)
+
     asses: List[ActiveStorageServer] = []
     if scheme in (Scheme.AS, Scheme.DOSAS):
         runtime_config = RuntimeConfig(
@@ -376,6 +421,7 @@ def run_scheme(
             first_server=i % spec.n_storage,
             seed=seed + i,
             meta=meta,
+            n_replicas=spec.n_replicas,
         )
         handles.append(mds.open(file.name))
 
@@ -409,6 +455,7 @@ def run_scheme(
             # Per-client seeded stream so full-jitter backoff is
             # deterministic yet de-synchronized across clients.
             rng=random.Random(seed * 1_000_003 + 9973 * i),
+            dispatcher=dispatcher,
         )
         ascs.append(asc)
         return asc
@@ -480,6 +527,11 @@ def run_scheme(
     finish_times = [p.value[0] for p in procs]
     outcomes = [p.value[1] for p in procs]
     makespan = max(finish_times)
+    # Per-request latency: finish relative to the request's own
+    # staggered arrival — what a tail percentile should be taken over.
+    latencies = sorted(
+        t - spec.arrival_spacing * i for i, t in enumerate(finish_times)
+    )
 
     served_active = demoted = interrupted = 0
     policy_values: List[float] = []
@@ -550,7 +602,17 @@ def run_scheme(
         "retry_budget_remaining": (
             retry_budget.remaining if retry_budget is not None else None
         ),
+        # Hedged-request ledger (mirrored onto the result's top level);
+        # the soak harness asserts won + wasted == issued.
+        "hedges_issued": _asc_sum("hedges_issued"),
+        "hedges_won": _asc_sum("hedges_won"),
+        "hedges_wasted": _asc_sum("hedges_wasted"),
     }
+    if dispatcher is not None:
+        qos_stats["straggler"] = {
+            **{k: dispatcher.stats[k] for k in sorted(dispatcher.stats)},
+            "latency_board": dispatcher.board.snapshot(),
+        }
 
     return SchemeResult(
         scheme=scheme,
@@ -571,4 +633,8 @@ def run_scheme(
         retry_events=retry_events,
         server_metrics=server_metrics,
         qos_stats=qos_stats,
+        hedges_issued=int(qos_stats["hedges_issued"]),
+        hedges_won=int(qos_stats["hedges_won"]),
+        hedges_wasted=int(qos_stats["hedges_wasted"]),
+        per_request_latencies=latencies,
     )

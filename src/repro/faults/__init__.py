@@ -38,9 +38,16 @@ from repro.faults.schedule import (
     partition,
     probe_loss,
     scenario,
+    slowdown,
+    stragglers,
     with_guaranteed_crash,
 )
-from repro.faults.injector import FaultInjector, WatchdogTimeout, run_with_watchdog
+from repro.faults.injector import (
+    FaultInjector,
+    UnknownFaultKind,
+    WatchdogTimeout,
+    run_with_watchdog,
+)
 
 __all__ = [
     "FaultEvent",
@@ -48,6 +55,7 @@ __all__ = [
     "FaultKind",
     "FaultSchedule",
     "SCENARIOS",
+    "UnknownFaultKind",
     "WatchdogTimeout",
     "chaos",
     "crash_restart",
@@ -57,5 +65,7 @@ __all__ = [
     "probe_loss",
     "run_with_watchdog",
     "scenario",
+    "slowdown",
+    "stragglers",
     "with_guaranteed_crash",
 ]

@@ -16,7 +16,13 @@ kind                      mechanism
 ``KERNEL_STALL``          the runtime's ``stall_running`` (kernels die
                           silently; client timeouts recover the work)
 ``PROBE_LOSS``            :meth:`NodeProber.suppress_until`
+``SLOWDOWN`` / …``_END``  CPU derate *and* link degrade together (a
+                          whole-box straggler), undone as a pair; a
+                          server restart also clears both derates
 ========================  ====================================================
+
+An event whose kind has no application rule raises
+:class:`UnknownFaultKind` — schedules cannot half-apply silently.
 
 Everything applied is recorded in :attr:`FaultInjector.log` for the
 analysis layer.
@@ -39,6 +45,22 @@ from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
 
 class WatchdogTimeout(SimulationError):
     """The simulation failed to finish inside the virtual-time budget."""
+
+
+class UnknownFaultKind(SimulationError):
+    """The injector met a fault kind it has no application rule for.
+
+    Raised instead of a bare ``ValueError`` so schedule/injector version
+    skew (a schedule serialised by a newer library, say) fails with a
+    catchable, named error rather than falling through silently.
+    """
+
+    def __init__(self, kind: object) -> None:
+        super().__init__(
+            f"unhandled fault kind {kind!r}; the injector knows "
+            f"{sorted(k.value for k in FaultKind)}"
+        )
+        self.kind = kind
 
 
 class FaultInjector:
@@ -137,8 +159,20 @@ class FaultInjector:
                 detail = f"until={self.env.now + float(ev.duration):.3f}"
             else:
                 detail = "no-prober"
-        else:  # pragma: no cover - exhaustive over FaultKind
-            raise ValueError(f"unhandled fault kind {kind}")
+        elif kind is FaultKind.SLOWDOWN:
+            # Whole-box straggler: compute and NIC degrade together.
+            server.node.cpu.derate(ev.factor)
+            server.link.degrade(ev.factor)
+            detail = f"factor={ev.factor}"
+            if runtime is not None and hasattr(runtime, "on_degrade"):
+                runtime.on_degrade("slowdown")
+        elif kind is FaultKind.SLOWDOWN_END:
+            server.node.cpu.restore()
+            server.link.restore()
+            if runtime is not None and hasattr(runtime, "refresh_policy"):
+                runtime.refresh_policy()
+        else:
+            raise UnknownFaultKind(kind)
 
         entry: Dict[str, Any] = {
             "time": self.env.now,

@@ -26,11 +26,19 @@ the canonical end-to-end failure stories the tests, the CLI
 ``probe-loss``
     The Contention Estimator's probes are lost for a window; stale
     telemetry must read as degradation (demote to TS).
+``slowdown``
+    One server turns whole-box straggler — CPU *and* NIC at
+    ``factor`` × nominal — then recovers (or stands, with
+    ``duration=None``).
+``stragglers``
+    A seeded degraded-server model: persistent per-server speed
+    factors plus transient slowdown bursts, the injection scenario the
+    straggler-aware dispatcher (``repro.straggler``) is scored against.
 ``chaos``
     A seeded random mix of the above for soak-style testing.
 
 Everything is deterministic: the only randomness is a
-``random.Random(seed)`` inside :func:`chaos`.
+``random.Random(seed)`` inside :func:`chaos` / :func:`stragglers`.
 """
 
 from __future__ import annotations
@@ -66,6 +74,12 @@ class FaultKind(enum.Enum):
     KERNEL_STALL = "kernel-stall"
     #: Lose the estimator's probes for ``duration`` seconds.
     PROBE_LOSS = "probe-loss"
+    #: Whole-server straggler: cores *and* NIC run at ``factor`` ×
+    #: nominal (thermal throttling, a noisy co-tenant, a dying disk
+    #: controller — everything on the box gets slow together).
+    SLOWDOWN = "slowdown"
+    #: Return a slowed server to nominal speed on every resource.
+    SLOWDOWN_END = "slowdown-end"
 
 
 #: kind → the kind that undoes it (for ``duration`` expansion).
@@ -74,6 +88,7 @@ _REVERSE: Dict[FaultKind, FaultKind] = {
     FaultKind.CPU_DEGRADE: FaultKind.CPU_RESTORE,
     FaultKind.LINK_DEGRADE: FaultKind.LINK_RESTORE,
     FaultKind.PARTITION: FaultKind.HEAL,
+    FaultKind.SLOWDOWN: FaultKind.SLOWDOWN_END,
 }
 
 
@@ -276,6 +291,95 @@ def probe_loss(
     )
 
 
+def slowdown(
+    at: float = 1.0,
+    duration: Optional[float] = 2.0,
+    factor: float = 0.25,
+    target: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    horizon: float = 300.0,
+) -> FaultSchedule:
+    """One server turns whole-box straggler (CPU *and* NIC derated).
+
+    ``duration=None`` leaves the server slow for the rest of the run —
+    a persistent straggler; otherwise the matching ``SLOWDOWN_END``
+    fires automatically.
+    """
+    return FaultSchedule(
+        name="slowdown",
+        events=(
+            FaultEvent(
+                at=at, kind=FaultKind.SLOWDOWN, target=target,
+                factor=factor, duration=duration,
+            ),
+        ),
+        retry=retry or RetryPolicy(timeout=30.0, max_retries=4),
+        horizon=horizon,
+    )
+
+
+def stragglers(
+    seed: int = 0,
+    n_servers: int = 1,
+    persistent_fraction: float = 0.25,
+    persistent_factor_range: Tuple[float, float] = (0.2, 0.5),
+    n_transient: int = 2,
+    transient_factor_range: Tuple[float, float] = (0.25, 0.7),
+    transient_duration_range: Tuple[float, float] = (0.5, 2.0),
+    span: float = 4.0,
+    at: float = 0.0,
+    retry: Optional[RetryPolicy] = None,
+    horizon: float = 600.0,
+) -> FaultSchedule:
+    """Seeded degraded-server model: the straggler-injection scenario.
+
+    Draws a *persistent* per-server slowdown for roughly
+    ``persistent_fraction`` of the deployment (at least one server when
+    the fraction is positive) firing at ``at`` and standing for the
+    whole run, plus ``n_transient`` self-healing ``SLOWDOWN`` events
+    scattered over ``span`` seconds — the mix the straggler-aware
+    client dispatcher (``repro.straggler``) is evaluated against.
+    Everything is drawn from one ``random.Random(seed)``, so the same
+    seed always produces the same degradation story.
+    """
+    if n_servers <= 0:
+        raise ValueError("n_servers must be positive")
+    if not 0 <= persistent_fraction <= 1:
+        raise ValueError("persistent_fraction must lie in [0, 1]")
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    n_persistent = round(persistent_fraction * n_servers)
+    if persistent_fraction > 0:
+        n_persistent = max(1, n_persistent)
+    n_persistent = min(n_persistent, n_servers)
+    slow = rng.sample(range(n_servers), n_persistent)
+    for target in slow:
+        events.append(
+            FaultEvent(
+                at=at,
+                kind=FaultKind.SLOWDOWN,
+                target=target,
+                factor=round(rng.uniform(*persistent_factor_range), 3),
+            )
+        )
+    for _ in range(n_transient):
+        events.append(
+            FaultEvent(
+                at=round(rng.uniform(max(at, 0.1), max(at, 0.1) + span), 3),
+                kind=FaultKind.SLOWDOWN,
+                target=rng.randrange(n_servers),
+                factor=round(rng.uniform(*transient_factor_range), 3),
+                duration=round(rng.uniform(*transient_duration_range), 3),
+            )
+        )
+    return FaultSchedule(
+        name=f"stragglers-{seed}",
+        events=tuple(events),
+        retry=retry or RetryPolicy(timeout=30.0, max_retries=4),
+        horizon=horizon,
+    )
+
+
 def chaos(
     seed: int = 0,
     n_events: int = 6,
@@ -359,6 +463,8 @@ SCENARIOS: Dict[str, Callable[..., FaultSchedule]] = {
     "partition": partition,
     "kernel-stall": kernel_stall,
     "probe-loss": probe_loss,
+    "slowdown": slowdown,
+    "stragglers": stragglers,
     "chaos": chaos,
 }
 

@@ -19,6 +19,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     TimeWeightedGauge,
+    WindowedHistogram,
 )
 from repro.obs.export import (
     TRACE_SCHEMA,
@@ -42,6 +43,7 @@ __all__ = [
     "Gauge",
     "TimeWeightedGauge",
     "Histogram",
+    "WindowedHistogram",
     "MetricsRegistry",
     "chrome_trace",
     "write_chrome_trace",

@@ -21,6 +21,7 @@ __all__ = [
     "Gauge",
     "TimeWeightedGauge",
     "Histogram",
+    "WindowedHistogram",
     "MetricsRegistry",
 ]
 
@@ -125,6 +126,54 @@ class Histogram:
             "mean": self.mean(),
             "min": min(self.values),
             "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class WindowedHistogram:
+    """Percentiles over the last ``window`` observations only.
+
+    A bounded ring buffer, so long-lived online estimators (the
+    client-side per-server latency trackers) track the *recent*
+    distribution and forget a server's bad spell once it recovers,
+    at O(window) memory regardless of run length.
+    """
+
+    __slots__ = ("name", "window", "count", "_ring", "_next")
+
+    def __init__(self, name: str, window: int = 64) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.name = name
+        self.window = window
+        #: Total observations ever (not just those still in the window).
+        self.count = 0
+        self._ring: List[float] = []
+        self._next = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if len(self._ring) < self.window:
+            self._ring.append(value)
+        else:
+            self._ring[self._next] = value
+            self._next = (self._next + 1) % self.window
+
+    def __len__(self) -> int:
+        """Observations currently inside the window."""
+        return len(self._ring)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._ring, q)
+
+    def snapshot(self) -> Dict[str, float]:
+        if not self._ring:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "window": len(self._ring),
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),

@@ -182,13 +182,38 @@ class PVFSClient:
         server_idx = request.fh.layout.server_of(request.offset)
         return self.servers[server_idx % len(self.servers)]
 
+    def candidates_for(self, request: IORequest) -> List[int]:
+        """Global indices of every server able to serve this request.
+
+        The layout's replica chain (primary first), clipped to the
+        deployment — the candidate set a straggler-aware dispatcher
+        reorders.  Width-spanning requests hedge on the primary
+        stripe's replicas.
+        """
+        replicas = request.fh.layout.replicas_of(request.offset)
+        n = len(self.servers)
+        out: List[int] = []
+        for idx in replicas:
+            idx %= n
+            if idx not in out:
+                out.append(idx)
+        return out
+
     def submit(self, request: IORequest) -> IOServer:
         """Route one request to its stripe server and return the server.
 
         The retry machinery in the ASC submits pieces individually so
         it can attach its own timeout to each reply.
         """
-        server = self.server_for(request)
+        return self.submit_to(request, self.server_for(request))
+
+    def submit_to(self, request: IORequest, server: IOServer) -> IOServer:
+        """Route one request to an explicitly chosen (replica) server.
+
+        The straggler-aware dispatcher picks among
+        :meth:`candidates_for`; plain :meth:`submit` is the degenerate
+        layout-primary case.
+        """
         tr = self.env.tracer
         if tr.enabled:
             tr.instant(

@@ -52,6 +52,15 @@ class StripeLayout:
         to ``0..n_servers-1``.  Lets a narrow file (width 1 or 2) live
         on any subset of a larger deployment — PVFS's datafile
         handle list.
+    n_replicas:
+        How many servers can serve any given byte (1 = unreplicated).
+        Replica ``k`` of an offset whose primary is global server ``p``
+        lives on global server ``(p + k) % replica_span`` — chained
+        declustering over the deployment, so consecutive replicas land
+        on distinct nodes.
+    replica_span:
+        Deployment size the replica chain wraps over; defaults to
+        ``max(server_list) + 1``.
     """
 
     def __init__(
@@ -60,6 +69,8 @@ class StripeLayout:
         n_servers: int,
         first_server: int = 0,
         server_list=None,
+        n_replicas: int = 1,
+        replica_span: int | None = None,
     ) -> None:
         if stripe_size <= 0:
             raise ValueError(f"stripe_size must be positive, got {stripe_size}")
@@ -81,6 +92,17 @@ class StripeLayout:
                 )
             if any(s < 0 for s in self.server_list):
                 raise ValueError("server indices must be non-negative")
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        self.replica_span = (
+            max(self.server_list) + 1 if replica_span is None else int(replica_span)
+        )
+        if self.replica_span < 1:
+            raise ValueError("replica_span must be >= 1")
+        if max(self.server_list) >= self.replica_span:
+            raise ValueError("server_list exceeds replica_span")
+        # A chain longer than the deployment would wrap onto itself.
+        self.n_replicas = min(int(n_replicas), self.replica_span)
 
     def server_of(self, offset: int) -> int:
         """The global server index holding the byte at ``offset``."""
@@ -89,6 +111,22 @@ class StripeLayout:
         stripe_index = offset // self.stripe_size
         slot = (self.first_server + stripe_index) % self.n_servers
         return self.server_list[slot]
+
+    def replicas_of(self, offset: int) -> List[int]:
+        """Every global server able to serve ``offset``, primary first.
+
+        Replicas follow the chained-declustering rule documented on the
+        constructor; the list is deduplicated (a tiny deployment may
+        wrap) and ordered primary, then successive replicas — the
+        *candidate set* the straggler-aware dispatcher reorders.
+        """
+        primary = self.server_of(offset)
+        out: List[int] = []
+        for k in range(self.n_replicas):
+            server = (primary + k) % self.replica_span
+            if server not in out:
+                out.append(server)
+        return out
 
     def map_extent(self, offset: int, size: int) -> List[StripeExtent]:
         """Split ``[offset, offset+size)`` into per-server pieces.

@@ -45,6 +45,7 @@ class MetadataServer:
         seed: int = 0,
         meta: Optional[dict] = None,
         writable: bool = False,
+        n_replicas: int = 1,
     ) -> PVFSFile:
         """Create a file.
 
@@ -52,7 +53,9 @@ class MetadataServer:
         deterministic synthetic provider so kernels can still compute
         on it.  ``writable=True`` (without ``data``) materialises a
         zero-filled buffer so the file accepts writes — used for
-        kernel output files.
+        kernel output files.  ``n_replicas > 1`` declares each byte
+        servable by that many servers (chained over the whole
+        deployment) — the candidate set hedged reads choose from.
         """
         if name in self._files:
             raise PVFSError(f"file {name!r} already exists")
@@ -72,6 +75,8 @@ class MetadataServer:
             server_list=[
                 (first_server + j) % self.n_io_servers for j in range(width)
             ],
+            n_replicas=n_replicas,
+            replica_span=self.n_io_servers,
         )
         if data is not None:
             size = data.nbytes

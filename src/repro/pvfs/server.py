@@ -252,10 +252,17 @@ class IOServer:
         self.metrics.time_gauge("queue_length").set(0)
 
     def restart(self) -> None:
-        """Bring a crashed server back with an empty queue.  Idempotent."""
+        """Bring a crashed server back with an empty queue.  Idempotent.
+
+        A reboot also clears transient derates (a slowdown does not
+        survive power-cycling the box); a deliberate network partition
+        is outside the box and stays in force.
+        """
         if not self.down:
             return
         self.down = False
+        self.node.cpu.restore()
+        self.link.restore()
         self.metrics.inc("restarts")
         tr = self.env.tracer
         if tr.enabled:

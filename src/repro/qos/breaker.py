@@ -69,6 +69,21 @@ class CircuitBreaker:
             return True
         return False
 
+    def blocked(self, now: float) -> bool:
+        """Is this path routed around at ``now``?  Read-only.
+
+        Unlike :meth:`allow`, this never grants a half-open probe (no
+        state change), so candidate-set filtering in the straggler
+        dispatcher can consult every breaker without consuming probe
+        slots.  A cooled-down open breaker reads as *not* blocked —
+        the path is eligible again and the actual :meth:`allow` call
+        at submit time arbitrates the probe.
+        """
+        return (
+            self.state is BreakerState.OPEN
+            and now - self._opened_at < self.cooldown
+        )
+
     def on_success(self, now: float) -> None:
         """A request on this path completed — close and reset."""
         self.state = BreakerState.CLOSED

@@ -62,12 +62,19 @@ class SoakSpec:
     #: Fault density of the chaos schedule.
     n_fault_events: int = 4
     fault_span: float = 1.5
+    #: Arm the straggler-aware dispatcher (and replicated layouts) on
+    #: the protected DOSAS runs, so the soak exercises hedged reads
+    #: against crashes and verifies hedge conservation.
+    straggler: bool = True
+    n_replicas: int = 2
 
     def __post_init__(self) -> None:
         if self.scenario != "chaos":
             raise ValueError("the soak harness only knows the 'chaos' scenario")
         if not self.seeds:
             raise ValueError("need at least one seed")
+        if self.n_replicas < 1 or self.n_replicas > self.n_storage:
+            raise ValueError("n_replicas must lie in [1, n_storage]")
 
 
 def default_qos(spec: SoakSpec) -> QoSConfig:
@@ -136,6 +143,13 @@ def check_invariants(result: SchemeResult) -> List[str]:
             violations.append(
                 f"{name}: {outstanding} requests still outstanding at the end"
             )
+    # Hedge conservation: every issued hedge settles exactly once —
+    # either its clone won the race or it was wasted work.
+    if result.hedges_won + result.hedges_wasted != result.hedges_issued:
+        violations.append(
+            f"hedge conservation broken — issued {result.hedges_issued} != "
+            f"won {result.hedges_won} + wasted {result.hedges_wasted}"
+        )
     return violations
 
 
@@ -151,6 +165,9 @@ class SoakRun:
     served_active: int
     demoted: int
     qos_stats: Dict[str, Any]
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    hedges_wasted: int = 0
     violations: List[str] = field(default_factory=list)
     #: Non-empty when the run died (watchdog / RetryExhausted) — the
     #: degradation an unprotected retry storm is allowed to show.
@@ -213,6 +230,7 @@ def _run_one(
     schedule: FaultSchedule,
     qos: Optional[QoSConfig],
     retry: RetryPolicy,
+    straggler: bool = False,
 ) -> SoakRun:
     workload = WorkloadSpec(
         kernel=spec.kernel,
@@ -221,6 +239,8 @@ def _run_one(
         n_storage=spec.n_storage,
         storage_cores=spec.storage_cores,
         seed=seed,
+        straggler_scheduler=straggler,
+        n_replicas=spec.n_replicas if straggler else 1,
     )
     # Process-global id sequences restart so two soaks of the same seed
     # serialise byte-identically (rids leak into nothing the report
@@ -276,6 +296,9 @@ def _run_one(
         served_active=result.served_active,
         demoted=result.demoted,
         qos_stats=dict(result.qos_stats),
+        hedges_issued=result.hedges_issued,
+        hedges_won=result.hedges_won,
+        hedges_wasted=result.hedges_wasted,
         violations=violations,
     )
 
@@ -299,7 +322,15 @@ def run_soak(spec: SoakSpec) -> SoakReport:
         else:
             qos = None
             retry = unprotected_retry()
-        dosas = _run_one(Scheme.DOSAS, spec, seed, schedule, qos, retry)
+        dosas = _run_one(
+            Scheme.DOSAS,
+            spec,
+            seed,
+            schedule,
+            qos,
+            retry,
+            straggler=spec.straggler and spec.protected,
+        )
         plain = _run_one(
             Scheme.AS, spec, seed, schedule, None, schedule.retry
         )

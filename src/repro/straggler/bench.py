@@ -1,0 +1,117 @@
+"""The tail-latency bench: schemes × scheduler on/off under stragglers.
+
+``run_tail_bench`` drives one seeded straggler scenario (persistent
+slow servers plus transient slowdowns, see
+:func:`repro.faults.schedule.stragglers`) through every scheme twice —
+straggler-aware dispatch off, then on — and reports the per-request
+latency tail (p50/p95/p99/max) next to the hedge ledger.  The paper's
+DOSAS machinery answers *where to run the kernel*; this bench measures
+the orthogonal robustness question this repo adds on top: *where to
+send the bytes when a server limps*.
+
+The report is plain data with a deterministic JSON rendering (same
+seed ⇒ byte-identical text), so the CI smoke job can archive it and
+regressions diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.cluster.config import MB
+from repro.core.asc import RetryPolicy
+from repro.core.schemes import Scheme, WorkloadSpec, run_scheme
+from repro.faults.schedule import stragglers
+from repro.pvfs.client import reset_parent_ids
+from repro.pvfs.requests import reset_request_ids
+from repro.sim.monitor import percentile
+
+__all__ = ["TAIL_QUANTILES", "run_tail_bench", "tail_bench_json"]
+
+#: The latency quantiles every report row carries.
+TAIL_QUANTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+def _tail(latencies: Sequence[float]) -> Dict[str, float]:
+    if not latencies:
+        return {f"p{q:g}": 0.0 for q in TAIL_QUANTILES} | {"max": 0.0}
+    out = {f"p{q:g}": percentile(latencies, q) for q in TAIL_QUANTILES}
+    out["max"] = max(latencies)
+    return out
+
+
+def run_tail_bench(
+    seed: int,
+    schemes: Sequence[Scheme] = (Scheme.TS, Scheme.AS, Scheme.DOSAS),
+    n_requests: int = 32,
+    request_bytes: int = 32 * MB,
+    n_storage: int = 4,
+    arrival_spacing: float = 0.15,
+    n_replicas: int = 2,
+    n_transient: int = 2,
+    retry: Optional[RetryPolicy] = None,
+) -> Dict[str, Any]:
+    """One seed's tail-latency comparison, scheduler off vs on.
+
+    Every run shares the same fault schedule and workload shape; only
+    ``straggler_scheduler`` differs between the ``off`` and ``on``
+    rows, so the delta is attributable to dispatch policy alone.
+    """
+    if retry is None:
+        # Generous per-attempt timeout: the scheduler-off baseline must
+        # be allowed to *finish* on a badly derated server (its pain
+        # shows up in the tail), not die in RetryExhausted.
+        retry = RetryPolicy(timeout=20.0, max_retries=6)
+    results: Dict[str, Any] = {}
+    for scheme in schemes:
+        per_mode: Dict[str, Any] = {}
+        for label, on in (("off", False), ("on", True)):
+            # Rebased id sequences keep every run — and therefore the
+            # whole report — byte-identical for a given seed.
+            reset_request_ids()
+            reset_parent_ids()
+            spec = WorkloadSpec(
+                n_requests=n_requests,
+                request_bytes=request_bytes,
+                n_storage=n_storage,
+                arrival_spacing=arrival_spacing,
+                seed=seed,
+                straggler_scheduler=on,
+                n_replicas=n_replicas,
+            )
+            r = run_scheme(
+                scheme,
+                spec,
+                fault_schedule=stragglers(
+                    seed=seed, n_servers=n_storage, n_transient=n_transient
+                ),
+                retry_policy=retry,
+            )
+            per_mode[label] = {
+                "latency": _tail(r.per_request_latencies),
+                "makespan": r.makespan,
+                "retries": r.retries,
+                "hedges_issued": r.hedges_issued,
+                "hedges_won": r.hedges_won,
+                "hedges_wasted": r.hedges_wasted,
+            }
+        results[scheme.value] = per_mode
+    return {
+        "bench": "straggler_tail",
+        "seed": seed,
+        "workload": {
+            "n_requests": n_requests,
+            "request_mb": request_bytes // MB,
+            "n_storage": n_storage,
+            "arrival_spacing": arrival_spacing,
+            "n_replicas": n_replicas,
+            "n_transient": n_transient,
+        },
+        "schemes": results,
+    }
+
+
+def tail_bench_json(reports: Sequence[Dict[str, Any]]) -> str:
+    """Byte-stable rendering of one or more seeds' reports."""
+    return json.dumps(list(reports), sort_keys=True, indent=2)

@@ -1,0 +1,62 @@
+"""Tuning knobs for the straggler-aware client dispatcher."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StragglerConfig:
+    """Policy parameters for candidate scoring and hedging.
+
+    The defaults are deliberately conservative: hedge only after the
+    observed p95 (never sooner than ``hedge_delay_floor``), and cap
+    hedge volume at ``hedge_max_ratio`` of primary submissions so a
+    cold-start board cannot start a hedge storm.
+    """
+
+    #: EWMA smoothing factor for per-server latency scores, in (0, 1].
+    ewma_alpha: float = 0.3
+    #: Ring-buffer size of the recent-latency histograms.
+    window: int = 64
+    #: Observations required before quantiles are trusted; below this
+    #: the hedge delay stays at the floor.
+    min_samples: int = 8
+    #: Never hedge sooner than this many simulated seconds.
+    hedge_delay_floor: float = 0.5
+    #: The adaptive hedge delay is this percentile of recent latencies.
+    hedge_quantile: float = 95.0
+    #: Hedges issued may not exceed this fraction of primary submits.
+    hedge_max_ratio: float = 0.5
+    #: Maximum backup requests per attempt.
+    max_hedges: int = 1
+    #: Deadline pressure: when remaining slack falls below this many
+    #: multiples of the current hedge delay, abandon power-of-two
+    #: sampling and greedily pick the lowest-latency candidates.
+    deadline_slack_factor: float = 2.0
+    #: Reroute stickiness: a sampled alternative replaces the layout
+    #: primary only when ``alt_score × reroute_ratio < primary_score``.
+    #: Plain argmin routing flips on noise and un-balances NIC load
+    #: (the primary sits idle while the "better" server serves two
+    #: streams); demanding a clear gap keeps routing conservative.
+    reroute_ratio: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must lie in (0, 1]")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.hedge_delay_floor <= 0:
+            raise ValueError("hedge_delay_floor must be positive")
+        if not 0 < self.hedge_quantile <= 100:
+            raise ValueError("hedge_quantile must lie in (0, 100]")
+        if self.hedge_max_ratio < 0:
+            raise ValueError("hedge_max_ratio must be >= 0")
+        if self.max_hedges < 0:
+            raise ValueError("max_hedges must be >= 0")
+        if self.deadline_slack_factor < 0:
+            raise ValueError("deadline_slack_factor must be >= 0")
+        if self.reroute_ratio < 1:
+            raise ValueError("reroute_ratio must be >= 1")

@@ -1,0 +1,104 @@
+"""Dispatcher policy: candidate ordering, stickiness, hedge budget."""
+
+import pytest
+
+from repro.qos.breaker import BreakerBoard
+from repro.straggler import LatencyBoard, StragglerConfig, StragglerDispatcher
+
+
+def make_dispatcher(**cfg):
+    board = LatencyBoard(StragglerConfig(**cfg))
+    return StragglerDispatcher(board, seed=0)
+
+
+class TestOrder:
+    def test_cold_board_keeps_layout_order(self):
+        d = make_dispatcher()
+        assert d.order([2, 3, 0], now=0.0) == [2, 3, 0]
+
+    def test_empty_candidates_rejected(self):
+        d = make_dispatcher()
+        with pytest.raises(ValueError):
+            d.order([], now=0.0)
+
+    def test_single_candidate_passes_through(self):
+        d = make_dispatcher()
+        assert d.order([1], now=0.0) == [1]
+
+    def test_less_loaded_alternative_takes_over(self):
+        d = make_dispatcher()
+        d.board.note_submit(0)
+        assert d.order([0, 1], now=0.0) == [1, 0]
+        assert d.stats["p2c_picks"] == 1
+
+    def test_equal_load_needs_a_clear_latency_gap(self):
+        d = make_dispatcher(reroute_ratio=1.5)
+        d.board.observe(0, 1.0)
+        d.board.observe(1, 0.9)       # better, but not 1.5x better
+        assert d.order([0, 1], now=0.0)[0] == 0
+        d.board.observe(1, 0.1)       # now clearly better
+        assert d.order([0, 1], now=0.0)[0] == 1
+
+    def test_blocked_server_excluded(self):
+        d = make_dispatcher()
+        breakers = BreakerBoard(threshold=1, cooldown=10.0)
+        breakers.for_server(0).on_failure(0.0)
+        assert d.order([0, 1], now=0.5, breakers=breakers) == [1]
+
+    def test_all_blocked_falls_back_to_candidates(self):
+        d = make_dispatcher()
+        breakers = BreakerBoard(threshold=1, cooldown=10.0)
+        for s in (0, 1):
+            breakers.for_server(s).on_failure(0.0)
+        assert d.order([0, 1], now=0.5, breakers=breakers) == [0, 1]
+
+    def test_cooled_down_breaker_is_eligible_again(self):
+        d = make_dispatcher()
+        breakers = BreakerBoard(threshold=1, cooldown=0.1)
+        breakers.for_server(0).on_failure(0.0)
+        assert d.order([0, 1], now=5.0, breakers=breakers)[0] == 0
+
+    def test_deadline_pressure_goes_greedy(self):
+        d = make_dispatcher(hedge_delay_floor=1.0, deadline_slack_factor=2.0)
+        d.board.note_submit(0)
+        d.board.note_submit(0)
+        d.board.note_submit(1)
+        # Slack 1.5 < 2 x hedge delay 1.0: greedy least-loaded first,
+        # no p2c sampling.
+        got = d.order([0, 1, 2], now=0.0, deadline=1.5)
+        assert got == [2, 1, 0]
+        assert d.stats["deadline_overrides"] == 1
+        assert d.stats["p2c_picks"] == 0
+
+    def test_same_seed_same_decisions(self):
+        def decisions(seed):
+            board = LatencyBoard(StragglerConfig())
+            d = StragglerDispatcher(board, seed=seed)
+            board.observe(1, 5.0)
+            board.observe(2, 0.1)
+            return [d.order([0, 1, 2], now=0.0) for _ in range(16)]
+
+        assert decisions(7) == decisions(7)
+
+
+class TestHedgeBudget:
+    def test_budget_denies_beyond_ratio(self):
+        d = make_dispatcher(hedge_max_ratio=0.5)
+        for _ in range(4):
+            d.note_primary()
+        assert d.try_hedge() is True        # 0 < 2.0
+        assert d.try_hedge() is True        # 1 < 2.0
+        assert d.try_hedge() is False       # 2 == 2.0
+        assert d.stats["hedges_issued"] == 2
+        assert d.stats["hedges_denied_budget"] == 1
+
+    def test_zero_ratio_never_hedges(self):
+        d = make_dispatcher(hedge_max_ratio=0.0)
+        d.note_primary()
+        assert d.try_hedge() is False
+
+    def test_hedge_delay_tracks_the_board(self):
+        d = make_dispatcher(min_samples=1, hedge_delay_floor=0.5)
+        assert d.hedge_delay() == 0.5
+        d.observe(0, 4.0)
+        assert d.hedge_delay() == pytest.approx(4.0)

@@ -1,0 +1,108 @@
+"""The latency board: EWMA trackers, windowed quantiles, in-flight ledger."""
+
+import pytest
+
+from repro.obs.metrics import WindowedHistogram
+from repro.straggler import LatencyBoard, StragglerConfig
+
+
+class TestWindowedHistogram:
+    def test_empty_snapshot_and_len(self):
+        h = WindowedHistogram("t", 4)
+        assert len(h) == 0
+        assert h.snapshot() == {"count": 0}
+
+    def test_window_evicts_oldest(self):
+        h = WindowedHistogram("t", 3)
+        for v in (10.0, 20.0, 30.0, 40.0):
+            h.observe(v)
+        assert len(h) == 3
+        assert h.count == 4
+        # 10.0 fell out of the ring; the floor is now 20.0.
+        assert h.percentile(0) == 20.0
+        assert h.percentile(100) == 40.0
+
+    def test_snapshot_carries_quantiles(self):
+        h = WindowedHistogram("t", 8)
+        for v in range(1, 9):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 8
+        assert snap["window"] == 8
+        assert snap["p50"] == pytest.approx(4.5)
+        assert snap["p95"] <= snap["p99"] <= 8.0
+
+
+class TestLatencyBoard:
+    def test_first_observation_seeds_the_ewma(self):
+        board = LatencyBoard(StragglerConfig())
+        assert board.score(0) == 0.0
+        board.observe(0, 2.0)
+        assert board.score(0) == 2.0
+
+    def test_ewma_smooths_later_observations(self):
+        cfg = StragglerConfig(ewma_alpha=0.5)
+        board = LatencyBoard(cfg)
+        board.observe(3, 2.0)
+        board.observe(3, 4.0)
+        assert board.score(3) == pytest.approx(3.0)
+
+    def test_negative_latency_rejected(self):
+        board = LatencyBoard(StragglerConfig())
+        with pytest.raises(ValueError):
+            board.observe(0, -0.1)
+
+    def test_hedge_delay_floors_until_min_samples(self):
+        cfg = StragglerConfig(min_samples=4, hedge_delay_floor=0.5)
+        board = LatencyBoard(cfg)
+        for _ in range(3):
+            board.observe(0, 9.0)
+        assert board.hedge_delay() == 0.5
+        board.observe(0, 9.0)
+        assert board.hedge_delay() == pytest.approx(9.0)
+
+    def test_hedge_delay_never_below_floor(self):
+        cfg = StragglerConfig(min_samples=2, hedge_delay_floor=1.0)
+        board = LatencyBoard(cfg)
+        for _ in range(4):
+            board.observe(0, 0.01)
+        assert board.hedge_delay() == 1.0
+
+    def test_inflight_ledger(self):
+        board = LatencyBoard(StragglerConfig())
+        assert board.inflight_of(2) == 0
+        board.note_submit(2)
+        board.note_submit(2)
+        assert board.inflight_of(2) == 2
+        board.note_settle(2)
+        assert board.inflight_of(2) == 1
+
+    def test_settle_without_submit_rejected(self):
+        board = LatencyBoard(StragglerConfig())
+        with pytest.raises(ValueError):
+            board.note_settle(0)
+
+    def test_snapshot_is_deterministic(self):
+        board = LatencyBoard(StragglerConfig())
+        for server, latency in ((2, 1.0), (0, 2.0), (1, 3.0)):
+            board.observe(server, latency)
+        snap = board.snapshot()
+        assert list(snap["servers"]) == ["0", "1", "2"]
+        assert snap["overall"]["count"] == 3
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"ewma_alpha": 0.0},
+        {"window": 0},
+        {"min_samples": 0},
+        {"hedge_delay_floor": 0.0},
+        {"hedge_quantile": 0.0},
+        {"hedge_max_ratio": -0.1},
+        {"max_hedges": -1},
+        {"deadline_slack_factor": -1.0},
+        {"reroute_ratio": 0.9},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StragglerConfig(**kwargs)
