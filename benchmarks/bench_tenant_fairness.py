@@ -1,0 +1,96 @@
+"""Multi-tenant QoS — isolation and work conservation under contention.
+
+A gold tenant (70 MB/s guarantee, 2 s SLO, light demand) shares every
+server with a noisy tenant (20 MB/s guarantee, saturating demand).
+Three DOSAS runs per seed: per-tenant policing with decentralized
+token borrowing, the static partition (borrowing off), and an
+unpoliced FIFO baseline.  The headline gates: the noisy tenant cannot
+push the gold tenant below its SLO (isolation), and borrowing's
+aggregate goodput is at least the static partition's (work
+conservation).  Run directly (``python benchmarks/bench_tenant_fairness.py
+--seeds 1 2 --out FILE``) the bench becomes the CI smoke gate: exit 1
+if either gate fails on any seed, or if a repeated run of the same
+seed is not byte-identical.
+"""
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.qos.fairness import fairness_json, run_fairness_bench
+
+
+def bench_tenant_fairness(record):
+    def sweep():
+        return run_fairness_bench(seed=1)
+
+    report = record.once(sweep)
+    rows = []
+    for mode in ("borrowing", "static", "unpoliced"):
+        m = report["modes"][mode]
+        gold = m["tenants"]["per_tenant"]["gold"]
+        noisy = m["tenants"]["per_tenant"]["noisy"]
+        att = gold["slo_attainment"]
+        rows.append([
+            mode,
+            f"{m['makespan']:.2f}",
+            f"{m['goodput'] / 1e6:.1f}",
+            "-" if att is None else f"{att:.2f}",
+            f"{gold['latency_max']:.2f}",
+            f"{noisy['latency_max']:.2f}",
+            m["retries"],
+        ])
+    record.table(
+        "Tenant fairness (gold 70 MB/s + 2 s SLO vs saturating noisy)",
+        ["mode", "makespan", "goodput MB/s", "gold SLO att",
+         "gold max lat", "noisy max lat", "retries"],
+        rows,
+    )
+    record.values(
+        isolation=report["gates"]["isolation"],
+        work_conservation=report["gates"]["work_conservation"],
+        borrowing_goodput=report["modes"]["borrowing"]["goodput"],
+        static_goodput=report["modes"]["static"]["goodput"],
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CI smoke gate: isolation + work conservation + byte determinism."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the JSON report to FILE")
+    args = parser.parse_args(argv)
+    failures: List[str] = []
+    reports = []
+    for seed in args.seeds:
+        report = run_fairness_bench(seed=seed)
+        # The acceptance criterion is byte-identical reports per seed:
+        # render a second, fresh run and compare the serialized text.
+        if fairness_json([report]) != fairness_json([run_fairness_bench(seed=seed)]):
+            failures.append(f"seed {seed}: repeated run is not byte-identical")
+        reports.append(report)
+        gates = report["gates"]
+        borrow = report["modes"]["borrowing"]["goodput"]
+        static = report["modes"]["static"]["goodput"]
+        verdict = "ok" if all(gates.values()) else "FAIL"
+        print(
+            f"seed {seed}: isolation {gates['isolation']} "
+            f"work-conservation {gates['work_conservation']} "
+            f"(borrowing {borrow / 1e6:.1f} MB/s vs static "
+            f"{static / 1e6:.1f} MB/s)  {verdict}"
+        )
+        for gate, ok in gates.items():
+            if not ok:
+                failures.append(f"seed {seed}: {gate} gate failed")
+    text = fairness_json(reports)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -149,6 +149,46 @@ def _write_trace(path: str, tracers, out) -> None:
     print(f"wrote {n} span events to {path}", file=out)
 
 
+def _parse_tenants(specs: Sequence[str]):
+    """``NAME:REQUESTS[:RATE_MB[:SLO_S]]`` strings → TenantSpec tuple.
+
+    A missing rate leaves the tenant unpoliced (depth/intake checks
+    only); a missing SLO disables attainment accounting.
+    """
+    from repro.qos import TenantSpec
+
+    tenants = []
+    for text in specs:
+        parts = text.split(":")
+        if len(parts) not in (2, 3, 4):
+            raise ValueError(
+                f"tenant spec {text!r} is not NAME:REQUESTS[:RATE_MB[:SLO_S]]"
+            )
+        name, requests = parts[0], int(parts[1])
+        rate = float(parts[2]) * MB if len(parts) >= 3 else None
+        slo = float(parts[3]) if len(parts) == 4 else None
+        tenants.append(
+            TenantSpec(name=name, requests=requests, rate=rate, slo_latency=slo)
+        )
+    return tuple(tenants)
+
+
+def _tenant_rows(r) -> List[list]:
+    rows = []
+    for name, t in r.qos_stats["tenants"]["per_tenant"].items():
+        ledger = t.get("ledger", {})
+        att = t["slo_attainment"]
+        rows.append([
+            name, t["requests"], f"{t['goodput'] / MB:.1f}",
+            "-" if att is None else f"{att:.0%}",
+            f"{t['latency_max']:.2f}" if t["latency_max"] is not None else "-",
+            f"{ledger.get('borrowed_bytes', 0.0) / MB:.1f}",
+            f"{ledger.get('lent_bytes', 0.0) / MB:.1f}",
+            int(ledger.get("denied", 0)),
+        ])
+    return rows
+
+
 def cmd_run(args, out=None) -> int:
     """Run one custom workload point under all three schemes.
 
@@ -157,7 +197,10 @@ def cmd_run(args, out=None) -> int:
     fault metrics: goodput, retries, recovery latency, wasted work.
     With ``--trace FILE`` each scheme's run is recorded and the merged
     Chrome-trace export written to FILE (``--scheme`` restricts the
-    run to one scheme).
+    run to one scheme).  With ``--tenants`` the workload becomes a
+    multi-tenant mix, per-tenant policing with token borrowing is
+    armed (``--no-borrow`` pins the static partition) and a per-tenant
+    table follows each scheme's row.
     """
     out = out if out is not None else sys.stdout
     if args.kernel not in list_kernels():
@@ -168,6 +211,18 @@ def cmd_run(args, out=None) -> int:
         print("error: --replicas cannot exceed --storage-nodes",
               file=sys.stderr)
         return 2
+    tenants = ()
+    if getattr(args, "tenants", None):
+        if getattr(args, "faults", None):
+            print("error: --tenants and --faults cannot be combined "
+                  "(use 'repro soak --tenants' for tenants under faults)",
+                  file=sys.stderr)
+            return 2
+        try:
+            tenants = _parse_tenants(args.tenants)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
     spec = WorkloadSpec(
         kernel=args.kernel,
         n_requests=args.requests,
@@ -178,26 +233,55 @@ def cmd_run(args, out=None) -> int:
         kernel_slots=args.kernel_slots,
         straggler_scheduler=args.straggler,
         n_replicas=args.replicas,
+        tenants=tenants,
     )
     if getattr(args, "faults", None):
         return _run_with_faults(args, spec, out)
+    qos = retry = None
+    if tenants:
+        # Tenant-denied work recovers through the retry machinery, so
+        # policed runs always arm a patient policy and an effectively
+        # boundless budget — fairness, not fault tolerance, is shown.
+        from repro.core.asc import RetryPolicy
+        from repro.qos import QoSConfig
+
+        qos = QoSConfig(
+            max_queue_depth=8 * max(1, spec.total_requests // spec.n_storage),
+            breaker_threshold=10_000,
+            retry_budget=None,
+            tenant_borrow=not args.no_borrow,
+        )
+        retry = RetryPolicy(timeout=60.0, max_retries=24, backoff_base=0.25,
+                            backoff_factor=2.0, backoff_cap=2.0)
     schemes = [Scheme(args.scheme)] if getattr(args, "scheme", None) \
         else list(Scheme)
     trace_path = getattr(args, "trace", None)
     tracers = {}
     rows = []
+    tenant_tables = []
     for scheme in schemes:
         tracer = _fresh_tracer() if trace_path else None
-        r = run_scheme(scheme, spec, tracer=tracer)
+        r = run_scheme(scheme, spec, tracer=tracer, qos=qos,
+                       retry_policy=retry)
         if tracer is not None:
             tracers[scheme.value] = tracer
         rows.append([scheme.value, r.makespan, r.bandwidth / MB,
                      r.served_active, r.demoted, r.interrupted])
+        if tenants:
+            tenant_tables.append((scheme.value, _tenant_rows(r)))
     print(format_table(
         ["scheme", "makespan (s)", "bandwidth (MB/s)",
          "offloaded", "demoted", "migrated"],
         rows,
     ), file=out)
+    for scheme_name, t_rows in tenant_tables:
+        print(f"\ntenants under {scheme_name} "
+              f"(borrowing {'off' if args.no_borrow else 'on'}):", file=out)
+        print(format_table(
+            ["tenant", "requests", "goodput (MB/s)", "SLO att",
+             "max lat (s)", "borrowed (MB)", "lent (MB)", "denied"],
+            t_rows,
+        ), file=out)
     if trace_path:
         _write_trace(trace_path, tracers, out)
     return 0
@@ -489,6 +573,7 @@ def cmd_soak(args, out=None) -> int:
         protected=not args.unprotected,
         max_virtual_time=args.max_virtual_time,
         straggler=not args.no_straggler,
+        tenants=args.tenants,
     )
     report = run_soak(spec)
     if args.out:
@@ -552,6 +637,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="FILE",
                    help="record the run(s) and write a Chrome trace "
                         "export to FILE (open in chrome://tracing)")
+    p.add_argument("--tenants", nargs="+",
+                   metavar="NAME:REQUESTS[:RATE_MB[:SLO_S]]",
+                   help="multi-tenant mix: per-tenant demand (active "
+                        "reads per storage node), rate guarantee in "
+                        "MB/s per server, and SLO latency in seconds; "
+                        "replaces --requests and arms per-tenant "
+                        "policing with token borrowing")
+    p.add_argument("--no-borrow", action="store_true",
+                   help="with --tenants: static partition (disable the "
+                        "decentralized token borrowing)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep request counts")
@@ -593,6 +688,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-straggler", action="store_true",
                    help="keep the straggler dispatcher (and replicas) "
                         "off the protected DOSAS runs")
+    p.add_argument("--tenants", action="store_true",
+                   help="split the workload into the default two-tenant "
+                        "mix and assert the borrow-ledger conservation "
+                        "invariants on every run")
     p.add_argument("--max-virtual-time", type=float, default=120.0,
                    help="watchdog bound on each run's simulated seconds")
     p.add_argument("--json", action="store_true",

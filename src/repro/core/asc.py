@@ -361,7 +361,9 @@ class ActiveStorageClient:
         gave_up = ""
         for attempt in range(retry.max_retries + 1):
             if attempt > 0:
-                if self.retry_budget is not None and not self.retry_budget.try_acquire():
+                if self.retry_budget is not None and not self.retry_budget.try_acquire(
+                    self.env.now
+                ):
                     self.stats["retries_denied_budget"] += 1
                     gave_up = "retry budget exhausted"
                     break

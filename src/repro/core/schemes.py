@@ -35,7 +35,15 @@ from repro.pvfs.client import PVFSClient
 from repro.pvfs.filehandle import FileHandle
 from repro.pvfs.metadata import MetadataServer, PVFSError
 from repro.pvfs.server import IOServer
-from repro.qos import AdmissionController, BreakerBoard, QoSConfig, RetryBudget, TokenBucket
+from repro.qos import (
+    AdmissionController,
+    BreakerBoard,
+    QoSConfig,
+    RetryBudget,
+    TenantSpec,
+    TokenBucket,
+    interleave,
+)
 from repro.core.asc import ActiveStorageClient, RetryPolicy
 from repro.straggler import LatencyBoard, StragglerConfig, StragglerDispatcher
 
@@ -131,8 +139,27 @@ class WorkloadSpec:
     #: the spec through ``asdict``/``WorkloadSpec(**...)``).
     hedge_delay_floor: float = 0.5
     hedge_quantile: float = 95.0
+    #: Multi-tenant mix (see ``repro.qos.tenancy``): when non-empty,
+    #: each tenant issues ``requests`` active reads per storage node
+    #: (replacing the flat ``n_requests``) and carries its name on
+    #: every request so servers can police per-tenant guarantees.
+    #: Dicts are accepted (the cache round-trips the spec through
+    #: ``asdict``/``WorkloadSpec(**...)``) and normalized to
+    #: :class:`TenantSpec`.
+    tenants: Tuple[TenantSpec, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.tenants:
+            normalized = tuple(
+                t if isinstance(t, TenantSpec) else TenantSpec(**t)
+                for t in self.tenants
+            )
+            object.__setattr__(self, "tenants", normalized)
+            names = [t.name for t in normalized]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate tenant names in {names}")
+            if sum(t.requests for t in normalized) <= 0:
+                raise ValueError("tenant mix has no demand (all requests == 0)")
         if self.n_requests <= 0:
             raise ValueError("n_requests must be positive")
         if self.request_bytes <= 0:
@@ -165,6 +192,8 @@ class WorkloadSpec:
     @property
     def total_requests(self) -> int:
         """Requests across the whole machine."""
+        if self.tenants:
+            return sum(t.requests for t in self.tenants) * self.n_storage
         return self.n_requests * self.n_storage
 
     @property
@@ -344,17 +373,37 @@ def run_scheme(
         IOServer(
             env, sn, topo.link_for(sn), mds, config, server_index=i,
             admission=(
-                AdmissionController.from_config(qos, start=env.now)
+                AdmissionController.from_config(
+                    qos,
+                    start=env.now,
+                    tenants=spec.tenants,
+                    # Per-server stream so the ledger's peer-scan
+                    # permutation doesn't correlate across nodes.
+                    seed=seed * 1_000_003 + 7919 * i,
+                )
                 if qos is not None else None
             ),
         )
         for i, sn in enumerate(topo.storage_nodes)
     ]
     retry_budget = (
-        RetryBudget(qos.retry_budget)
+        RetryBudget(
+            qos.retry_budget,
+            replenish_rate=qos.retry_replenish_rate,
+            start=env.now,
+        )
         if qos is not None and qos.retry_budget is not None
         else None
     )
+
+    # Tenant identity per measured request: the per-node interleave
+    # (smooth weighted round-robin over each tenant's demand) repeats
+    # on every storage node, and request i lands on node i % n_storage,
+    # so position i // n_storage in the sequence names its tenant.
+    tenant_seq = interleave(spec.tenants) if spec.tenants else ()
+
+    def _tenant_of(i: int) -> Optional[str]:
+        return tenant_seq[i // spec.n_storage] if tenant_seq else None
 
     registry = default_registry
     kernel = registry.get(spec.kernel)
@@ -432,7 +481,7 @@ def run_scheme(
 
     def _make_asc(i: int) -> ActiveStorageClient:
         node = topo.compute_node(i)
-        client = PVFSClient(env, node, servers, mds)
+        client = PVFSClient(env, node, servers, mds, tenant=_tenant_of(i))
         asc = ActiveStorageClient(
             env,
             node,
@@ -612,6 +661,56 @@ def run_scheme(
         qos_stats["straggler"] = {
             **{k: dispatcher.stats[k] for k in sorted(dispatcher.stats)},
             "latency_board": dispatcher.board.snapshot(),
+        }
+
+    if spec.tenants:
+        # Per-tenant goodput / SLO attainment from the request-level
+        # latencies, plus the borrow/reclaim ledgers aggregated over
+        # every server.  Key order is sorted everywhere so the report
+        # serialises byte-identically per seed.
+        lat_by_tenant: Dict[str, List[float]] = {t.name: [] for t in spec.tenants}
+        for i, fin in enumerate(finish_times):
+            name = _tenant_of(i)
+            assert name is not None
+            lat_by_tenant[name].append(fin - spec.arrival_spacing * i)
+        ledger_totals: Dict[str, Dict[str, float]] = {}
+        for s in servers:
+            ledger = s.admission.tenants if s.admission is not None else None
+            if ledger is None:
+                continue
+            for name, counters in ledger.snapshot().items():
+                agg = ledger_totals.setdefault(
+                    name, {k: 0.0 for k in counters}
+                )
+                for key, value in counters.items():
+                    agg[key] += value
+        per_tenant: Dict[str, Any] = {}
+        for t in sorted(spec.tenants, key=lambda t: t.name):
+            lats = sorted(lat_by_tenant[t.name])
+            n_req = len(lats)
+            t_bytes = n_req * spec.request_bytes
+            entry: Dict[str, Any] = {
+                "requests": n_req,
+                "bytes": t_bytes,
+                "goodput": t_bytes / makespan if makespan > 0 else float("inf"),
+                "slo_latency": t.slo_latency,
+                "slo_attainment": (
+                    sum(1 for x in lats if x <= t.slo_latency) / n_req
+                    if t.slo_latency is not None and n_req
+                    else None
+                ),
+                "latency_mean": sum(lats) / n_req if n_req else None,
+                "latency_max": lats[-1] if n_req else None,
+            }
+            counters = ledger_totals.get(t.name)
+            if counters is not None:
+                entry["ledger"] = {k: counters[k] for k in sorted(counters)}
+            per_tenant[t.name] = entry
+        qos_stats["tenants"] = {
+            "borrow_enabled": (
+                bool(qos.tenant_borrow) if qos is not None else None
+            ),
+            "per_tenant": per_tenant,
         }
 
     return SchemeResult(

@@ -50,6 +50,7 @@ class PVFSClient:
         node: ComputeNode,
         servers: Sequence[IOServer],
         mds: MetadataServer,
+        tenant: Optional[str] = None,
     ) -> None:
         if not servers:
             raise PVFSError("a PVFS deployment needs at least one I/O server")
@@ -57,6 +58,9 @@ class PVFSClient:
         self.node = node
         self.servers = list(servers)
         self.mds = mds
+        #: Tenant identity stamped onto every request this client
+        #: fabricates, so servers can police per-tenant guarantees.
+        self.tenant = tenant
 
     # -- namespace -------------------------------------------------------------
     def open(self, name: str) -> FileHandle:
@@ -102,6 +106,7 @@ class PVFSClient:
                     submitted_at=self.env.now,
                     meta=dict(meta or {}),
                     resume_from=resume_from,
+                    tenant=self.tenant,
                     extents=tuple(
                         (p.logical_offset, p.length) for p in pieces
                     ),
@@ -255,6 +260,7 @@ class PVFSClient:
             meta=dict(request.meta),
             resume_from=resume_from if resume_from is not None else request.resume_from,
             deadline=request.deadline,
+            tenant=request.tenant,
             extents=request.extents,
         )
 

@@ -144,6 +144,10 @@ class IORequest:
         Absolute simulated time after which the work is worthless.
         Servers refuse expired arrivals and cancel expired queued work
         with ``DeadlineExceeded``; ``None`` means no deadline.
+    tenant:
+        Name of the tenant (job) this request belongs to, carried from
+        the workload through the ASC so servers can police per-tenant
+        rate guarantees; ``None`` means unpoliced.
     """
 
     rid: int
@@ -159,6 +163,7 @@ class IORequest:
     meta: dict = field(default_factory=dict)
     resume_from: Optional[KernelCheckpoint] = None
     deadline: Optional[float] = None
+    tenant: Optional[str] = None
     #: WRITE requests may carry real bytes (None in timing-only runs).
     payload: Optional[np.ndarray] = None
     #: The exact file pieces this request covers, as

@@ -136,14 +136,22 @@ class IOServer:
             return
         if self.admission is not None:
             verdict = self.admission.screen(
-                len(self.outstanding), request.is_active, request.size, now
+                len(self.outstanding),
+                request.is_active,
+                request.size,
+                now,
+                tenant=request.tenant,
             )
             if verdict is AdmissionDecision.REJECT and not request.is_active:
                 # DOSAS shedding order: demote queued active work to
                 # client-side execution before refusing a normal read.
                 if self.shed_queued_active(limit=1):
                     verdict = self.admission.screen(
-                        len(self.outstanding), request.is_active, request.size, now
+                        len(self.outstanding),
+                        request.is_active,
+                        request.size,
+                        now,
+                        tenant=request.tenant,
                     )
             if verdict is AdmissionDecision.SHED:
                 self._shed(request)
@@ -526,10 +534,25 @@ class IOServer:
         return n, k, total, active
 
     def queued_active_requests(self) -> list:
-        """Outstanding active requests, submission-ordered."""
+        """Outstanding active requests in shedding order.
+
+        Submission-ordered by default; with a tenant ledger attached,
+        requests from tenants living furthest beyond their guarantee
+        (outstanding borrowed debt, see
+        :meth:`repro.qos.tenancy.TenantLedger.over_quota`) sort first —
+        the multi-tenant refinement of the DOSAS shedding order: the
+        noisy tenant's active work is demoted before anyone else's.
+        """
+        ledger = self.admission.tenants if self.admission is not None else None
+        if ledger is None:
+            return sorted(
+                (r for r in self.outstanding.values() if r.is_active),
+                key=lambda r: (r.submitted_at, r.rid),
+            )
+        now = self.env.now
         return sorted(
             (r for r in self.outstanding.values() if r.is_active),
-            key=lambda r: (r.submitted_at, r.rid),
+            key=lambda r: (-ledger.over_quota(r.tenant, now), r.submitted_at, r.rid),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -21,7 +21,15 @@ and recoverable with four mechanisms, threaded through the stack by
     probe discovers recovery.
 ``RetryBudget`` (``repro.qos.budget``)
     A global token pool over ``RetryPolicy`` so the whole system's
-    retry volume is bounded — the anti-retry-storm brake.
+    retry volume is bounded — the anti-retry-storm brake.  Optionally
+    replenishes over simulated time so long soaks recover.
+``TenantSpec`` / ``TenantLedger`` (``repro.qos.tenancy``)
+    Multi-tenant QoS: per-(server, tenant) token buckets with SLO
+    targets and AdapTBF-style decentralized borrowing — an idle
+    tenant's unused refill is lent to busy peers at the same server
+    with bounded, seeded-deterministic reclaim.  Layers under the
+    admission controller and steers the DOSAS shedding order toward
+    the over-quota tenant's work.
 
 Deadline propagation rides on ``IORequest.deadline`` (see
 ``repro.pvfs``); servers cancel expired work with a ``DeadlineExceeded``
@@ -36,6 +44,7 @@ from repro.qos.admission import AdmissionController, AdmissionDecision
 from repro.qos.breaker import BreakerBoard, BreakerState, CircuitBreaker
 from repro.qos.budget import RetryBudget
 from repro.qos.config import QoSConfig
+from repro.qos.tenancy import TenantLedger, TenantSpec, interleave
 from repro.qos.tokens import TokenBucket
 
 __all__ = [
@@ -46,5 +55,8 @@ __all__ = [
     "CircuitBreaker",
     "QoSConfig",
     "RetryBudget",
+    "TenantLedger",
+    "TenantSpec",
     "TokenBucket",
+    "interleave",
 ]

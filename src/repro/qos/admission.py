@@ -16,9 +16,10 @@ tried to demote queued active work to free a slot.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.qos.config import QoSConfig
+from repro.qos.tenancy import TenantLedger, TenantSpec
 from repro.qos.tokens import TokenBucket
 
 
@@ -33,55 +34,106 @@ class AdmissionDecision(enum.Enum):
 
 
 class AdmissionController:
-    """Bounded queue depth plus optional token-bucket intake policing."""
+    """Bounded queue depth plus optional token-bucket intake policing.
 
-    __slots__ = ("max_queue_depth", "shed_active_first", "intake")
+    When a :class:`~repro.qos.tenancy.TenantLedger` is attached, a
+    third layer runs under depth and server-wide intake: the arriving
+    request's tenant must cover the bytes from its own guarantee (or
+    borrow from idle peers).  All three checks are probe-then-commit:
+    a denial at any layer burns tokens at none of them.
+    """
+
+    __slots__ = ("max_queue_depth", "shed_active_first", "intake", "tenants")
 
     def __init__(
         self,
         max_queue_depth: Optional[int] = 16,
         shed_active_first: bool = True,
         intake: Optional[TokenBucket] = None,
+        tenants: Optional[TenantLedger] = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
         self.max_queue_depth = max_queue_depth
         self.shed_active_first = shed_active_first
         self.intake = intake
+        self.tenants = tenants
 
     @classmethod
-    def from_config(cls, config: QoSConfig, start: float = 0.0) -> Optional["AdmissionController"]:
+    def from_config(
+        cls,
+        config: QoSConfig,
+        start: float = 0.0,
+        tenants: Sequence[TenantSpec] = (),
+        seed: int = 0,
+    ) -> Optional["AdmissionController"]:
         """Build a controller (or None when the config disables intake control).
 
-        Each server needs its own controller — the intake bucket holds
-        per-server state.
+        Each server needs its own controller — the intake bucket and
+        the tenant ledger hold per-server state; ``seed`` feeds the
+        ledger's deterministic peer-scan permutation and should differ
+        per server so lending pressure doesn't correlate across nodes.
         """
-        if config.max_queue_depth is None and config.intake_rate is None:
+        policed = [t for t in tenants if t.rate is not None]
+        if (
+            config.max_queue_depth is None
+            and config.intake_rate is None
+            and not policed
+        ):
             return None
         intake = (
             TokenBucket(config.intake_rate, config.intake_burst, start=start)
             if config.intake_rate is not None
             else None
         )
+        ledger = (
+            TenantLedger(
+                tenants,
+                start=start,
+                borrow=config.tenant_borrow,
+                lend_reserve=config.tenant_lend_reserve,
+                reclaim_fraction=config.tenant_reclaim_fraction,
+                seed=seed,
+            )
+            if policed
+            else None
+        )
         return cls(
             max_queue_depth=config.max_queue_depth,
             shed_active_first=config.shed_active_first,
             intake=intake,
+            tenants=ledger,
         )
 
     def screen(
-        self, queue_depth: int, is_active: bool, size: float, now: float
+        self,
+        queue_depth: int,
+        is_active: bool,
+        size: float,
+        now: float,
+        tenant: Optional[str] = None,
     ) -> AdmissionDecision:
-        """Decide one arrival.  Consumes intake tokens only on ACCEPT.
+        """Decide one arrival.  Consumes tokens (anywhere) only on ACCEPT.
 
-        Depth is checked before the bucket so a depth rejection never
-        burns tokens; the server may shed queued active work and screen
-        again, at which point both checks re-run.
+        Depth is checked first, then the server-wide intake bucket is
+        *probed*, then the tenant ledger decides, and only then does the
+        intake bucket commit — so a depth or tenant denial never burns
+        shared tokens and an intake denial never burns tenant tokens.
+        The server may shed queued active work and screen again, at
+        which point every check re-runs.
         """
         if self.max_queue_depth is not None and queue_depth >= self.max_queue_depth:
             return self._overflow(is_active)
-        if self.intake is not None and not self.intake.try_consume(size, now):
+        if self.intake is not None and not self.intake.would_admit(size, now):
             return self._overflow(is_active)
+        if self.tenants is not None and not self.tenants.try_consume(
+            tenant, size, now
+        ):
+            return self._overflow(is_active)
+        if self.intake is not None:
+            # Guaranteed to succeed: the probe above admitted it and
+            # nothing has touched the bucket since.
+            self.intake.try_consume(size, now)
         return AdmissionDecision.ACCEPT
 
     def _overflow(self, is_active: bool) -> AdmissionDecision:

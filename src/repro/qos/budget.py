@@ -6,6 +6,15 @@ failure (every client's pieces timing out at once) per-piece bounds
 multiply into a retry storm — the budget is the brake: once the pool
 is empty, further re-issues give up immediately instead of piling more
 load onto nodes that are already drowning.
+
+A budget may optionally *replenish* over simulated time
+(``replenish_rate`` tokens per second, ``now``-driven exactly like
+:class:`repro.qos.tokens.TokenBucket`, so it is deterministic given the
+call sequence).  Without replenishment a single storm permanently
+exhausts the pool and every later recovery in a long soak or
+service-mode run fails fast — replenishment turns the budget into a
+rate limit on *sustained* retry volume while keeping the burst bound.
+The pool never grows beyond its initial size.
 """
 
 from __future__ import annotations
@@ -14,20 +23,75 @@ from typing import Optional
 
 
 class RetryBudget:
-    """A finite pool of retry tokens (``None`` ⇒ unlimited)."""
+    """A finite pool of retry tokens (``None`` ⇒ unlimited).
 
-    __slots__ = ("tokens", "granted", "denied")
+    Parameters
+    ----------
+    tokens:
+        Initial pool size, which is also the cap replenishment can
+        never push the pool past.
+    replenish_rate:
+        Tokens returned to the pool per simulated second (``None``, the
+        default, preserves the historical never-replenish behavior).
+        Callers must then pass ``now`` to :meth:`try_acquire`.
+    start:
+        Simulated time of construction (replenishment baseline).
+    """
 
-    def __init__(self, tokens: Optional[int]) -> None:
+    __slots__ = ("tokens", "granted", "denied", "replenish_rate",
+                 "replenished", "_last", "_credit")
+
+    def __init__(
+        self,
+        tokens: Optional[int],
+        replenish_rate: Optional[float] = None,
+        start: float = 0.0,
+    ) -> None:
         if tokens is not None and tokens < 0:
             raise ValueError("tokens must be non-negative")
+        if replenish_rate is not None and replenish_rate <= 0:
+            raise ValueError("replenish_rate must be positive")
         self.tokens = tokens
+        self.replenish_rate = replenish_rate
         self.granted = 0
         self.denied = 0
+        #: Whole tokens returned to the pool so far.
+        self.replenished = 0
+        self._last = float(start)
+        #: Fractional replenishment carried between acquisitions.
+        self._credit = 0.0
 
-    def try_acquire(self) -> bool:
-        """Take one retry token; False when the pool is dry."""
-        if self.tokens is not None and self.granted >= self.tokens:
+    def _replenish(self, now: float) -> None:
+        if self.replenish_rate is None or self.tokens is None:
+            return
+        elapsed = now - self._last
+        self._last = max(self._last, now)
+        if elapsed <= 0:
+            return
+        self._credit += elapsed * self.replenish_rate
+        whole = int(self._credit)
+        if whole <= 0:
+            return
+        # The pool can recover only what was actually spent: available
+        # (= tokens - granted + replenished) never exceeds the initial
+        # pool size.
+        spent = self.granted - self.replenished
+        returned = min(whole, spent)
+        self.replenished += returned
+        self._credit -= whole
+
+    def try_acquire(self, now: Optional[float] = None) -> bool:
+        """Take one retry token; False when the pool is dry.
+
+        ``now`` drives time-based replenishment; omitting it skips the
+        replenish step (the historical fixed-pool behavior).
+        """
+        if now is not None:
+            self._replenish(now)
+        if (
+            self.tokens is not None
+            and self.granted - self.replenished >= self.tokens
+        ):
             self.denied += 1
             return False
         self.granted += 1
@@ -38,7 +102,7 @@ class RetryBudget:
         """Tokens left (None for an unlimited budget)."""
         if self.tokens is None:
             return None
-        return self.tokens - self.granted
+        return self.tokens - self.granted + self.replenished
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<RetryBudget granted={self.granted} remaining={self.remaining}>"

@@ -50,10 +50,31 @@ class QoSConfig:
         re-issue that finds the pool empty gives up immediately
         (``RetryExhausted``) instead of joining a retry storm.
         ``None`` leaves retries bounded only by the per-piece policy.
+    retry_replenish_rate:
+        Retry tokens returned to the pool per simulated second (never
+        past the pool's initial size), turning the budget into a bound
+        on *sustained* retry volume — without it one storm permanently
+        exhausts the pool and all later recovery in a long soak fails
+        fast.  ``None`` (default) keeps the historical fixed pool.
     deadline:
         Relative per-request deadline in simulated seconds.  Requests
         carry ``now + deadline`` absolute; servers cancel expired work
         and answer with ``DeadlineExceeded``.  ``None`` disables it.
+    tenant_borrow:
+        When the workload carries :class:`repro.qos.tenancy.TenantSpec`
+        tenants, True (default) arms decentralized token borrowing at
+        every server — an idle tenant's unused tokens are lent to busy
+        tenants, with bounded deterministic reclaim.  False keeps the
+        static partition (each tenant strictly inside its own
+        guarantee), the work-conservation baseline.
+    tenant_lend_reserve:
+        Fraction of its bucket capacity a lender always keeps for
+        itself (default 0.5), so lending never strips a tenant of its
+        whole burst.
+    tenant_reclaim_fraction:
+        Fraction of a borrower's refill redirected to repaying its
+        debt at each settlement (default 0.5) — bounds how hard reclaim
+        can stall the borrower.
     """
 
     max_queue_depth: Optional[int] = 16
@@ -65,7 +86,11 @@ class QoSConfig:
     breaker_threshold: int = 3
     breaker_cooldown: float = 1.0
     retry_budget: Optional[int] = 64
+    retry_replenish_rate: Optional[float] = None
     deadline: Optional[float] = None
+    tenant_borrow: bool = True
+    tenant_lend_reserve: float = 0.5
+    tenant_reclaim_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_queue_depth is not None and self.max_queue_depth < 1:
@@ -88,5 +113,15 @@ class QoSConfig:
             raise ValueError("breaker_cooldown must be positive")
         if self.retry_budget is not None and self.retry_budget < 0:
             raise ValueError("retry_budget must be non-negative")
+        if self.retry_replenish_rate is not None and self.retry_replenish_rate <= 0:
+            raise ValueError("retry_replenish_rate must be positive")
+        if self.retry_replenish_rate is not None and self.retry_budget is None:
+            # Same discipline as the burst/rate pairs: a dependent knob
+            # set without its base must raise, never silently no-op.
+            raise ValueError("retry_replenish_rate needs retry_budget")
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive")
+        if not 0.0 <= self.tenant_lend_reserve <= 1.0:
+            raise ValueError("tenant_lend_reserve must lie in [0, 1]")
+        if not 0.0 <= self.tenant_reclaim_fraction <= 1.0:
+            raise ValueError("tenant_reclaim_fraction must lie in [0, 1]")

@@ -1,0 +1,167 @@
+"""The tenant-fairness bench: isolation and work conservation, per seed.
+
+``run_fairness_bench`` drives one seeded two-tenant contention scenario
+— a *gold* tenant with a real rate guarantee, an SLO and light demand,
+against a *noisy* tenant with a small guarantee and saturating demand —
+through DOSAS three times:
+
+``borrowing``
+    Per-tenant policing with decentralized token borrowing armed (the
+    full ``repro.qos.tenancy`` protocol).
+``static``
+    The same guarantees with borrowing off — each tenant strictly
+    partitioned inside its own bucket, the work-conservation baseline.
+``unpoliced``
+    No per-tenant policing at all (tenants carry no rate), pinning what
+    raw FIFO contention does to the gold tenant — the contention the
+    policed modes exist to prevent.
+
+Two gates come out of the comparison, asserted by the CI smoke job and
+``benchmarks/bench_tenant_fairness.py``:
+
+- **isolation**: under borrowing, the noisy tenant cannot push the gold
+  tenant below its SLO (gold attainment stays 1.0);
+- **work conservation**: borrowing's aggregate goodput is at least the
+  static partition's — lending idle gold tokens to the noisy tenant
+  recovers the throughput strict partitioning wastes.
+
+The report is plain data with a deterministic JSON rendering (same
+seed ⇒ byte-identical text).  Like ``repro.qos.soak`` this module
+imports ``repro.core`` and is therefore *not* re-exported from
+``repro.qos``; reach it as ``repro.qos.fairness``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from repro.cluster.config import MB
+from repro.core.asc import RetryPolicy
+from repro.core.schemes import Scheme, WorkloadSpec, run_scheme
+from repro.pvfs.client import reset_parent_ids
+from repro.pvfs.requests import reset_request_ids
+from repro.qos.config import QoSConfig
+from repro.qos.tenancy import TenantSpec
+
+__all__ = ["run_fairness_bench", "fairness_json"]
+
+
+def _tenants(
+    gold_requests: int,
+    noisy_requests: int,
+    gold_rate: Optional[float],
+    noisy_rate: Optional[float],
+    gold_slo: float,
+) -> tuple:
+    return (
+        TenantSpec(
+            name="gold",
+            weight=2.0,
+            rate=gold_rate,
+            slo_latency=gold_slo,
+            requests=gold_requests,
+        ),
+        TenantSpec(name="noisy", rate=noisy_rate, requests=noisy_requests),
+    )
+
+
+def run_fairness_bench(
+    seed: int,
+    n_storage: int = 2,
+    request_bytes: int = 16 * MB,
+    gold_requests: int = 3,
+    noisy_requests: int = 16,
+    gold_rate: float = 70 * MB,
+    noisy_rate: float = 20 * MB,
+    gold_slo: float = 2.0,
+    max_virtual_time: float = 600.0,
+    retry: Optional[RetryPolicy] = None,
+) -> Dict[str, Any]:
+    """One seed's fairness comparison: borrowing vs static vs unpoliced.
+
+    The guarantees deliberately under-subscribe the 118 MB/s NIC
+    (gold 70 + noisy 20 = 90 MB/s) while the *demand* oversubscribes it:
+    the noisy tenant's backlog can only drain quickly by borrowing the
+    idle share of gold's guarantee.  Tenant-denied work recovers through
+    the retry machinery, so every mode runs with a patient retry policy
+    (bench-long timeouts, many attempts) and breakers effectively off —
+    fairness, not fault tolerance, is what's being measured.
+    """
+    if retry is None:
+        retry = RetryPolicy(
+            timeout=60.0, max_retries=24, backoff_base=0.25,
+            backoff_factor=2.0, backoff_cap=2.0,
+        )
+
+    def _qos(borrow: bool) -> QoSConfig:
+        return QoSConfig(
+            # Deep enough that queue-depth shedding never fires: only
+            # the tenant ledger polices, so the gates measure it alone.
+            max_queue_depth=8 * (gold_requests + noisy_requests),
+            breaker_threshold=10_000,
+            retry_budget=None,
+            tenant_borrow=borrow,
+        )
+
+    modes: Dict[str, Any] = {}
+    for label, rates, qos in (
+        ("borrowing", (gold_rate, noisy_rate), _qos(borrow=True)),
+        ("static", (gold_rate, noisy_rate), _qos(borrow=False)),
+        ("unpoliced", (None, None), _qos(borrow=True)),
+    ):
+        # Rebased id sequences keep every run — and therefore the whole
+        # report — byte-identical for a given seed.
+        reset_request_ids()
+        reset_parent_ids()
+        spec = WorkloadSpec(
+            request_bytes=request_bytes,
+            n_storage=n_storage,
+            seed=seed,
+            tenants=_tenants(
+                gold_requests, noisy_requests, rates[0], rates[1], gold_slo
+            ),
+        )
+        r = run_scheme(
+            Scheme.DOSAS,
+            spec,
+            retry_policy=retry,
+            max_virtual_time=max_virtual_time,
+            qos=qos,
+        )
+        modes[label] = {
+            "makespan": r.makespan,
+            "goodput": r.goodput,
+            "retries": r.retries,
+            "tenants": r.qos_stats["tenants"],
+        }
+
+    gold_attainment = modes["borrowing"]["tenants"]["per_tenant"]["gold"][
+        "slo_attainment"
+    ]
+    gates = {
+        "isolation": bool(gold_attainment is not None and gold_attainment >= 1.0),
+        "work_conservation": bool(
+            modes["borrowing"]["goodput"] >= modes["static"]["goodput"]
+        ),
+    }
+    return {
+        "bench": "tenant_fairness",
+        "seed": seed,
+        "workload": {
+            "n_storage": n_storage,
+            "request_mb": request_bytes // MB,
+            "gold_requests": gold_requests,
+            "noisy_requests": noisy_requests,
+            "gold_rate_mb": gold_rate / MB,
+            "noisy_rate_mb": noisy_rate / MB,
+            "gold_slo": gold_slo,
+        },
+        "modes": modes,
+        "gates": gates,
+    }
+
+
+def fairness_json(reports: Sequence[Dict[str, Any]]) -> str:
+    """Byte-stable rendering of one or more seeds' reports."""
+    return json.dumps(list(reports), sort_keys=True, indent=2)

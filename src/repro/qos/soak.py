@@ -36,6 +36,7 @@ from repro.pvfs.client import reset_parent_ids
 from repro.pvfs.metadata import PVFSError
 from repro.pvfs.requests import reset_request_ids
 from repro.qos.config import QoSConfig
+from repro.qos.tenancy import TenantSpec
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,13 @@ class SoakSpec:
     #: against crashes and verifies hedge conservation.
     straggler: bool = True
     n_replicas: int = 2
+    #: Split the workload into a two-tenant mix (gold with a rate
+    #: guarantee + SLO, noisy with a small guarantee and the bulk of
+    #: the demand) so the soak exercises per-tenant policing and token
+    #: borrowing under faults; the ledger conservation invariants
+    #: (borrowed == reclaimed + outstanding, borrowed total == lent
+    #: total) are then asserted per run.
+    tenants: bool = False
 
     def __post_init__(self) -> None:
         if self.scenario != "chaos":
@@ -90,7 +98,38 @@ def default_qos(spec: SoakSpec) -> QoSConfig:
         breaker_threshold=3,
         breaker_cooldown=0.3,
         retry_budget=8 * spec.n_requests * spec.n_storage,
+        # Tenant soaks retry through per-tenant denials on top of the
+        # fault recovery, so the budget replenishes over simulated time
+        # (bounding sustained retry volume instead of total volume).
+        retry_replenish_rate=4.0 if spec.tenants else None,
         deadline=spec.max_virtual_time / 2,
+    )
+
+
+def tenant_mix(spec: SoakSpec) -> Tuple[TenantSpec, ...]:
+    """The soak's default two-tenant mix (same total demand per node).
+
+    Bursts cover two whole requests so arrivals are policed by *rate*,
+    not permanently by the oversize rule; the guarantees still
+    undersubscribe the NIC, so the noisy tenant's backlog needs
+    borrowed gold tokens to drain quickly.
+    """
+    gold = max(1, spec.n_requests // 3)
+    return (
+        TenantSpec(
+            name="gold",
+            weight=2.0,
+            rate=80 * MB,
+            burst=2.0 * spec.request_bytes,
+            slo_latency=spec.max_virtual_time / 4,
+            requests=gold,
+        ),
+        TenantSpec(
+            name="noisy",
+            rate=30 * MB,
+            burst=2.0 * spec.request_bytes,
+            requests=spec.n_requests - gold,
+        ),
     )
 
 
@@ -150,6 +189,33 @@ def check_invariants(result: SchemeResult) -> List[str]:
             f"hedge conservation broken — issued {result.hedges_issued} != "
             f"won {result.hedges_won} + wasted {result.hedges_wasted}"
         )
+    # Borrow-ledger conservation (tenant runs): every borrowed token is
+    # either repaid or still owed, and lenders gave exactly what
+    # borrowers took.  Tolerance is one byte — the ledger works in
+    # floats and forgives sub-1e-12 residues when closing a debt.
+    tenants = result.qos_stats.get("tenants")
+    if tenants:
+        total_borrowed = total_lent = 0.0
+        for name, t in tenants["per_tenant"].items():
+            ledger = t.get("ledger")
+            if ledger is None:
+                continue
+            borrowed = ledger["borrowed_bytes"]
+            reclaimed = ledger["reclaimed_bytes"]
+            outstanding = ledger["debt_outstanding"]
+            if abs(borrowed - (reclaimed + outstanding)) > 1.0:
+                violations.append(
+                    f"tenant {name}: borrow ledger broken — borrowed "
+                    f"{borrowed:.0f} != reclaimed {reclaimed:.0f} + "
+                    f"outstanding {outstanding:.0f}"
+                )
+            total_borrowed += borrowed
+            total_lent += ledger["lent_bytes"]
+        if abs(total_borrowed - total_lent) > 1.0:
+            violations.append(
+                f"borrow/lend mismatch — tenants borrowed "
+                f"{total_borrowed:.0f} but peers lent {total_lent:.0f}"
+            )
     return violations
 
 
@@ -241,6 +307,9 @@ def _run_one(
         seed=seed,
         straggler_scheduler=straggler,
         n_replicas=spec.n_replicas if straggler else 1,
+        # The mix keeps total demand per node equal to n_requests, so
+        # tenant soaks stress the machine exactly as hard as flat ones.
+        tenants=tenant_mix(spec) if spec.tenants else (),
     )
     # Process-global id sequences restart so two soaks of the same seed
     # serialise byte-identically (rids leak into nothing the report

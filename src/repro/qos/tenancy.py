@@ -1,0 +1,396 @@
+"""Per-tenant QoS: SLOs, rate guarantees, and decentralized borrowing.
+
+DOSAS demotes active requests to protect shared servers, but a single
+static intake bucket per server polices every *job* together — one
+noisy tenant can starve every other tenant while staying inside the
+server-wide rate.  This module generalizes the QoS layer to
+multi-tenant workloads:
+
+:class:`TenantSpec`
+    One tenant's contract — an SLO latency target, a fairness weight,
+    a per-server rate guarantee (with burst) and an optional hard
+    ceiling — plus the tenant's workload demand.  Specs ride on
+    ``WorkloadSpec.tenants`` and every ``IORequest`` carries its
+    tenant's name from workload → ASC → PVFS server.
+:class:`TenantLedger`
+    One server's per-tenant token buckets with AdapTBF-style
+    *decentralized borrowing*: when a tenant's own bucket cannot cover
+    a request, idle peers at the same server lend their surplus (above
+    a configurable reserve), the loan is recorded as debt, and a
+    bounded share of the borrower's future refill repays the lenders —
+    no coordinator, no cross-server traffic, deterministic given the
+    call sequence and the ledger's seed (which only permutes the
+    peer-scan order so lending pressure doesn't always fall on the
+    same tenant).
+
+Pure policy, like ``repro.qos.admission``: the ledger sees tenant
+names, sizes and times, never a request object — which keeps the
+qos ↔ pvfs dependency acyclic.  ``AdmissionController`` layers the
+ledger *under* its depth and server-wide intake checks, and
+``IOServer.shed_queued_active`` consults :meth:`TenantLedger.over_quota`
+so the DOSAS shedding order demotes the over-quota tenant's active
+work first.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.qos.tokens import TokenBucket
+
+__all__ = ["TenantSpec", "TenantLedger", "interleave"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's QoS contract and workload demand.
+
+    Attributes
+    ----------
+    name:
+        Tenant identity, carried on every request the tenant issues.
+    weight:
+        Relative fairness weight; drives the deterministic interleave
+        of tenant arrivals and is the tie-break share for future
+        weighted policies.
+    rate:
+        Guaranteed token refill in bytes per simulated second *per
+        server*.  ``None`` leaves the tenant unpoliced (admitted by
+        depth/intake checks only, neither lending nor borrowing).
+    burst:
+        Bucket capacity in bytes (default: one second of ``rate``).
+        Requires ``rate`` — a burst without a rate would silently
+        no-op, so it raises instead.
+    ceiling:
+        Hard cap on the tenant's consumption rate *including borrowed
+        tokens* (bytes/s per server); ``None`` lets borrowing extend
+        the tenant up to whatever peers can lend.
+    ceiling_burst:
+        Burst of the ceiling bucket (default: one second of
+        ``ceiling``).  Requires ``ceiling``.
+    slo_latency:
+        Per-request latency target in simulated seconds; attainment
+        (fraction of the tenant's requests finishing within it) is
+        reported per run.  ``None`` disables attainment accounting.
+    requests:
+        Workload demand: active reads this tenant issues per storage
+        node per run.
+    """
+
+    name: str
+    weight: float = 1.0
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    ceiling: Optional[float] = None
+    ceiling_burst: Optional[float] = None
+    slo_latency: Optional[float] = None
+    requests: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.burst is not None and self.burst <= 0:
+            raise ValueError("burst must be positive")
+        if self.burst is not None and self.rate is None:
+            raise ValueError("burst needs rate")
+        if self.ceiling is not None and self.ceiling <= 0:
+            raise ValueError("ceiling must be positive")
+        if self.ceiling_burst is not None and self.ceiling_burst <= 0:
+            raise ValueError("ceiling_burst must be positive")
+        if self.ceiling_burst is not None and self.ceiling is None:
+            raise ValueError("ceiling_burst needs ceiling")
+        if self.ceiling is not None and self.rate is not None \
+                and self.ceiling < self.rate:
+            raise ValueError("ceiling must be at least the guaranteed rate")
+        if self.ceiling is not None and self.rate is None:
+            raise ValueError("ceiling needs rate")
+        if self.slo_latency is not None and self.slo_latency <= 0:
+            raise ValueError("slo_latency must be positive")
+        if self.requests < 0:
+            raise ValueError("requests must be non-negative")
+
+
+def interleave(tenants: Sequence[TenantSpec]) -> Tuple[str, ...]:
+    """Per-storage-node tenant sequence, smooth-weighted by demand.
+
+    Deterministic smooth weighted round-robin over each tenant's
+    ``requests`` count: every tenant appears exactly ``requests``
+    times, spread as evenly as possible, so tenant arrivals genuinely
+    contend instead of running in sequential phases.  Ties break by
+    spec order.
+    """
+    demands = [(t.name, t.requests) for t in tenants if t.requests > 0]
+    if not demands:
+        return ()
+    total = sum(d for _, d in demands)
+    credit = {name: 0.0 for name, _ in demands}
+    left = {name: d for name, d in demands}
+    out: List[str] = []
+    for _ in range(total):
+        for name, d in demands:
+            if left[name] > 0:
+                credit[name] += d
+        pick = max(
+            (name for name, _ in demands if left[name] > 0),
+            key=lambda n: credit[n],
+        )
+        credit[pick] -= total
+        left[pick] -= 1
+        out.append(pick)
+    return tuple(out)
+
+
+@dataclass
+class _TenantState:
+    """One policed tenant's buckets and counters at one server."""
+
+    spec: TenantSpec
+    bucket: TokenBucket
+    ceiling: Optional[TokenBucket]
+    granted: int = 0
+    granted_bytes: float = 0.0
+    denied: int = 0
+    borrowed_bytes: float = 0.0
+    lent_bytes: float = 0.0
+    reclaimed_bytes: float = 0.0
+    #: Outstanding debt to each lender (tokens owed, by lender name).
+    debts: Dict[str, float] = field(default_factory=dict)
+    #: Refill baseline for bounded reclaim.
+    last_settle: float = 0.0
+
+    @property
+    def debt(self) -> float:
+        """Total tokens this tenant still owes its peers."""
+        return sum(self.debts.values())
+
+
+class TenantLedger:
+    """Per-server, per-tenant token buckets with decentralized borrowing.
+
+    The borrowing protocol, per :meth:`try_consume` call:
+
+    1. *Settle*: each indebted tenant repays lenders out of a bounded
+       share (``reclaim_fraction``) of the refill it earned since its
+       last settlement — repayment can slow a borrower, never stall it.
+    2. *Ceiling*: a tenant with a ceiling bucket must cover the request
+       there too — borrowed or not, it cannot exceed its cap.
+    3. *Own bucket*: covered requests (including the oversize rule —
+       a request larger than the whole bucket is admitted when the
+       bucket is full, driving it into debt) consume locally.
+    4. *Borrow*: otherwise the deficit is taken from peers' surplus
+       above their ``lend_reserve``, scanned in a seeded-deterministic
+       order, and recorded as debt.  If peers cannot cover the whole
+       deficit, nothing is consumed anywhere and the request is denied
+       (shed or rejected by the admission controller above).
+
+    All mutation happens in commit steps that follow side-effect-free
+    probes (:meth:`TokenBucket.would_admit` / ``available``), so a
+    denial burns no tokens anywhere — the invariant the admission
+    controller's depth check already pins.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        start: float = 0.0,
+        borrow: bool = True,
+        lend_reserve: float = 0.5,
+        reclaim_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= lend_reserve <= 1.0:
+            raise ValueError("lend_reserve must lie in [0, 1]")
+        if not 0.0 <= reclaim_fraction <= 1.0:
+            raise ValueError("reclaim_fraction must lie in [0, 1]")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        self.borrow = borrow
+        self.lend_reserve = lend_reserve
+        self.reclaim_fraction = reclaim_fraction
+        self._states: Dict[str, _TenantState] = {}
+        for t in tenants:
+            if t.rate is None:
+                continue
+            ceiling = (
+                TokenBucket(t.ceiling, t.ceiling_burst, start=start)
+                if t.ceiling is not None
+                else None
+            )
+            self._states[t.name] = _TenantState(
+                spec=t,
+                bucket=TokenBucket(t.rate, t.burst, start=start),
+                ceiling=ceiling,
+                last_settle=start,
+            )
+        #: Requests admitted without per-tenant policing (no tenant
+        #: label, or a tenant with no rate guarantee).
+        self.unpoliced = 0
+        # The seed only permutes peer-scan order (lending and
+        # repayment), so structural bias — always draining the same
+        # peer first — is broken deterministically.
+        rng = random.Random(seed)
+        self._scan_order: List[str] = sorted(self._states)
+        rng.shuffle(self._scan_order)
+
+    # -- the decision ---------------------------------------------------------
+    def try_consume(self, tenant: Optional[str], size: float, now: float) -> bool:
+        """Grant or deny ``size`` bytes for ``tenant`` at ``now``.
+
+        Unknown or unpoliced tenants are granted (the server-wide depth
+        and intake checks still apply above this ledger).
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._settle(now)
+        state = self._states.get(tenant) if tenant is not None else None
+        if state is None:
+            self.unpoliced += 1
+            return True
+        if state.ceiling is not None and not state.ceiling.would_admit(size, now):
+            state.denied += 1
+            return False
+        if state.bucket.would_admit(size, now):
+            state.bucket.try_consume(size, now)
+            if state.ceiling is not None:
+                state.ceiling.try_consume(size, now)
+            self._grant(state, size)
+            return True
+        if not self.borrow:
+            state.denied += 1
+            return False
+        own = max(0.0, state.bucket.available(now))
+        deficit = size - own
+        plan = self._borrow_plan(state, deficit, now)
+        if plan is None:
+            state.denied += 1
+            return False
+        # Commit: drain own balance to zero, then take the planned
+        # share from each lender and record the debt.
+        state.bucket.drain(own, now)
+        for lender_name, share in plan:
+            lender = self._states[lender_name]
+            lender.bucket.drain(share, now)
+            lender.lent_bytes += share
+            state.debts[lender_name] = state.debts.get(lender_name, 0.0) + share
+        state.borrowed_bytes += deficit
+        if state.ceiling is not None:
+            state.ceiling.try_consume(size, now)
+        self._grant(state, size)
+        return True
+
+    def _grant(self, state: _TenantState, size: float) -> None:
+        state.granted += 1
+        state.granted_bytes += size
+
+    def _borrow_plan(
+        self, borrower: _TenantState, deficit: float, now: float
+    ) -> Optional[List[Tuple[str, float]]]:
+        """How to cover ``deficit`` from peers, or None if they can't.
+
+        Side-effect-free: only probes peer balances.  Lenders are
+        scanned in the ledger's seeded order; each lends its surplus
+        above ``lend_reserve`` of its capacity.
+        """
+        plan: List[Tuple[str, float]] = []
+        remaining = deficit
+        for name in self._scan_order:
+            if remaining <= 0:
+                break
+            if name == borrower.spec.name:
+                continue
+            peer = self._states[name]
+            reserve = self.lend_reserve * peer.bucket.capacity
+            surplus = peer.bucket.available(now) - reserve
+            if surplus <= 0:
+                continue
+            share = min(surplus, remaining)
+            plan.append((name, share))
+            remaining -= share
+        if remaining > 1e-9:
+            return None
+        return plan
+
+    # -- repayment ------------------------------------------------------------
+    def _settle(self, now: float) -> None:
+        """Bounded debt repayment out of each borrower's refill.
+
+        Per borrower: at most ``reclaim_fraction`` of the refill earned
+        since its last settlement (and never more than its positive
+        balance) moves back to lenders, scanned in the seeded order.
+        A lender absorbs repayment only up to its bucket headroom, so
+        the ledger identity ``borrowed == reclaimed + outstanding``
+        stays exact.
+        """
+        for name in self._scan_order:
+            state = self._states[name]
+            elapsed = now - state.last_settle
+            if elapsed <= 0:
+                continue
+            state.last_settle = now
+            if not state.debts:
+                continue
+            budget = min(
+                self.reclaim_fraction * state.bucket.rate * elapsed,
+                max(0.0, state.bucket.available(now)),
+                state.debt,
+            )
+            if budget <= 0:
+                continue
+            for lender_name in self._scan_order:
+                owed = state.debts.get(lender_name, 0.0)
+                if owed <= 0 or budget <= 0:
+                    continue
+                offer = min(owed, budget)
+                lender = self._states[lender_name]
+                accepted = lender.bucket.credit(offer, now)
+                if accepted <= 0:
+                    continue
+                state.bucket.drain(accepted, now)
+                state.debts[lender_name] = owed - accepted
+                if state.debts[lender_name] <= 1e-12:
+                    del state.debts[lender_name]
+                state.reclaimed_bytes += accepted
+                budget -= accepted
+
+    # -- introspection --------------------------------------------------------
+    def over_quota(self, tenant: Optional[str], now: float) -> float:
+        """How far ``tenant`` is living beyond its guarantee at ``now``.
+
+        Outstanding borrowed debt plus any negative own balance; 0 for
+        a tenant inside its guarantee (or an unpoliced one).  The
+        server's shedding path sorts queued active work by this, so
+        DOSAS demotion hits the over-quota tenant's requests first.
+        """
+        state = self._states.get(tenant) if tenant is not None else None
+        if state is None:
+            return 0.0
+        return state.debt + max(0.0, -state.bucket.available(now))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Deterministic per-tenant counters (sorted by tenant name)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._states):
+            s = self._states[name]
+            out[name] = {
+                "granted": s.granted,
+                "granted_bytes": s.granted_bytes,
+                "denied": s.denied,
+                "borrowed_bytes": s.borrowed_bytes,
+                "lent_bytes": s.lent_bytes,
+                "reclaimed_bytes": s.reclaimed_bytes,
+                "debt_outstanding": s.debt,
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TenantLedger tenants={sorted(self._states)} "
+            f"borrow={self.borrow}>"
+        )

@@ -45,10 +45,41 @@ class TokenBucket:
             self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
         self._last = max(self._last, now)
 
+    def _projected(self, now: float) -> float:
+        """The balance ``_refill(now)`` would produce, without mutating.
+
+        Probes must be side-effect-free: advancing ``_last`` on every
+        read would split one refill interval into float-rounded pieces,
+        so the *frequency* of probes could flip a later ``try_consume``
+        in the last ulp — a byte-determinism hazard once borrowing
+        peers poll each other's buckets.
+        """
+        elapsed = now - self._last
+        if elapsed <= 0:
+            return self._tokens
+        return min(self.capacity, self._tokens + elapsed * self.rate)
+
     def available(self, now: float) -> float:
-        """Tokens available at ``now`` (may be negative under debt)."""
-        self._refill(now)
-        return self._tokens
+        """Tokens available at ``now`` (may be negative under debt).
+
+        A pure read: the bucket's stored state is untouched, so any
+        number of interleaved probes leaves later consume decisions
+        bit-for-bit identical.
+        """
+        return self._projected(now)
+
+    def would_admit(self, amount: float, now: float) -> bool:
+        """Side-effect-free preview of :meth:`try_consume`'s verdict.
+
+        Exactly the same predicate (including the oversize rule) over
+        the projected balance, so callers can compose several buckets
+        — probe all, then commit — without burning tokens on a branch
+        that another bucket vetoes.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        tokens = self._projected(now)
+        return amount <= tokens or (amount > self.capacity and tokens >= self.capacity)
 
     def try_consume(self, amount: float, now: float) -> bool:
         """Take ``amount`` tokens if covered; False leaves the bucket alone.
@@ -67,6 +98,35 @@ class TokenBucket:
             self._tokens -= amount
             return True
         return False
+
+    def drain(self, amount: float, now: float) -> float:
+        """Withdraw up to ``amount`` of the *positive* balance.
+
+        The lending primitive: a peer bucket gives away only tokens it
+        actually holds (never going negative), and the caller learns
+        exactly how much it got.  Returns the withdrawn amount.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self._refill(now)
+        taken = max(0.0, min(amount, self._tokens))
+        self._tokens -= taken
+        return taken
+
+    def credit(self, amount: float, now: float) -> float:
+        """Deposit up to ``amount`` tokens, clamped at capacity.
+
+        The repayment primitive: a lender absorbs returned tokens only
+        up to its headroom, and the caller's debt ledger shrinks by the
+        returned (accepted) amount — so borrowed == reclaimed +
+        outstanding stays exact instead of silently overflowing.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self._refill(now)
+        accepted = max(0.0, min(amount, self.capacity - self._tokens))
+        self._tokens += accepted
+        return accepted
 
     def reserve(self, amount: float, now: float) -> float:
         """Consume ``amount`` unconditionally; return the pacing delay.

@@ -7,6 +7,7 @@ from repro.cluster.config import MB
 from repro.core import Scheme, SchemeResult, WorkloadSpec, run_scheme
 from repro.core.planrun import run_plan
 from repro.pvfs.filehandle import SyntheticData
+from repro.qos import TenantSpec
 from repro.workload import ArrivalPattern, BatchApplication, WorkloadGenerator
 
 
@@ -25,6 +26,32 @@ class TestWorkloadSpec:
         spec = WorkloadSpec(n_requests=4, request_bytes=10, n_storage=3)
         assert spec.total_requests == 12
         assert spec.total_bytes == 120
+
+    def test_tenant_mix_replaces_flat_request_count(self):
+        spec = WorkloadSpec(request_bytes=10, n_storage=3, tenants=(
+            TenantSpec(name="a", requests=2),
+            TenantSpec(name="b", requests=3),
+        ))
+        assert spec.total_requests == 15
+        assert spec.total_bytes == 150
+
+    def test_tenant_dicts_normalized(self):
+        # The run cache round-trips specs through asdict/WorkloadSpec(**),
+        # which turns TenantSpec entries into plain dicts.
+        spec = WorkloadSpec(tenants=(
+            {"name": "a", "rate": 10.0, "requests": 1},
+            {"name": "b", "requests": 2},
+        ))
+        assert all(isinstance(t, TenantSpec) for t in spec.tenants)
+        assert spec.tenants[0].rate == 10.0
+
+    @pytest.mark.parametrize("tenants", [
+        ({"name": "a", "requests": 1}, {"name": "a", "requests": 1}),
+        ({"name": "a", "requests": 0},),
+    ])
+    def test_bad_tenant_mixes_rejected(self, tenants):
+        with pytest.raises(ValueError):
+            WorkloadSpec(tenants=tenants)
 
 
 class TestSchemeSemantics:

@@ -6,6 +6,8 @@ from repro.qos import (
     AdmissionController,
     AdmissionDecision,
     QoSConfig,
+    TenantLedger,
+    TenantSpec,
     TokenBucket,
 )
 
@@ -24,6 +26,10 @@ class TestQoSConfig:
         dict(breaker_cooldown=0.0),
         dict(retry_budget=-1),
         dict(deadline=0.0),
+        dict(retry_replenish_rate=1.0, retry_budget=None),
+        dict(retry_replenish_rate=0.0),
+        dict(tenant_lend_reserve=1.5),
+        dict(tenant_reclaim_fraction=-0.1),
     ])
     def test_rejects_bad_knobs(self, kwargs):
         with pytest.raises(ValueError):
@@ -41,6 +47,25 @@ class TestFromConfig:
         assert ac is not None
         assert ac.intake is not None
         assert ac.intake.capacity == 50.0
+
+    def test_policed_tenants_alone_enable_the_controller(self):
+        cfg = QoSConfig(max_queue_depth=None)
+        tenants = (TenantSpec(name="a", rate=10.0, requests=1),)
+        ac = AdmissionController.from_config(cfg, tenants=tenants)
+        assert ac is not None and ac.tenants is not None
+
+    def test_unpoliced_tenants_do_not(self):
+        cfg = QoSConfig(max_queue_depth=None)
+        tenants = (TenantSpec(name="a", requests=1),)  # no rate
+        assert AdmissionController.from_config(cfg, tenants=tenants) is None
+
+    def test_borrow_knobs_reach_the_ledger(self):
+        cfg = QoSConfig(tenant_borrow=False, tenant_lend_reserve=0.25)
+        tenants = (TenantSpec(name="a", rate=10.0, requests=1),)
+        ac = AdmissionController.from_config(cfg, tenants=tenants)
+        assert ac.tenants is not None
+        assert ac.tenants.borrow is False
+        assert ac.tenants.lend_reserve == 0.25
 
 
 class TestScreen:
@@ -77,3 +102,67 @@ class TestScreen:
     def test_validates_depth(self):
         with pytest.raises(ValueError):
             AdmissionController(max_queue_depth=0)
+
+
+class TestTenantLayer:
+    def _controller(self, depth=None, intake=None):
+        tenants = (
+            TenantSpec(name="gold", rate=100.0, requests=1),
+            TenantSpec(name="noisy", rate=10.0, requests=1),
+        )
+        return AdmissionController(
+            max_queue_depth=depth,
+            intake=intake,
+            tenants=TenantLedger(tenants),
+        )
+
+    def test_tenant_over_guarantee_is_shed_or_rejected(self):
+        ac = self._controller()
+        # Drain noisy's guarantee; gold will lend at most half its 100
+        # capacity, so a 151-byte ask is denied at the ledger.
+        assert ac.screen(0, False, 10.0, 0.0,
+                         tenant="noisy") is AdmissionDecision.ACCEPT
+        assert ac.screen(0, True, 151.0, 0.0,
+                         tenant="noisy") is AdmissionDecision.SHED
+        assert ac.screen(0, False, 151.0, 0.0,
+                         tenant="noisy") is AdmissionDecision.REJECT
+
+    def test_untagged_requests_skip_tenant_policing(self):
+        ac = self._controller()
+        assert ac.screen(0, False, 1e9, 0.0) is AdmissionDecision.ACCEPT
+
+    def test_depth_rejection_burns_neither_shared_nor_tenant_tokens(self):
+        bucket = TokenBucket(rate=10.0, capacity=10.0, start=0.0)
+        ac = self._controller(depth=1, intake=bucket)
+        assert ac.screen(1, False, 5.0, 0.0,
+                         tenant="gold") is AdmissionDecision.REJECT
+        assert bucket.available(0.0) == pytest.approx(10.0)
+        assert ac.tenants.snapshot()["gold"]["granted_bytes"] == 0.0
+
+    def test_tenant_denial_burns_no_shared_intake_tokens(self):
+        # The intake bucket is probed before the ledger commits, so a
+        # tenant-level denial must leave the shared bucket untouched.
+        bucket = TokenBucket(rate=1000.0, capacity=1000.0, start=0.0)
+        ac = self._controller(intake=bucket)
+        ac.tenants.try_consume("noisy", 10.0, 0.0)  # drain the guarantee
+        assert ac.screen(0, False, 200.0, 0.0,
+                         tenant="noisy") is AdmissionDecision.REJECT
+        assert bucket.available(0.0) == pytest.approx(1000.0)
+
+    def test_intake_denial_burns_no_tenant_tokens(self):
+        bucket = TokenBucket(rate=10.0, capacity=10.0, start=0.0)
+        ac = self._controller(intake=bucket)
+        bucket.try_consume(5.0, now=0.0)  # 5 shared tokens left
+        assert ac.screen(0, False, 8.0, 0.0,
+                         tenant="gold") is AdmissionDecision.REJECT
+        assert ac.tenants.snapshot()["gold"]["granted_bytes"] == 0.0
+
+    def test_accept_commits_both_layers(self):
+        bucket = TokenBucket(rate=100.0, capacity=100.0, start=0.0)
+        ac = self._controller(intake=bucket)
+        assert ac.screen(0, False, 40.0, 0.0,
+                         tenant="gold") is AdmissionDecision.ACCEPT
+        assert bucket.available(0.0) == pytest.approx(60.0)
+        assert ac.tenants.snapshot()["gold"]["granted_bytes"] == pytest.approx(
+            40.0
+        )

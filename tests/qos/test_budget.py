@@ -1,0 +1,79 @@
+"""Retry budget: fixed pool semantics plus time-based replenishment."""
+
+import pytest
+
+from repro.qos import QoSConfig, RetryBudget
+
+
+class TestFixedPool:
+    def test_denies_when_dry(self):
+        b = RetryBudget(2)
+        assert b.try_acquire() and b.try_acquire()
+        assert not b.try_acquire()
+        assert b.denied == 1 and b.remaining == 0
+
+    def test_unlimited_budget(self):
+        b = RetryBudget(None)
+        assert all(b.try_acquire() for _ in range(100))
+        assert b.remaining is None
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            RetryBudget(-1)
+        with pytest.raises(ValueError):
+            RetryBudget(4, replenish_rate=0.0)
+
+    def test_no_replenish_without_rate(self):
+        # The historical behavior: passing ``now`` without a rate
+        # configured changes nothing — one storm drains it forever.
+        b = RetryBudget(1)
+        assert b.try_acquire(now=0.0)
+        assert not b.try_acquire(now=1_000_000.0)
+
+
+class TestReplenishment:
+    def test_tokens_return_at_rate(self):
+        b = RetryBudget(2, replenish_rate=1.0, start=0.0)
+        assert b.try_acquire(now=0.0) and b.try_acquire(now=0.0)
+        assert not b.try_acquire(now=0.5)   # only half a token back
+        assert b.try_acquire(now=1.0)       # one whole token returned
+
+    def test_pool_never_exceeds_initial_size(self):
+        b = RetryBudget(3, replenish_rate=10.0, start=0.0)
+        assert b.try_acquire(now=0.0)
+        # A long idle stretch returns only what was spent (1 token),
+        # not rate * elapsed.
+        b.try_acquire(now=100.0)
+        assert b.remaining == 2  # 3 - 2 granted + 1 replenished
+
+    def test_fractional_credit_accumulates(self):
+        b = RetryBudget(4, replenish_rate=1.0, start=0.0)
+        for _ in range(4):
+            assert b.try_acquire(now=0.0)
+        # 0.4 s slices: whole tokens only materialise as the credit
+        # crosses integer boundaries, with no drift.
+        grants = [b.try_acquire(now=0.4 * i) for i in range(1, 11)]
+        assert sum(grants) == 4  # 4 s elapsed at 1 token/s
+
+    def test_deterministic_given_call_sequence(self):
+        def drive():
+            b = RetryBudget(5, replenish_rate=2.0, start=0.0)
+            return [b.try_acquire(now=0.3 * i) for i in range(40)]
+
+        assert drive() == drive()
+
+
+class TestConfigKnob:
+    def test_replenish_rate_needs_budget(self):
+        # A dependent knob without its base must raise, never silently
+        # no-op (the intake_burst discipline).
+        with pytest.raises(ValueError):
+            QoSConfig(retry_budget=None, retry_replenish_rate=1.0)
+
+    def test_replenish_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QoSConfig(retry_budget=8, retry_replenish_rate=-1.0)
+
+    def test_valid_combination_accepted(self):
+        cfg = QoSConfig(retry_budget=8, retry_replenish_rate=2.0)
+        assert cfg.retry_replenish_rate == 2.0

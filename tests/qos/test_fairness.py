@@ -1,0 +1,82 @@
+"""Tenant-fairness bench: gates, ledgers, and byte-stable reports."""
+
+import pytest
+
+from repro.qos.fairness import fairness_json, run_fairness_bench
+
+MB = 1024 * 1024
+
+# One storage node and a small mix keep the three-mode comparison under
+# a second while preserving the contention shape the full bench uses:
+# demand oversubscribes the NIC, guarantees undersubscribe it.
+SMALL = dict(n_storage=1, request_bytes=8 * MB, gold_requests=2,
+             noisy_requests=8)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fairness_bench(seed=3, **SMALL)
+
+
+class TestGates:
+    def test_isolation_holds_under_borrowing(self, report):
+        assert report["gates"]["isolation"] is True
+        gold = report["modes"]["borrowing"]["tenants"]["per_tenant"]["gold"]
+        assert gold["slo_attainment"] == 1.0
+
+    def test_borrowing_is_work_conserving(self, report):
+        assert report["gates"]["work_conservation"] is True
+        assert (report["modes"]["borrowing"]["goodput"]
+                >= report["modes"]["static"]["goodput"])
+
+    def test_unpoliced_mode_shows_the_contention(self, report):
+        # The unpoliced run exists to pin what the policed modes
+        # prevent: raw FIFO lets the noisy backlog inflate gold latency
+        # past what borrowing delivers.
+        gold = {m: report["modes"][m]["tenants"]["per_tenant"]["gold"]
+                for m in ("borrowing", "unpoliced")}
+        assert gold["unpoliced"]["latency_max"] > gold["borrowing"]["latency_max"]
+
+
+class TestLedgers:
+    def test_borrowing_actually_borrows(self, report):
+        noisy = report["modes"]["borrowing"]["tenants"]["per_tenant"]["noisy"]
+        assert noisy["ledger"]["borrowed_bytes"] > 0
+
+    def test_static_partition_never_lends(self, report):
+        per_tenant = report["modes"]["static"]["tenants"]["per_tenant"]
+        for entry in per_tenant.values():
+            assert entry["ledger"]["lent_bytes"] == 0.0
+            assert entry["ledger"]["borrowed_bytes"] == 0.0
+
+    def test_conservation_identity(self, report):
+        # borrowed == reclaimed + outstanding per tenant, and aggregate
+        # borrowed == aggregate lent: the ledger loses no bytes.
+        for mode in ("borrowing", "static"):
+            per_tenant = report["modes"][mode]["tenants"]["per_tenant"]
+            borrowed = lent = 0.0
+            for entry in per_tenant.values():
+                ledger = entry["ledger"]
+                assert ledger["borrowed_bytes"] == pytest.approx(
+                    ledger["reclaimed_bytes"] + ledger["debt_outstanding"]
+                )
+                borrowed += ledger["borrowed_bytes"]
+                lent += ledger["lent_bytes"]
+            assert borrowed == pytest.approx(lent)
+
+
+class TestReportShape:
+    def test_modes_and_gates_present(self, report):
+        assert set(report["modes"]) == {"borrowing", "static", "unpoliced"}
+        assert set(report["gates"]) == {"isolation", "work_conservation"}
+        assert report["bench"] == "tenant_fairness"
+        assert report["seed"] == 3
+
+    def test_unpoliced_tenants_carry_no_ledger(self, report):
+        per_tenant = report["modes"]["unpoliced"]["tenants"]["per_tenant"]
+        for entry in per_tenant.values():
+            assert "ledger" not in entry
+
+    def test_byte_identical_per_seed(self, report):
+        again = run_fairness_bench(seed=3, **SMALL)
+        assert fairness_json([report]) == fairness_json([again])

@@ -70,6 +70,33 @@ class TestUnprotected:
         assert soak_acceptance(unprotected_report) == []
 
 
+class TestTenants:
+    @pytest.fixture(scope="class")
+    def tenant_report(self):
+        return run_soak(SoakSpec(seeds=(0, 1), protected=True, tenants=True))
+
+    def test_no_violations_and_no_deaths(self, tenant_report):
+        assert tenant_report.violations() == []
+        for sr in tenant_report.seeds:
+            assert sr.dosas.failed == ""
+
+    def test_borrowing_runs_under_faults(self, tenant_report):
+        # The gold/noisy mix oversubscribes noisy's guarantee, so the
+        # soak exercises the borrow path on every seed — and the
+        # conservation check above has real ledgers to audit.
+        for sr in tenant_report.seeds:
+            per_tenant = sr.dosas.qos_stats["tenants"]["per_tenant"]
+            borrowed = sum(
+                t.get("ledger", {}).get("borrowed_bytes", 0.0)
+                for t in per_tenant.values()
+            )
+            assert borrowed > 0
+
+    def test_byte_identical_per_seed(self):
+        spec = SoakSpec(seeds=(0,), tenants=True)
+        assert run_soak(spec).to_json() == run_soak(spec).to_json()
+
+
 class TestDeterminism:
     def test_same_seed_byte_identical_report(self):
         spec = SoakSpec(seeds=(0,))

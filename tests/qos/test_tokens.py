@@ -1,5 +1,7 @@
 """Token bucket: deterministic refill, oversize debt, pacing reserve."""
 
+import random
+
 import pytest
 
 from repro.qos import TokenBucket
@@ -40,6 +42,103 @@ class TestTryConsume:
             TokenBucket(rate=0.0)
         with pytest.raises(ValueError):
             TokenBucket(rate=1.0, capacity=-1.0)
+
+
+class TestProbesAreSideEffectFree:
+    def test_available_does_not_mutate(self):
+        b = TokenBucket(rate=10.0, capacity=5.0, start=0.0)
+        b.try_consume(5.0, now=0.0)
+        # Repeated probes at awkward float times must not advance the
+        # refill baseline.
+        for t in (0.1, 0.1 + 1e-9, 0.2, 0.30000000004):
+            b.available(t)
+            b.available(t)
+        assert b.available(0.0) == pytest.approx(0.0)
+
+    def test_interleaved_probes_cannot_flip_consume_decisions(self):
+        # Regression: available() used to call _refill(), so the
+        # *frequency* of probes split the refill interval into
+        # float-rounded pieces and could flip a later try_consume in
+        # the last ulp.  Two identical buckets — one probed heavily,
+        # one never — must agree on every decision.
+        rng = random.Random(20120924)
+        quiet = TokenBucket(rate=3.7, capacity=11.3, start=0.0)
+        probed = TokenBucket(rate=3.7, capacity=11.3, start=0.0)
+        now = 0.0
+        for _ in range(500):
+            now += rng.uniform(0.0, 0.7)
+            for _ in range(rng.randrange(4)):
+                probed.available(now + rng.uniform(0.0, 0.3))
+                probed.would_admit(1.0, now + rng.uniform(0.0, 0.3))
+            amount = rng.uniform(0.0, 15.0)
+            assert quiet.try_consume(amount, now) == probed.try_consume(
+                amount, now
+            )
+        assert quiet.available(now) == probed.available(now)
+
+    def test_would_admit_matches_try_consume_verdict(self):
+        rng = random.Random(7)
+        b = TokenBucket(rate=5.0, capacity=8.0, start=0.0)
+        now = 0.0
+        for _ in range(300):
+            now += rng.uniform(0.0, 0.5)
+            amount = rng.uniform(0.0, 12.0)
+            predicted = b.would_admit(amount, now)
+            assert predicted == b.try_consume(amount, now)
+
+
+class TestInvariants:
+    """Property-style checks over seeded random call sequences."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 12345])
+    def test_aggregate_grants_bounded_by_rate_times_horizon(self, seed):
+        # No call sequence can extract more than rate * T + capacity:
+        # the bucket cannot manufacture tokens.  (Oversize requests are
+        # excluded — their admission is exactly the debt mechanism.)
+        rng = random.Random(seed)
+        rate, capacity = 10.0, 25.0
+        b = TokenBucket(rate=rate, capacity=capacity, start=0.0)
+        granted, now = 0.0, 0.0
+        for _ in range(400):
+            now += rng.uniform(0.0, 0.4)
+            amount = rng.uniform(0.0, capacity)
+            if b.try_consume(amount, now):
+                granted += amount
+        assert granted <= rate * now + capacity + 1e-6
+
+    @pytest.mark.parametrize("seed", [2, 99])
+    def test_oversize_debt_repayment_converges_to_rate(self, seed):
+        # A stream of oversize requests (each > capacity) is admitted
+        # only when the bucket is back at full capacity, so sustained
+        # throughput converges to the refill rate.
+        rng = random.Random(seed)
+        rate, capacity = 10.0, 5.0
+        b = TokenBucket(rate=rate, capacity=capacity, start=0.0)
+        granted, now = 0.0, 0.0
+        for _ in range(2000):
+            now += rng.uniform(0.05, 0.15)
+            if b.try_consume(20.0, now):
+                granted += 20.0
+        horizon = now
+        assert granted <= rate * horizon + capacity + 20.0
+        # ...and the bucket does keep serving (no permanent starvation).
+        assert granted >= 0.5 * rate * horizon
+
+    def test_drain_takes_only_positive_balance(self):
+        b = TokenBucket(rate=10.0, capacity=10.0, start=0.0)
+        assert b.drain(4.0, now=0.0) == pytest.approx(4.0)
+        assert b.drain(100.0, now=0.0) == pytest.approx(6.0)
+        assert b.drain(1.0, now=0.0) == 0.0  # never goes negative
+        b2 = TokenBucket(rate=10.0, capacity=5.0, start=0.0)
+        b2.try_consume(20.0, now=0.0)  # oversize → debt
+        assert b2.drain(1.0, now=0.0) == 0.0
+
+    def test_credit_clamps_at_capacity(self):
+        b = TokenBucket(rate=10.0, capacity=10.0, start=0.0)
+        b.try_consume(7.0, now=0.0)
+        assert b.credit(100.0, now=0.0) == pytest.approx(7.0)
+        assert b.available(0.0) == pytest.approx(10.0)
+        assert b.credit(1.0, now=0.0) == 0.0
 
 
 class TestReserve:
