@@ -1,0 +1,206 @@
+"""Macro benchmark: client hold-model throughput, heap vs calendar.
+
+Simulates N independent clients, each repeatedly "thinking" for a
+quantized interval and re-arming itself — the classic hold model that
+dominates the engine cost of large scheme runs (every request carries
+timers, probes, and replies whose timestamps land on the transfer
+model's quantized grid).  Clients are flyweight events that re-arm
+in their own callback: zero steady-state allocation, so the measured
+cost is the scheduler data structure plus the engine dispatch loop,
+not object churn.
+
+Think times are multiples of a *binary-exact* tick (2**-10), so equal
+nominal timestamps collide exactly and the calendar's slotted batch
+execution is exercised the way quantized simulation workloads exercise
+it.  Runs are seeded; the two schedulers must agree on the final clock
+(checked every run).
+
+Usage:
+    python benchmarks/bench_macro_clients.py \
+        --clients 10000,100000 --rounds 20 --seeds 0,1 \
+        --out benchmarks/results/macro_clients.json
+
+Exits 1 if the calendar speedup at any scale falls below
+``--min-speedup`` (default 1.0: calendar must never lose to the heap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim import Environment, Event  # noqa: E402
+from repro.sim.events import PRIORITY_NORMAL  # noqa: E402
+
+#: Binary-exact tick: sums of multiples stay exact, so clients that
+#: should share a timestamp actually do (distinct-timestamp count is
+#: what the calendar keys on).
+TICK = 2.0 ** -10
+#: Distinct think-time phases (multiples of TICK).
+PHASES = 40
+#: Shared precomputed think table size (per seed).
+TABLE = 256
+
+
+class ClientTick(Event):
+    """A self-re-arming client: thinks, fires, re-queues itself.
+
+    The callback list is allocated once and re-installed after every
+    dispatch (the engine nulls ``callbacks`` to mark an event
+    processed), so a client of ``rounds`` ticks allocates nothing
+    after construction — flyweight hot state.
+    """
+
+    __slots__ = ("_cb", "_thinks", "_idx", "remaining")
+
+    def __init__(
+        self,
+        env: Environment,
+        thinks: List[float],
+        offset: int,
+        rounds: int,
+    ) -> None:
+        Event.__init__(self, env)
+        self._cb = [self._tick]
+        self.callbacks = self._cb
+        self._ok = True
+        self._value = None
+        self._thinks = thinks
+        self._idx = offset
+        self.remaining = rounds
+
+    def _tick(self, _event: Event) -> None:
+        n = self.remaining - 1
+        self.remaining = n
+        if n <= 0:
+            return  # client done; the event stays processed
+        self.callbacks = self._cb  # re-arm
+        thinks = self._thinks
+        idx = self._idx + 1
+        if idx == len(thinks):
+            idx = 0
+        self._idx = idx
+        env = self.env
+        env._push(env._now + thinks[idx], PRIORITY_NORMAL, self)
+
+
+def run_once(
+    scheduler: str, n_clients: int, rounds: int, seed: int
+) -> Dict[str, Any]:
+    env = Environment(scheduler=scheduler)
+    rnd = random.Random(seed)
+    thinks = [(1 + rnd.randrange(PHASES)) * TICK for _ in range(TABLE)]
+    clients = [
+        ClientTick(env, thinks, rnd.randrange(TABLE), rounds)
+        for _ in range(n_clients)
+    ]
+    starts = [(1 + rnd.randrange(PHASES)) * TICK for _ in range(n_clients)]
+    push = env._push
+    t0 = time.perf_counter()
+    for client, start in zip(clients, starts):
+        push(start, PRIORITY_NORMAL, client)
+    env.run()
+    elapsed = time.perf_counter() - t0
+    events = n_clients * rounds
+    assert all(c.remaining == 0 for c in clients)
+    return {
+        "scheduler": scheduler,
+        "clients": n_clients,
+        "rounds": rounds,
+        "seed": seed,
+        "elapsed_s": elapsed,
+        "events": events,
+        "events_per_s": events / elapsed,
+        "clients_per_s": n_clients / elapsed,
+        "final_now": env.now,
+        "queue_stats": env.scheduler_stats(),
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients", default="10000,100000",
+        help="comma-separated client counts (default: 10000,100000)",
+    )
+    parser.add_argument("--rounds", type=int, default=20,
+                        help="ticks per client (default: 20)")
+    parser.add_argument("--seeds", default="0,1",
+                        help="comma-separated seeds (default: 0,1)")
+    parser.add_argument("--out", default=None,
+                        help="write the result JSON here")
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.0,
+        help="fail (exit 1) if calendar/heap clients-per-second falls "
+             "below this at any scale (default: 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    scales = [int(s) for s in args.clients.split(",") if s]
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+
+    results: List[Dict[str, Any]] = []
+    summary: Dict[str, Any] = {}
+    failed = False
+    for scale in scales:
+        per_sched: Dict[str, List[float]] = {"heap": [], "calendar": []}
+        for seed in seeds:
+            finals = {}
+            for scheduler in ("heap", "calendar"):
+                r = run_once(scheduler, scale, args.rounds, seed)
+                results.append(r)
+                per_sched[scheduler].append(r["clients_per_s"])
+                finals[scheduler] = r["final_now"]
+                print(
+                    f"  {scale:>7} clients seed={seed} {scheduler:<8} "
+                    f"{r['clients_per_s']:>12.0f} clients/s "
+                    f"({r['events_per_s']:.0f} events/s)"
+                )
+            if finals["heap"] != finals["calendar"]:
+                print(
+                    f"DETERMINISM VIOLATION at scale={scale} seed={seed}: "
+                    f"final clock heap={finals['heap']} != "
+                    f"calendar={finals['calendar']}"
+                )
+                return 1
+        heap_med = statistics.median(per_sched["heap"])
+        cal_med = statistics.median(per_sched["calendar"])
+        speedup = cal_med / heap_med
+        summary[str(scale)] = {
+            "heap_clients_per_s": heap_med,
+            "calendar_clients_per_s": cal_med,
+            "speedup": speedup,
+        }
+        print(f"{scale:>9} clients: speedup {speedup:.2f}x "
+              f"(calendar {cal_med:.0f} vs heap {heap_med:.0f} clients/s)")
+        if speedup < args.min_speedup:
+            print(f"  FAIL: below --min-speedup {args.min_speedup}")
+            failed = True
+
+    payload = {
+        "benchmark": "macro_clients",
+        "tick": TICK,
+        "phases": PHASES,
+        "rounds": args.rounds,
+        "seeds": seeds,
+        "summary": summary,
+        "results": results,
+    }
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

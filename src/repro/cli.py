@@ -262,7 +262,8 @@ def cmd_run(args, out=None) -> int:
     for scheme in schemes:
         tracer = _fresh_tracer() if trace_path else None
         r = run_scheme(scheme, spec, tracer=tracer, qos=qos,
-                       retry_policy=retry)
+                       retry_policy=retry,
+                       sim_scheduler=getattr(args, "sim_scheduler", "calendar"))
         if tracer is not None:
             tracers[scheme.value] = tracer
         rows.append([scheme.value, r.makespan, r.bandwidth / MB,
@@ -314,11 +315,12 @@ def _run_with_faults(args, spec: WorkloadSpec, out) -> int:
     trace_path = getattr(args, "trace", None)
     tracers = {}
     rows = []
+    sim_scheduler = getattr(args, "sim_scheduler", "calendar")
     for scheme in schemes:
-        healthy = run_scheme(scheme, spec)
+        healthy = run_scheme(scheme, spec, sim_scheduler=sim_scheduler)
         tracer = _fresh_tracer() if trace_path else None
         faulty = run_scheme(scheme, spec, fault_schedule=sched,
-                            tracer=tracer)
+                            tracer=tracer, sim_scheduler=sim_scheduler)
         if tracer is not None:
             tracers[scheme.value] = tracer
         m = summarize_fault_run(faulty, baseline=healthy)
@@ -574,6 +576,7 @@ def cmd_soak(args, out=None) -> int:
         max_virtual_time=args.max_virtual_time,
         straggler=not args.no_straggler,
         tenants=args.tenants,
+        sim_scheduler=getattr(args, "sim_scheduler", "calendar"),
     )
     report = run_soak(spec)
     if args.out:
@@ -647,6 +650,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-borrow", action="store_true",
                    help="with --tenants: static partition (disable the "
                         "decentralized token borrowing)")
+    p.add_argument("--sim-scheduler", choices=["calendar", "heap"],
+                   default="calendar",
+                   help="engine event scheduler (result-identical per "
+                        "seed; calendar is the amortized-O(1) default, "
+                        "heap the reference)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep request counts")
@@ -694,6 +702,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "invariants on every run")
     p.add_argument("--max-virtual-time", type=float, default=120.0,
                    help="watchdog bound on each run's simulated seconds")
+    p.add_argument("--sim-scheduler", choices=["calendar", "heap"],
+                   default="calendar",
+                   help="engine event scheduler (result-identical per "
+                        "seed; the report is byte-identical either way)")
     p.add_argument("--json", action="store_true",
                    help="print the deterministic JSON report")
     p.add_argument("--out", metavar="FILE",

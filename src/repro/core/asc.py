@@ -440,6 +440,12 @@ class ActiveStorageClient:
             except PVFSError as err:
                 reason = f"failed: {err}"
                 last_error = err
+            # The race is decided; a still-pending deadline is dead
+            # weight in the event queue (its only callback is the
+            # decided AnyOf's no-op check), so let the scheduler's
+            # compaction sweep reclaim it instead of carrying it to
+            # its timestamp.
+            deadline.abandon()
             if reason is None and request.reply.processed and request.reply.ok:
                 # Also covers the same-timestamp race where the timeout
                 # decided the AnyOf but the real reply landed anyway.
@@ -586,7 +592,14 @@ class ActiveStorageClient:
                         hedge_timer = env.timeout(dispatcher.hedge_delay())
 
         # Single exit: settle losers, then the hedge ledger, then the
-        # primary's breaker and the latency board.
+        # primary's breaker and the latency board.  First release the
+        # attempt's dead timers — a still-pending deadline or hedge
+        # timer only feeds decided AnyOf checks now, so the scheduler
+        # may sweep them early (lazy deletion) instead of keeping them
+        # queued until their timestamps.
+        deadline.abandon()
+        if hedge_timer is not None:
+            hedge_timer.abandon()
         for r, idx in pending:
             if winner is not None and r is winner[0]:
                 continue

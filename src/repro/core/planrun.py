@@ -112,6 +112,7 @@ def run_plan(
     retry_policy: Optional[RetryPolicy] = None,
     max_virtual_time: Optional[float] = None,
     tracer: Optional["Tracer"] = None,
+    sim_scheduler: str = "calendar",
 ) -> PlanResult:
     """Run ``plan`` under ``scheme``.
 
@@ -124,7 +125,9 @@ def run_plan(
     as in :func:`~repro.core.schemes.run_scheme`: faults are injected
     per the schedule, clients retry per the policy, and the run is
     bounded in virtual time by a watchdog.  ``tracer`` records the
-    request-lifecycle timeline (see ``repro.obs``).
+    request-lifecycle timeline (see ``repro.obs``).  ``sim_scheduler``
+    picks the engine's event scheduler (``"calendar"``/``"heap"``,
+    result-identical per seed — see ``repro.sim.scheduler``).
     """
     if not len(plan):
         raise ValueError("empty plan")
@@ -133,7 +136,7 @@ def run_plan(
         fault_schedule.retry if fault_schedule is not None else None
     )
 
-    env = Environment()
+    env = Environment(scheduler=sim_scheduler)
     if tracer is not None:
         env.tracer = tracer
     seed = resolve_seed(spec.seed)

@@ -75,6 +75,11 @@ class SoakSpec:
     #: (borrowed == reclaimed + outstanding, borrowed total == lent
     #: total) are then asserted per run.
     tenants: bool = False
+    #: Engine event scheduler for every run (``"calendar"``/``"heap"``,
+    #: see ``repro.sim.scheduler``).  Result-identical per seed — the
+    #: soak report stays byte-identical whichever is picked, which the
+    #: equivalence tests pin.
+    sim_scheduler: str = "calendar"
 
     def __post_init__(self) -> None:
         if self.scenario != "chaos":
@@ -83,6 +88,8 @@ class SoakSpec:
             raise ValueError("need at least one seed")
         if self.n_replicas < 1 or self.n_replicas > self.n_storage:
             raise ValueError("n_replicas must lie in [1, n_storage]")
+        if self.sim_scheduler not in ("calendar", "heap"):
+            raise ValueError(f"unknown sim_scheduler {self.sim_scheduler!r}")
 
 
 def default_qos(spec: SoakSpec) -> QoSConfig:
@@ -325,6 +332,7 @@ def _run_one(
             retry_policy=retry,
             max_virtual_time=spec.max_virtual_time,
             qos=qos,
+            sim_scheduler=spec.sim_scheduler,
         )
     except WatchdogTimeout as err:
         # A hung run breaks the "every request finishes" invariant.

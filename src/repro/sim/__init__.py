@@ -29,6 +29,10 @@ Public surface
     I/O queues.
 ``Monitor``, ``TimeSeries``
     Statistics helpers.
+``EventScheduler``, ``HeapScheduler``, ``CalendarScheduler``
+    Pluggable pending-event schedulers (``Environment(scheduler=...)``)
+    — the calendar queue is the amortized-O(1) default, the binary
+    heap the reference; both give identical results per seed.
 """
 
 from repro.sim.exceptions import Failure, Interrupt, SimulationError, StopProcess
@@ -42,6 +46,14 @@ from repro.sim.events import (
     Timer,
 )
 from repro.sim.engine import Environment
+from repro.sim.hotstate import FlyweightPool
+from repro.sim.scheduler import (
+    SCHEDULERS,
+    CalendarScheduler,
+    EventScheduler,
+    HeapScheduler,
+    make_event_scheduler,
+)
 from repro.sim.process import Process
 from repro.sim.resources import (
     Container,
@@ -57,12 +69,16 @@ from repro.sim.monitor import Monitor, TimeSeries, TimeWeightedStat
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarScheduler",
     "Condition",
     "Container",
     "Environment",
     "Event",
+    "EventScheduler",
     "Failure",
     "FilterStore",
+    "FlyweightPool",
+    "HeapScheduler",
     "Interrupt",
     "Monitor",
     "PENDING",
@@ -73,6 +89,7 @@ __all__ = [
     "Release",
     "Request",
     "Resource",
+    "SCHEDULERS",
     "SimulationError",
     "StopProcess",
     "Store",
@@ -82,4 +99,5 @@ __all__ = [
     "TimeWeightedStat",
     "Timeout",
     "Timer",
+    "make_event_scheduler",
 ]

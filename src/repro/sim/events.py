@@ -14,7 +14,6 @@ is re-raised inside each waiting process).
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
 
 from repro.sim.exceptions import SimulationError
@@ -100,6 +99,21 @@ class Event:
         """Mark a failure as handled (suppresses crash-on-unhandled)."""
         self._defused = True
 
+    def abandon(self) -> None:
+        """Declare this *triggered* event dead weight for the scheduler.
+
+        Caller contract: no process will ever yield on or inspect this
+        event again, and processing it would be a no-op (every
+        attached condition is already decided).  The scheduler may
+        then sweep it from the pending set early instead of carrying
+        it to its timestamp — the lazy-deletion path that keeps
+        decided-race deadlines and defused hedge timers from bloating
+        the queue during long soaks.  Safe to call more than once; a
+        no-op on events that were never queued or already processed.
+        """
+        if self.callbacks is not None and self._value is not PENDING:
+            self.env._sched.mark_dead(self)
+
     # -- triggering -------------------------------------------------------
     # Triggering is the engine's hottest write path (every grant,
     # resume and completion lands here), so the zero-delay NORMAL
@@ -112,8 +126,7 @@ class Event:
         self._ok = True
         self._value = value
         env = self.env
-        env._eid += 1
-        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
+        env._push(env._now, PRIORITY_NORMAL, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -125,8 +138,7 @@ class Event:
         self._ok = False
         self._value = exception
         env = self.env
-        env._eid += 1
-        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
+        env._push(env._now, PRIORITY_NORMAL, self)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -139,8 +151,7 @@ class Event:
         self._ok = event._ok
         self._value = event._value
         env = self.env
-        env._eid += 1
-        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
+        env._push(env._now, PRIORITY_NORMAL, self)
 
     # -- composition ------------------------------------------------------
     def __and__(self, other: "Event") -> "Condition":
@@ -176,8 +187,7 @@ class Timeout(Event):
         self._value = value
         self._defused = False
         self.delay = delay
-        env._eid += 1
-        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, env._eid, self))
+        env._push(env._now + delay, PRIORITY_NORMAL, self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -188,9 +198,11 @@ class Timer(Event):
 
     Unlike :class:`Timeout`, a Timer is not meant to be yielded on: it
     carries a zero-argument callback that the event loop invokes at
-    ``now + delay`` unless :meth:`cancel` ran first.  A cancelled timer
-    still drains through the event queue (removing heap entries would
-    cost O(n)) but its callback is suppressed, so cancellation is O(1).
+    ``now + delay`` unless :meth:`cancel` ran first.  Cancellation is
+    O(1): the timer stays queued but is reported dead to the
+    scheduler, whose lazy-deletion sweep reclaims the entry once
+    enough corpses accumulate (see ``repro.sim.scheduler``) — so long
+    soaks no longer carry every cancelled deadline to its timestamp.
 
     Used for server-side deadline enforcement, where most timers are
     cancelled by normal completion long before they fire.
@@ -209,13 +221,18 @@ class Timer(Event):
         self.delay = delay
         self.cancelled = False
         self._fn: Optional[Callable[[], None]] = fn
-        env._eid += 1
-        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, env._eid, self))
+        env._push(env._now + delay, PRIORITY_NORMAL, self)
 
     def cancel(self) -> None:
         """Suppress the callback; safe to call after the timer fired."""
-        self.cancelled = True
-        self._fn = None
+        if not self.cancelled:
+            self.cancelled = True
+            self._fn = None
+            if self.callbacks is not None:
+                # Still queued: nobody yields on a Timer, so once the
+                # callback is suppressed the pending entry is pure dead
+                # weight — eligible for the compaction sweep.
+                self.env._sched.mark_dead(self)
 
     def _fire(self, event: "Event") -> None:
         fn = self._fn
@@ -239,8 +256,7 @@ class Initialize(Event):
         self._ok = True
         self._value = None
         self._defused = False
-        env._eid += 1
-        heappush(env._queue, (env._now, PRIORITY_URGENT, env._eid, self))
+        env._push(env._now, PRIORITY_URGENT, self)
 
 
 class Condition(Event):

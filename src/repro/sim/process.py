@@ -19,7 +19,6 @@ Sec. III-C: "record and interrupt current active I/O being serviced").
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Generator, Optional, TYPE_CHECKING, Type
 
 from repro.sim.events import Event, Initialize, PENDING, PRIORITY_NORMAL, PRIORITY_URGENT
@@ -148,8 +147,7 @@ class Process(Event):
         env._active_process = None
         self._ok = ok
         self._value = outcome
-        env._eid += 1
-        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._eid, self))
+        env._push(env._now, PRIORITY_NORMAL, self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "alive" if self.is_alive else "dead"

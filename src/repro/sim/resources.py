@@ -18,7 +18,6 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from heapq import heappush
 from typing import Any, Deque, List, Tuple, TYPE_CHECKING
 
 from repro.sim.events import Event, PRIORITY_URGENT
@@ -66,8 +65,7 @@ class Release(Event):
         self._ok = True
         self._value = None
         env = resource.env
-        env._eid += 1
-        heappush(env._queue, (env._now, PRIORITY_URGENT, env._eid, self))
+        env._push(env._now, PRIORITY_URGENT, self)
 
 
 class Resource:
