@@ -34,7 +34,7 @@ test run.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from repro.sim.engine import Environment
 from repro.sim.events import AnyOf, Event
@@ -89,7 +89,7 @@ class FaultInjector:
             self.env.process(self._timeline())
         return self
 
-    def _timeline(self):
+    def _timeline(self) -> Generator[Event, Any, None]:
         for ev in self.schedule.timeline():
             if ev.at > self.env.now:
                 yield self.env.timeout(ev.at - self.env.now)
@@ -100,7 +100,7 @@ class FaultInjector:
         return self.servers[ev.target % len(self.servers)]
 
     @staticmethod
-    def _runtime(server: IOServer):
+    def _runtime(server: IOServer) -> Any:
         """The node's Active I/O Runtime, if an ASS is attached.
 
         Duck-typed: anything exposing the failure hooks works, so the
@@ -113,7 +113,7 @@ class FaultInjector:
         return getattr(handler, "runtime", handler)
 
     @staticmethod
-    def _prober(server: IOServer):
+    def _prober(server: IOServer) -> Any:
         """The estimator's prober for this node, when discoverable."""
         handler = server.active_handler
         estimator = getattr(handler, "estimator", None)
@@ -196,7 +196,7 @@ class FaultInjector:
                 )
 
 
-def run_with_watchdog(env: Environment, done: Event, deadline: float):
+def run_with_watchdog(env: Environment, done: Event, deadline: float) -> Any:
     """Run until ``done`` or declare a deadlock after ``deadline``.
 
     The deadline is *virtual* seconds.  Returns ``done``'s value on

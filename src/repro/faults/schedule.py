@@ -46,7 +46,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.asc import RetryPolicy
 
@@ -469,7 +469,7 @@ SCENARIOS: Dict[str, Callable[..., FaultSchedule]] = {
 }
 
 
-def scenario(name: str, **overrides) -> FaultSchedule:
+def scenario(name: str, **overrides: Any) -> FaultSchedule:
     """Build a library scenario, overriding factory parameters.
 
     ``scenario("crash-restart", at=0.5, downtime=1.0)`` — tests use the

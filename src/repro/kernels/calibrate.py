@@ -56,9 +56,9 @@ def calibrate_rate(
     for _ in range(max(1, repeats)):
         # Calibration *is* host measurement: the wall-clock read is the
         # point, not a determinism leak into simulated results.
-        start = time.perf_counter()  # reprolint: disable=RPR102
+        start = time.perf_counter()  # reprolint: disable=RPR102  calibration measures host time
         kernel.apply(data, meta=meta, chunk_elems=chunk_elems)
-        elapsed = time.perf_counter() - start  # reprolint: disable=RPR102
+        elapsed = time.perf_counter() - start  # reprolint: disable=RPR102  calibration measures host time
         best = min(best, elapsed)
     if best <= 0:  # pragma: no cover - sub-resolution timing
         return float("inf")

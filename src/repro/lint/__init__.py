@@ -10,17 +10,35 @@ instead of discovering violations in flaky figure diffs:
   yielded, host-blocking calls in process generators, ``env.now`` at
   import time.
 - **RPR3xx hygiene** — mutable default arguments, silent broad excepts.
+- **RPR4xx concurrency** — flow-aware passes over process generators:
+  state cached across a yield (401/402), unguarded interrupts (403),
+  containers mutated under iteration (404), and an event-lifecycle
+  state machine (411–413).
+- **RPR5xx architecture** — upward imports against the layering table
+  in :mod:`repro.lint.layers` (501) and module import cycles (502).
+- **RPR9xx driver** — parse errors (900), suppression-ratchet growth
+  (901), stale suppressions (902).
 
-Run it as ``repro lint [paths] [--format json] [--baseline FILE]``;
-suppress a reviewed exception inline with
+The flow rules run over a once-per-invocation
+:class:`~repro.lint.project.ProjectModel` (import graph, class
+attribute-volatility summaries, a conservative call graph), so they
+see across files, not just across statements.
+
+Run it as ``repro lint [paths] [--format json|sarif] [--baseline
+FILE]``; suppress a reviewed exception inline with
 ``# reprolint: disable=RPRxxx``.  See :doc:`docs/static_analysis.md`
 for the full catalogue and policy.
 """
 
 from repro.lint.analyzer import (
+    META_RULES,
     PARSE_ERROR_CODE,
+    SUPPRESSION_GROWTH_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    LintStats,
     context_for_path,
     discover_files,
+    known_codes,
     lint_file,
     lint_paths,
     lint_source,
@@ -28,18 +46,33 @@ from repro.lint.analyzer import (
 )
 from repro.lint.base import REGISTRY, FileContext, Finding, Rule, all_rules
 from repro.lint.baseline import (
+    Baseline,
     apply_baseline,
     counts,
     load_baseline,
     write_baseline,
 )
-from repro.lint.report import format_json, format_rule_catalogue, format_text
+from repro.lint.layers import LAYERS, layer_of
+from repro.lint.project import ProjectModel, module_name_for_path
+from repro.lint.report import (
+    format_json,
+    format_rule_catalogue,
+    format_sarif,
+    format_text,
+)
 
 __all__ = [
+    "LAYERS",
+    "META_RULES",
     "PARSE_ERROR_CODE",
     "REGISTRY",
+    "SUPPRESSION_GROWTH_CODE",
+    "UNUSED_SUPPRESSION_CODE",
+    "Baseline",
     "FileContext",
     "Finding",
+    "LintStats",
+    "ProjectModel",
     "Rule",
     "all_rules",
     "apply_baseline",
@@ -48,11 +81,15 @@ __all__ = [
     "discover_files",
     "format_json",
     "format_rule_catalogue",
+    "format_sarif",
     "format_text",
+    "known_codes",
+    "layer_of",
     "lint_file",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "module_name_for_path",
     "suppressed_lines",
     "write_baseline",
 ]

@@ -1,9 +1,13 @@
 """File discovery, suppression handling and the lint driver.
 
 ``lint_paths`` walks the given files/directories in sorted order
-(the analyzer practices what it preaches), parses each ``.py`` file
-once, runs every applicable rule, and filters findings through inline
-suppressions:
+(the analyzer practices what it preaches), parses every ``.py`` file
+**once**, builds the :class:`repro.lint.project.ProjectModel` over all
+parsed trees, then runs every applicable rule per file with the model
+attached to the :class:`FileContext` — so cross-file rules (layering,
+cycles, wrapper resolution) see the whole run, not one file.
+
+Findings are filtered through inline suppressions:
 
 .. code-block:: python
 
@@ -14,7 +18,11 @@ suppressions:
 
 A suppression names the exact codes it silences — there is no blanket
 ``disable=all`` on purpose: every suppression is a reviewed, visible
-exception.
+exception.  Two meta checks keep them honest: a directive that no
+longer matches any finding is itself reported (:data:`RPR902
+<UNUSED_SUPPRESSION_CODE>`), and the baseline ratchet counts used
+suppressions per rule so they cannot silently grow (:data:`RPR901
+<SUPPRESSION_GROWTH_CODE>`, synthesised by the CLI).
 """
 
 from __future__ import annotations
@@ -24,14 +32,21 @@ import io
 import os
 import re
 import tokenize
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.lint.base import REGISTRY, FileContext, Finding, Rule, all_rules
+from repro.lint.project import ProjectModel
 
-# Importing the rule modules populates the registry.
-from repro.lint import determinism as _determinism  # noqa: F401
-from repro.lint import hygiene as _hygiene  # noqa: F401
-from repro.lint import simulation as _simulation  # noqa: F401
+# Importing the rule modules populates the registry.  Direct submodule
+# imports (not ``from repro.lint import ...``) keep the analyzer off
+# the package ``__init__`` and so out of an import cycle with it.
+import repro.lint.dataflow  # noqa: F401
+import repro.lint.determinism  # noqa: F401
+import repro.lint.hygiene  # noqa: F401
+import repro.lint.layers  # noqa: F401
+import repro.lint.lifecycle  # noqa: F401
+import repro.lint.simulation  # noqa: F401
 
 __all__ = [
     "lint_source",
@@ -39,11 +54,42 @@ __all__ = [
     "lint_paths",
     "context_for_path",
     "suppressed_lines",
+    "LintStats",
     "PARSE_ERROR_CODE",
+    "SUPPRESSION_GROWTH_CODE",
+    "UNUSED_SUPPRESSION_CODE",
+    "META_RULES",
+    "known_codes",
 ]
 
 #: Pseudo-rule code for files the analyzer cannot parse.
 PARSE_ERROR_CODE = "RPR900"
+#: Pseudo-rule code for per-rule suppression counts exceeding the
+#: baseline (synthesised by the CLI ratchet, never by a file rule).
+SUPPRESSION_GROWTH_CODE = "RPR901"
+#: Pseudo-rule code for a ``reprolint: disable=`` directive that no
+#: longer silences anything.
+UNUSED_SUPPRESSION_CODE = "RPR902"
+
+#: code → (name, summary) for driver-level pseudo-rules; merged with
+#: the registry for ``--list-rules``, SARIF metadata and baseline
+#: validation.
+META_RULES: Dict[str, Tuple[str, str]] = {
+    PARSE_ERROR_CODE: (
+        "parse-error", "file cannot be tokenized/parsed"),
+    SUPPRESSION_GROWTH_CODE: (
+        "suppression-growth",
+        "inline suppressions for a rule exceed the baselined count"),
+    UNUSED_SUPPRESSION_CODE: (
+        "unused-suppression",
+        "reprolint: disable directive that silences no finding"),
+}
+
+
+def known_codes() -> Set[str]:
+    """Every valid RPR code: registered rules plus driver pseudo-rules."""
+    return set(REGISTRY) | set(META_RULES)
+
 
 _DIRECTIVE = re.compile(
     r"#\s*reprolint:\s*(disable|disable-next-line)\s*=\s*"
@@ -55,6 +101,24 @@ _SKIP_DIRS = frozenset({
     "__pycache__", ".git", ".hg", ".venv", "venv", "node_modules",
     ".mypy_cache", ".pytest_cache", ".ruff_cache", "build", "dist",
 })
+
+#: Directory names excluded from *discovery* (but lintable when named
+#: explicitly): lint-rule fixtures deliberately contain violations.
+_EXEMPT_DIRS = frozenset({"fixtures"})
+
+
+@dataclass
+class LintStats:
+    """Per-run aggregates threaded through the driver by the CLI.
+
+    ``suppressions`` counts findings silenced by inline directives,
+    per rule code — the input of the RPR901 suppression ratchet.
+    """
+
+    suppressions: Dict[str, int] = field(default_factory=dict)
+
+    def count_suppression(self, code: str, n: int = 1) -> None:
+        self.suppressions[code] = self.suppressions.get(code, 0) + n
 
 
 def suppressed_lines(source: str) -> Dict[int, Set[str]]:
@@ -98,13 +162,62 @@ def _selected_rules(select: Optional[Iterable[str]]) -> List[Type[Rule]]:
     return [REGISTRY[code] for code in sorted(wanted)]
 
 
+def _run_rules(
+    tree: ast.Module,
+    source: str,
+    path: str,
+    ctx: FileContext,
+    select: Optional[Iterable[str]],
+    stats: Optional[LintStats] = None,
+) -> List[Finding]:
+    """Run selected rules over one parsed file and filter suppressions.
+
+    The unused-suppression check (RPR902) only runs on full-registry
+    runs: under ``--select`` most rules are off, so directives for the
+    unselected rules would look spuriously unused.
+    """
+    for rule_cls in _selected_rules(select):
+        if rule_cls.applies(ctx):
+            rule_cls(ctx).check(tree)
+    suppressions = suppressed_lines(source)
+    kept: List[Finding] = []
+    used_pairs: Set[Tuple[int, str]] = set()
+    for f in ctx.findings:
+        if f.code in suppressions.get(f.line, ()):
+            used_pairs.add((f.line, f.code))
+            if stats is not None:
+                stats.count_suppression(f.code)
+        else:
+            kept.append(f)
+    if select is None:
+        for line in sorted(suppressions):
+            for code in sorted(suppressions[line]):
+                if code == UNUSED_SUPPRESSION_CODE:
+                    continue
+                if (line, code) not in used_pairs:
+                    kept.append(Finding(
+                        path=path, line=line, col=1,
+                        code=UNUSED_SUPPRESSION_CODE,
+                        message=(f"suppression for {code} silences no "
+                                 "finding on this line — stale directive, "
+                                 "remove it"),
+                    ))
+    return sorted(kept)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     ctx: Optional[FileContext] = None,
     select: Optional[Iterable[str]] = None,
+    stats: Optional[LintStats] = None,
 ) -> List[Finding]:
-    """Lint one source string; returns findings sorted by location."""
+    """Lint one source string; returns findings sorted by location.
+
+    Builds a one-file project model, so class-volatility facts work
+    standalone; cross-module facts (layering targets, cycles) need the
+    full :func:`lint_paths` run.
+    """
     if ctx is None:
         ctx = context_for_path(path, source)
     else:
@@ -116,34 +229,42 @@ def lint_source(
                         col=(exc.offset or 0) or 1,
                         code=PARSE_ERROR_CODE,
                         message=f"cannot parse file: {exc.msg}")]
-    for rule_cls in _selected_rules(select):
-        if rule_cls.applies(ctx):
-            rule_cls(ctx).check(tree)
-    suppressions = suppressed_lines(source)
-    findings = [
-        f for f in ctx.findings
-        if f.code not in suppressions.get(f.line, ())
-    ]
-    return sorted(findings)
+    if ctx.project is None:
+        model = ProjectModel.from_tree(path, tree)
+        ctx.project = model
+        ctx.module = model.module_for_path(path)
+    return _run_rules(tree, source, path, ctx, select, stats)
 
 
 def lint_file(
     path: str,
     select: Optional[Iterable[str]] = None,
 ) -> List[Finding]:
-    """Lint one file on disk."""
-    try:
-        with open(path, "r", encoding="utf-8") as fh:
-            source = fh.read()
-    except (OSError, UnicodeDecodeError) as exc:
-        return [Finding(path=path, line=1, col=1, code=PARSE_ERROR_CODE,
-                        message=f"cannot read file: {exc}")]
+    """Lint one file on disk (standalone, one-file project model)."""
+    source = _read_file(path)
+    if isinstance(source, Finding):
+        return [source]
     return lint_source(source, path=path,
                        ctx=context_for_path(path, source), select=select)
 
 
+def _read_file(path: str) -> object:
+    """File contents, or the RPR900 finding explaining why not."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(path=path, line=1, col=1, code=PARSE_ERROR_CODE,
+                       message=f"cannot read file: {exc}")
+
+
 def discover_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directories named ``fixtures`` are skipped — lint-rule fixtures
+    exist *to* violate rules — but remain lintable when a fixture file
+    is named explicitly (the rule tests do exactly that).
+    """
     out: List[str] = []
     for path in paths:
         if os.path.isdir(path):
@@ -151,6 +272,7 @@ def discover_files(paths: Sequence[str]) -> List[str]:
                 # Sorted in-place so traversal order is deterministic.
                 dirnames[:] = sorted(d for d in dirnames
                                      if d not in _SKIP_DIRS
+                                     and d not in _EXEMPT_DIRS
                                      and not d.startswith("."))
                 for name in sorted(filenames):
                     if name.endswith(".py"):
@@ -163,9 +285,35 @@ def discover_files(paths: Sequence[str]) -> List[str]:
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
+    stats: Optional[LintStats] = None,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``; sorted findings."""
+    """Lint every ``.py`` file under ``paths``; sorted findings.
+
+    Two-phase: parse everything, build the project model, then run
+    rules file by file with the shared model on the context.
+    """
     findings: List[Finding] = []
+    sources: Dict[str, str] = {}
+    trees: Dict[str, ast.Module] = {}
     for path in discover_files(paths):
-        findings.extend(lint_file(path, select=select))
+        source = _read_file(path)
+        if isinstance(source, Finding):
+            findings.append(source)
+            continue
+        try:
+            trees[path] = ast.parse(source, filename=path)
+            sources[path] = source
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=path, line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                code=PARSE_ERROR_CODE,
+                message=f"cannot parse file: {exc.msg}"))
+    model = ProjectModel.build(trees)
+    for path in sorted(trees):
+        ctx = context_for_path(path, sources[path])
+        ctx.project = model
+        ctx.module = model.module_for_path(path)
+        findings.extend(_run_rules(trees[path], sources[path], path,
+                                   ctx, select, stats))
     return sorted(findings)

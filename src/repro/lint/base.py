@@ -82,6 +82,15 @@ class FileContext:
     #: True for measurement code (``benchmarks/``, calibration).
     in_benchmarks: bool = False
     findings: List[Finding] = field(default_factory=list)
+    #: Dotted module name of the file (``repro.sim.engine``); filled
+    #: by the driver from the project model (or derived from the path
+    #: for standalone ``lint_source`` runs).
+    module: Optional[str] = None
+    #: The once-per-run :class:`repro.lint.project.ProjectModel`
+    #: shared by every file of a ``lint_paths`` invocation; a
+    #: single-file model for standalone runs.  Typed loosely to avoid
+    #: an import cycle with the project module.
+    project: Optional[object] = None
 
     def add(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(

@@ -11,18 +11,49 @@ Counts (not line numbers) keyed by file make the baseline stable under
 unrelated edits: inserting a line above an accepted finding does not
 un-accept it, while adding a *new* violation anywhere in the file trips
 the ratchet.
+
+Since format version 2 the file also ratchets **inline suppressions**:
+a ``suppressions`` section records how many findings per rule code are
+silenced by ``# reprolint: disable=`` directives.  The CLI compares the
+current run's counts against it and synthesises an RPR901 finding when
+a rule's suppressions grew — suppressing your way past the ratchet is
+itself a ratchet violation.
+
+Rule codes in a baseline are validated against the live registry, so a
+stale file referring to a renamed/removed rule fails loudly instead of
+silently accepting nothing.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.lint.base import Finding
 
-__all__ = ["load_baseline", "write_baseline", "apply_baseline", "counts"]
+__all__ = [
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "counts",
+]
 
-_FORMAT_VERSION = 1
+#: Version 2 added the ``suppressions`` section; version-1 files load
+#: with an empty one (upgrade by regenerating).
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline: accepted finding counts + suppression counts."""
+
+    #: ``"path::code" → accepted finding count``.
+    accepted: Dict[str, int] = field(default_factory=dict)
+    #: ``code → accepted inline-suppression count`` (run-wide).
+    suppressions: Dict[str, int] = field(default_factory=dict)
 
 
 def counts(findings: List[Finding]) -> Dict[str, int]:
@@ -34,28 +65,53 @@ def counts(findings: List[Finding]) -> Dict[str, int]:
     return out
 
 
-def load_baseline(path: str) -> Dict[str, int]:
-    """Read accepted counts from a baseline file."""
+def _validate_codes(path: str, codes: List[str]) -> None:
+    from repro.lint.analyzer import known_codes  # lazy: loads rule modules
+    unknown = sorted(set(codes) - known_codes())
+    if unknown:
+        raise ValueError(
+            f"{path}: baseline refers to unknown rule code(s) "
+            f"{', '.join(unknown)} — the rule set changed under the "
+            "baseline; regenerate it with 'repro lint ... --baseline "
+            f"{path} --write-baseline'")
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file, validating shape and rule codes."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if not isinstance(doc, dict) or doc.get("version") != _FORMAT_VERSION:
+    if not isinstance(doc, dict) or doc.get("version") not in _READABLE_VERSIONS:
         raise ValueError(f"{path}: not a reprolint baseline "
-                         f"(expected version {_FORMAT_VERSION})")
+                         f"(expected version in {_READABLE_VERSIONS})")
     accepted = doc.get("accepted", {})
     if not isinstance(accepted, dict):
         raise ValueError(f"{path}: malformed 'accepted' section")
-    return {str(k): int(v) for k, v in accepted.items()}
+    suppressions = doc.get("suppressions", {})
+    if not isinstance(suppressions, dict):
+        raise ValueError(f"{path}: malformed 'suppressions' section")
+    _validate_codes(path, [str(k).rsplit("::", 1)[-1] for k in accepted]
+                    + [str(k) for k in suppressions])
+    return Baseline(
+        accepted={str(k): int(v) for k, v in accepted.items()},
+        suppressions={str(k): int(v) for k, v in suppressions.items()},
+    )
 
 
-def write_baseline(path: str, findings: List[Finding]) -> int:
-    """Record the current findings as accepted; returns entry count."""
+def write_baseline(
+    path: str,
+    findings: List[Finding],
+    suppressions: Optional[Dict[str, int]] = None,
+) -> int:
+    """Record current findings/suppressions as accepted; returns entry count."""
     accepted = counts(findings)
     doc = {
         "version": _FORMAT_VERSION,
         "comment": ("reprolint baseline: accepted finding counts per "
-                    "path::code; regenerate with "
+                    "path::code plus accepted inline-suppression counts "
+                    "per code; regenerate with "
                     "'repro lint ... --write-baseline'"),
         "accepted": dict(sorted(accepted.items())),
+        "suppressions": dict(sorted((suppressions or {}).items())),
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

@@ -11,12 +11,44 @@ import argparse
 import sys
 from typing import IO, List, Optional
 
-from repro.lint.analyzer import discover_files, lint_file
+from repro.lint.analyzer import (
+    SUPPRESSION_GROWTH_CODE,
+    LintStats,
+    discover_files,
+    lint_paths,
+)
 from repro.lint.base import Finding
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
-from repro.lint.report import format_json, format_rule_catalogue, format_text
+from repro.lint.report import (
+    format_json,
+    format_rule_catalogue,
+    format_sarif,
+    format_text,
+)
 
 __all__ = ["cmd_lint", "add_lint_parser"]
+
+
+def _suppression_growth(
+    stats: LintStats,
+    accepted: dict,
+    baseline_path: str,
+) -> List[Finding]:
+    """RPR901 findings where per-rule suppression counts grew."""
+    out: List[Finding] = []
+    for code in sorted(stats.suppressions):
+        have = stats.suppressions[code]
+        allowed = int(accepted.get(code, 0))
+        if have > allowed:
+            out.append(Finding(
+                path=baseline_path, line=1, col=1,
+                code=SUPPRESSION_GROWTH_CODE,
+                message=(f"inline suppressions for {code} grew to {have} "
+                         f"(baseline accepts {allowed}) — fix the finding "
+                         "instead, or regenerate the baseline with a "
+                         "reviewed rationale"),
+            ))
+    return out
 
 
 def cmd_lint(args: argparse.Namespace, out: Optional[IO[str]] = None) -> int:
@@ -27,42 +59,57 @@ def cmd_lint(args: argparse.Namespace, out: Optional[IO[str]] = None) -> int:
         return 0
     select = args.select.split(",") if args.select else None
     files = discover_files(args.paths)
-    findings: List[Finding] = []
+    stats = LintStats()
     try:
-        for path in files:
-            findings.extend(lint_file(path, select=select))
+        findings = lint_paths(args.paths, select=select, stats=stats)
     except ValueError as exc:  # unknown --select code
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    findings.sort()
 
     if args.write_baseline:
         if not args.baseline:
             print("error: --write-baseline requires --baseline FILE",
                   file=sys.stderr)
             return 2
-        n = write_baseline(args.baseline, findings)
+        n = write_baseline(args.baseline, findings,
+                           suppressions=stats.suppressions)
         print(f"wrote baseline {args.baseline}: {len(findings)} accepted "
-              f"finding(s) across {n} path/code pair(s)", file=stream)
+              f"finding(s) across {n} path/code pair(s), "
+              f"{sum(stats.suppressions.values())} inline suppression(s)",
+              file=stream)
         return 0
 
     suppressed = 0
     if args.baseline:
         try:
-            accepted = load_baseline(args.baseline)
+            baseline = load_baseline(args.baseline)
         except (OSError, ValueError) as exc:
             print(f"error: cannot load baseline: {exc}", file=sys.stderr)
             return 2
-        findings, suppressed = apply_baseline(findings, accepted)
+        findings, suppressed = apply_baseline(findings, baseline.accepted)
+        findings.extend(_suppression_growth(stats, baseline.suppressions,
+                                            args.baseline))
+        findings.sort()
 
     if args.format == "json":
-        print(format_json(findings, checked_files=len(files),
-                          baseline_suppressed=suppressed), file=stream)
+        report = format_json(findings, checked_files=len(files),
+                             baseline_suppressed=suppressed)
+    elif args.format == "sarif":
+        report = format_sarif(findings, checked_files=len(files))
     else:
-        print(format_text(findings, checked_files=len(files)), file=stream)
+        report = format_text(findings, checked_files=len(files))
         if suppressed:
-            print(f"({suppressed} finding(s) accepted by baseline "
-                  f"{args.baseline})", file=stream)
+            report += (f"\n({suppressed} finding(s) accepted by baseline "
+                       f"{args.baseline})")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report)
+            fh.write("\n")
+        print(f"wrote {args.format} report to {args.out}: "
+              f"{len(findings)} finding(s)", file=stream)
+    else:
+        print(report, file=stream)
     return 1 if findings else 0
 
 
@@ -77,8 +124,10 @@ def add_lint_parser(sub: "argparse._SubParsersAction") -> None:
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to analyze (default: src)")
-    p.add_argument("--format", choices=["text", "json"], default="text",
-                   help="report format")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text", help="report format")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
     p.add_argument("--select", metavar="RPR101,RPR202,...",
                    help="run only these rule codes")
     p.add_argument("--baseline", metavar="FILE",

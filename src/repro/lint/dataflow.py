@@ -1,0 +1,578 @@
+"""Cross-yield dataflow rules (RPR4xx, concurrency family).
+
+A ``yield`` inside a sim process generator is a *scheduling point*:
+the event loop runs arbitrary other processes before resuming, so any
+shared mutable state — ``self`` attributes the class rebinds or
+mutates elsewhere, module globals, the simulation clock — may change
+across it.  The per-function RPR1xx–3xx rules cannot see this; these
+rules segment each generator at its yield points and track what flows
+across.
+
+The pass leans on the :mod:`repro.lint.project` model for volatility
+facts (which attributes a class actually rebinds/mutates outside its
+constructor) so stable caches (``tracer = self.env.tracer``-style
+reads of never-reassigned fields) stay quiet.
+
+Scoped to library sources: tests deliberately construct these races
+to pin engine semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.lint.base import (
+    FileContext,
+    Rule,
+    is_env_expr,
+    rule,
+)
+from repro.lint.project import (
+    ClassSummary,
+    ProjectModel,
+    interrupt_guard_status,
+    unguarded_interrupt_sites,
+)
+from repro.lint.simulation import _sim_process_generators
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+__all__ = [
+    "StaleSharedReadRule",
+    "StaleNowRule",
+    "UnguardedInterruptRule",
+    "MutateWhileIterRule",
+]
+
+
+# -- ordered, yield-counting traversal ------------------------------------
+
+class _Cache:
+    """One local caching shared state, created at yield-segment ``seg``."""
+
+    __slots__ = ("kind", "attr", "seg", "node", "describe")
+
+    def __init__(self, kind: str, attr: str, seg: int, node: ast.AST,
+                 describe: str) -> None:
+        self.kind = kind          # "ref" | "value" | "now"
+        self.attr = attr
+        self.seg = seg
+        self.node = node
+        self.describe = describe
+
+
+class _SegmentWalker:
+    """Walks one generator in (approximate) execution order.
+
+    Statements are visited in source order, branches sequentially —
+    a deliberate linearisation: it keeps the pass O(n) and errs toward
+    silence (a yield in a sibling branch advances the segment counter,
+    which can only *hide* a stale read, never invent one on the
+    straight-line path).
+    """
+
+    def __init__(self, on_yield=None, on_name=None, on_call=None,
+                 on_assign=None) -> None:
+        self.seg = 0
+        self._on_yield = on_yield
+        self._on_name = on_name
+        self._on_call = on_call
+        self._on_assign = on_assign
+
+    def walk_function(self, func: FunctionNode) -> None:
+        for stmt in func.body:
+            self._stmt(stmt)
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(node, ast.Assign):
+            self._expr(node.value)
+            if self._on_assign is not None:
+                self._on_assign(node)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._expr(node.value)
+                if self._on_assign is not None:
+                    self._on_assign(node)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._expr(node.value)
+            self._expr(node.target)
+            if self._on_assign is not None:
+                self._on_assign(node)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._expr(node.test)
+            for s in node.body:
+                self._stmt(s)
+            for s in node.orelse:
+                self._stmt(s)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._expr(node.iter)
+            if self._on_assign is not None:
+                self._on_assign(node)
+            for s in node.body:
+                self._stmt(s)
+            for s in node.orelse:
+                self._stmt(s)
+            return
+        if isinstance(node, ast.Try):
+            for s in node.body:
+                self._stmt(s)
+            for handler in node.handlers:
+                for s in handler.body:
+                    self._stmt(s)
+            for s in node.orelse:
+                self._stmt(s)
+            for s in node.finalbody:
+                self._stmt(s)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self._expr(item.context_expr)
+            for s in node.body:
+                self._stmt(s)
+            return
+        # Expression statements, return, raise, assert, delete, …
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+
+    def _expr(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self._expr(node.value)
+            self.seg += 1
+            if self._on_yield is not None:
+                self._on_yield(node)
+            return
+        if isinstance(node, ast.Call):
+            self._expr(node.func)
+            for arg in node.args:
+                self._expr(arg)
+            for kw in node.keywords:
+                self._expr(kw.value)
+            if self._on_call is not None:
+                self._on_call(node)
+            return
+        if isinstance(node, ast.Name):
+            if self._on_name is not None:
+                self._on_name(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+
+
+def _class_of_method(
+    tree: ast.Module, func: FunctionNode
+) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and func in node.body:
+            return node
+    return None
+
+
+def _self_name(func: FunctionNode) -> Optional[str]:
+    args = func.args.posonlyargs + func.args.args
+    return args[0].arg if args else None
+
+
+def _project_of(ctx: FileContext) -> Optional[ProjectModel]:
+    project = ctx.project
+    return project if isinstance(project, ProjectModel) else None
+
+
+def _class_summary(ctx: FileContext, cls: ast.ClassDef) -> Optional[ClassSummary]:
+    project = _project_of(ctx)
+    if project is None:
+        return None
+    return project.class_in_module(ctx.module, cls.name)
+
+
+def _assigned_names(node: ast.stmt) -> List[Tuple[str, Optional[ast.expr]]]:
+    """``(name, value-or-None)`` pairs bound by an assignment-ish stmt."""
+    out: List[Tuple[str, Optional[ast.expr]]] = []
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out.append((target.id, node.value))
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        out.append((elt.id, None))
+    elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        out.append((node.target.id, node.value))
+    elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+        out.append((node.target.id, None))
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        target = node.target
+        if isinstance(target, ast.Name):
+            out.append((target.id, None))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    out.append((elt.id, None))
+    return out
+
+
+def _self_attr_of(expr: ast.expr, self_name: Optional[str]) -> Optional[str]:
+    """``self.X`` → ``"X"`` (only the plain one-level attribute)."""
+    if (self_name is not None
+            and isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == self_name):
+        return expr.attr
+    return None
+
+
+def _is_now_read(expr: ast.expr) -> bool:
+    return (isinstance(expr, ast.Attribute) and expr.attr == "now"
+            and is_env_expr(expr.value))
+
+
+def _contains_now_read(expr: ast.expr) -> bool:
+    return any(_is_now_read(sub) for sub in ast.walk(expr))
+
+
+@rule
+class StaleSharedReadRule(Rule):
+    """RPR401 — shared state cached in a local and reused across a yield.
+
+    ``policy = self.policy`` followed by a ``yield`` and a later use
+    of ``policy`` races with every process that can rebind
+    ``self.policy`` during the wait (a policy refresh, a fault sweep):
+    the continuation acts on a snapshot the rest of the simulation no
+    longer agrees with — the exact shape of the late-reply and
+    double-demotion bugs.  Re-read the attribute after the yield, or
+    prove it stable (the rule keys on the class actually rebinding /
+    mutating the attribute outside ``__init__``).
+    """
+
+    code = "RPR401"
+    name = "stale-shared-read"
+    summary = "local caches self/module state before a yield and reuses it after"
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def check(self, tree: ast.Module) -> None:
+        project = _project_of(self.ctx)
+        module = (project.modules.get(self.ctx.module)
+                  if project is not None and self.ctx.module else None)
+        rebound_globals = module.rebound_globals if module is not None else set()
+        for func in _sim_process_generators(tree):
+            cls = _class_of_method(tree, func)
+            summary = _class_summary(self.ctx, cls) if cls is not None else None
+            self._check_function(func, summary, rebound_globals)
+
+    def _check_function(
+        self,
+        func: FunctionNode,
+        summary: Optional[ClassSummary],
+        rebound_globals: Set[str],
+    ) -> None:
+        self_name = _self_name(func) if summary is not None else None
+        caches: Dict[str, _Cache] = {}
+        reported: Set[Tuple[str, int]] = set()
+        walker = _SegmentWalker()
+
+        def classify(value: ast.expr, seg: int) -> Optional[_Cache]:
+            # ``x = self.attr`` where attr is rebound elsewhere.
+            attr = _self_attr_of(value, self_name)
+            if attr is not None and summary is not None:
+                if attr in summary.volatile_ref_attrs():
+                    return _Cache("ref", attr, seg, value,
+                                  f"self.{attr} (rebound outside __init__)")
+                return None
+            # ``x = len(self.attr)`` / ``x = bool(self.attr)``.
+            if (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in ("len", "bool")
+                    and len(value.args) == 1):
+                attr = _self_attr_of(value.args[0], self_name)
+                if (attr is not None and summary is not None
+                        and attr in summary.volatile_content_attrs()):
+                    return _Cache(
+                        "value", attr, seg, value,
+                        f"{value.func.id}(self.{attr}) (container mutated "
+                        "elsewhere)")
+            # ``x = self.attr[k]``.
+            if isinstance(value, ast.Subscript):
+                attr = _self_attr_of(value.value, self_name)
+                if (attr is not None and summary is not None
+                        and attr in summary.volatile_content_attrs()):
+                    return _Cache("value", attr, seg, value,
+                                  f"self.{attr}[...] (container mutated "
+                                  "elsewhere)")
+            # ``x = MODULE_GLOBAL`` rebound via ``global`` in functions.
+            if (isinstance(value, ast.Name)
+                    and value.id in rebound_globals):
+                return _Cache("ref", value.id, seg, value,
+                              f"module global {value.id!r} (rebound at "
+                              "runtime)")
+            return None
+
+        def on_assign(stmt: ast.stmt) -> None:
+            for name, value in _assigned_names(stmt):
+                caches.pop(name, None)
+                if value is not None:
+                    cache = classify(value, walker.seg)
+                    if cache is not None:
+                        caches[name] = cache
+
+        def on_name(node: ast.Name) -> None:
+            if not isinstance(node.ctx, ast.Load):
+                caches.pop(node.id, None)
+                return
+            cache = caches.get(node.id)
+            if cache is None or cache.seg >= walker.seg:
+                return
+            key = (node.id, cache.seg)
+            if key in reported:
+                return
+            reported.add(key)
+            self.add(node, f"{node.id!r} caches {cache.describe} from "
+                           "before a yield; the value may be stale — "
+                           "re-read the shared state after resuming")
+            caches.pop(node.id, None)
+
+        walker._on_assign = on_assign
+        walker._on_name = on_name
+        walker.walk_function(func)
+
+
+#: Call-name tails that schedule future work from a time argument.
+_SCHED_TAILS = frozenset({"timeout", "Timeout", "Timer", "schedule"})
+
+
+@rule
+class StaleNowRule(Rule):
+    """RPR402 — ``env.now`` captured before a yield, scheduled with after.
+
+    ``env.now`` advances across every yield.  Arithmetic like
+    ``yield env.timeout(deadline - t0)`` where ``t0`` was read before
+    an earlier yield schedules against a clock that no longer exists —
+    delays silently stretch by however long the previous wait took.
+    Re-read ``env.now`` after resuming (expressions that *mix in* a
+    fresh ``env.now`` read, like elapsed-time deltas, are exempt).
+    """
+
+    code = "RPR402"
+    name = "stale-now"
+    summary = "pre-yield env.now capture used in post-yield scheduling arithmetic"
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def check(self, tree: ast.Module) -> None:
+        for func in _sim_process_generators(tree):
+            self._check_function(func)
+
+    def _check_function(self, func: FunctionNode) -> None:
+        caches: Dict[str, int] = {}
+        reported: Set[Tuple[str, int]] = set()
+        walker = _SegmentWalker()
+
+        def on_assign(stmt: ast.stmt) -> None:
+            for name, value in _assigned_names(stmt):
+                caches.pop(name, None)
+                if value is not None and _is_now_read(value):
+                    caches[name] = walker.seg
+
+        def on_call(node: ast.Call) -> None:
+            func_expr = node.func
+            tail = (func_expr.attr if isinstance(func_expr, ast.Attribute)
+                    else func_expr.id if isinstance(func_expr, ast.Name)
+                    else None)
+            if tail not in _SCHED_TAILS:
+                return
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            fresh = any(_contains_now_read(a) for a in args)
+            if fresh:
+                return
+            for arg in args:
+                for sub in ast.walk(arg):
+                    if (isinstance(sub, ast.Name)
+                            and isinstance(sub.ctx, ast.Load)
+                            and sub.id in caches
+                            and caches[sub.id] < walker.seg):
+                        key = (sub.id, caches[sub.id])
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        self.add(node, f"{sub.id!r} holds env.now from "
+                                       "before a yield but feeds "
+                                       f"{tail}(...) after it; the clock "
+                                       "has moved — re-read env.now after "
+                                       "resuming")
+
+        walker._on_assign = on_assign
+        walker._on_call = on_call
+        walker.walk_function(func)
+
+
+@rule
+class UnguardedInterruptRule(Rule):
+    """RPR403 — ``.interrupt()`` without the one-interrupt-ever guard.
+
+    Interrupt delivery is asynchronous: a second interrupter acting at
+    the same instant (a degrade sweep racing a policy refresh, say)
+    throws into a generator that already unwound and corrupts the
+    process event — the PR 6 executor crash.  Every interrupt site
+    must be guarded: test ``process.is_alive`` (and ideally a
+    once-flag set before interrupting) on the enclosing ``if``, or
+    route through a guarded wrapper such as ``_RunningKernel.preempt``.
+    Calls to wrapper methods are accepted when every project class
+    defining that method guards internally (name-based resolution via
+    the project call graph).
+    """
+
+    code = "RPR403"
+    name = "unguarded-interrupt"
+    summary = ".interrupt()/.preempt() on a process handle without a liveness/once guard"
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def check(self, tree: ast.Module) -> None:
+        project = _project_of(self.ctx)
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "interrupt":
+                # The engine primitive itself (Process.interrupt) and
+                # forwarding shims named after it define the contract;
+                # they cannot guard on themselves.
+                continue
+            sites = unguarded_interrupt_sites(node)
+            if sites:
+                for call in sites:
+                    self.add(call, "unguarded .interrupt() — guard with "
+                                   "process.is_alive plus a one-interrupt-"
+                                   "ever flag (or use a guarded wrapper); "
+                                   "a second interrupt at the same instant "
+                                   "throws into a finished generator")
+            self._check_wrapper_calls(node, project)
+
+    def _check_wrapper_calls(
+        self, func: FunctionNode, project: Optional[ProjectModel]
+    ) -> None:
+        """Flag calls to project wrappers that interrupt unguarded."""
+        if project is None:
+            return
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "preempt"):
+                continue
+            candidates = project.methods_by_name.get("preempt", [])
+            statuses = {interrupt_guard_status(m) for _, m in candidates}
+            if statuses and statuses <= {"unguarded"}:
+                owners = sorted(c.name for c, _ in candidates)
+                self.add(node, ".preempt() resolves to unguarded "
+                               f"interrupt wrapper(s) in {', '.join(owners)};"
+                               " add the one-interrupt-ever guard inside "
+                               "the wrapper")
+
+
+@rule
+class MutateWhileIterRule(Rule):
+    """RPR404 — container mutated while a sibling segment iterates it.
+
+    ``for r in self.pending: self.pending.remove(r)`` skips elements
+    (the iterator index shifts under the loop), and a loop that yields
+    mid-iteration hands the container to every other process — a
+    demotion sweep running during the wait invalidates the iterator.
+    Iterate a snapshot (``list(self.pending)``) or restructure to a
+    find-then-act pattern.
+    """
+
+    code = "RPR404"
+    name = "mutate-while-iter"
+    summary = "shared container mutated during direct iteration (or iterated across a yield)"
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def check(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            cls = _class_of_method(tree, node)
+            summary = _class_summary(self.ctx, cls) if cls is not None else None
+            self_name = _self_name(node)
+            if self_name is None:
+                continue
+            for loop in ast.walk(node):
+                if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                    continue
+                attr = _self_attr_of(loop.iter, self_name)
+                if attr is None:
+                    continue  # wrapped (list()/sorted()) or not self.X
+                self._check_loop(loop, attr, self_name, summary)
+
+    def _check_loop(
+        self,
+        loop: Union[ast.For, ast.AsyncFor],
+        attr: str,
+        self_name: str,
+        summary: Optional[ClassSummary],
+    ) -> None:
+        flagged = False
+        for sub in ast.walk(loop):
+            if sub is loop.iter:
+                continue
+            mutated = self._mutates_attr(sub, attr, self_name)
+            if mutated:
+                self.add(sub, f"self.{attr} is mutated while the "
+                              "enclosing for-loop iterates it directly; "
+                              f"iterate a snapshot (list(self.{attr})) "
+                              "or find-then-act")
+                flagged = True
+        if flagged:
+            return
+        has_yield = any(isinstance(s, (ast.Yield, ast.YieldFrom))
+                        for s in ast.walk(loop))
+        if (has_yield and summary is not None
+                and attr in summary.volatile_content_attrs()):
+            self.add(loop, f"loop iterates self.{attr} directly across a "
+                           "yield; other processes mutate it during the "
+                           f"wait — iterate a snapshot (list(self.{attr}))")
+
+    @staticmethod
+    def _mutates_attr(node: ast.AST, attr: str, self_name: str) -> bool:
+        from repro.lint.project import MUTATING_METHODS
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                    and _self_attr_of(func.value, self_name) == attr):
+                return True
+        elif isinstance(node, (ast.Assign,)):
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and _self_attr_of(target.value, self_name) == attr):
+                    return True
+                if _self_attr_of(target, self_name) == attr:
+                    return True
+        elif isinstance(node, ast.AugAssign):
+            if _self_attr_of(node.target, self_name) == attr:
+                return True
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and _self_attr_of(target.value, self_name) == attr):
+                    return True
+        return False

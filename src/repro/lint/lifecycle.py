@@ -1,0 +1,417 @@
+"""Event-lifecycle rules (RPR41x): a tiny abstract interpreter.
+
+:class:`repro.sim.events.Event` has a strict lifecycle — pending →
+triggered → processed, with ``defuse()`` and ``abandon()`` as terminal
+side-tracks.  Violations raise ``SimulationError`` at runtime *if the
+racy interleaving happens*; these rules find them statically by
+tracking each Event-typed local through an abstract state set:
+
+``P``
+    pending (fresh from ``env.event()`` / ``Event(env)``).
+``T``
+    triggered (after ``succeed``/``fail``/``trigger``, or after being
+    yielded on — a completed wait implies the event fired).
+``D``
+    defused (failure delivery disarmed; completing it again is
+    almost always a late-reply bug).
+``A``
+    abandoned (dead to the scheduler; nothing may touch it again).
+
+Control flow forks the state at branches and unions at the join; loop
+bodies are interpreted twice so second-iteration states are observed
+(findings dedupe by location).  Tracking is dropped the moment an
+event *escapes* — stored on an attribute or container, passed to a
+call, returned, aliased — because other code may then advance its
+lifecycle; this trades recall for a near-zero false-positive rate.
+Narrowing on ``ev.triggered`` tests is understood, matching the
+codebase's guard idiom (``if not req.done.triggered: …``).
+
+Scoped to library sources: engine tests trigger twice on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple, Union
+
+from repro.lint.base import FileContext, Rule, is_env_expr, rule
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+__all__ = [
+    "DoubleTriggerRule",
+    "CompleteDeadEventRule",
+    "CallbackAfterAbandonRule",
+]
+
+_COMPLETING = frozenset({"succeed", "fail", "trigger"})
+
+#: Abstract states.
+_P, _T, _D, _A = "P", "T", "D", "A"
+
+
+def _is_event_ctor(value: ast.expr) -> bool:
+    """``env.event()`` or ``Event(env)`` (any env-looking receiver/arg)."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if (isinstance(func, ast.Attribute) and func.attr == "event"
+            and is_env_expr(func.value)):
+        return True
+    if isinstance(func, ast.Name) and func.id == "Event":
+        return True
+    if (isinstance(func, ast.Attribute) and func.attr == "Event"):
+        return True
+    return False
+
+
+class _Interp:
+    """Interprets one function body over Event-local state sets."""
+
+    def __init__(self, report) -> None:
+        self.state: Dict[str, Set[str]] = {}
+        self.report = report  # (node, kind, detail) -> None
+
+    # -- statement dispatch ------------------------------------------
+
+    def run(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(node, ast.Assign):
+            self.expr(node.value)
+            self._assign(node.targets, node.value)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self.expr(node.value)
+                self._assign([node.target], node.value)
+            return
+        if isinstance(node, ast.AugAssign):
+            self.expr(node.value)
+            if isinstance(node.target, ast.Name):
+                self.state.pop(node.target.id, None)
+            return
+        if isinstance(node, ast.If):
+            self.expr(node.test)
+            then_state = _fork(self.state)
+            else_state = _fork(self.state)
+            _narrow(then_state, node.test, True)
+            _narrow(else_state, node.test, False)
+            then_interp = self._branch(then_state)
+            then_interp.run(node.body)
+            else_interp = self._branch(else_state)
+            else_interp.run(node.orelse)
+            terminal_then = _terminates(node.body)
+            terminal_else = _terminates(node.orelse) if node.orelse else False
+            if terminal_then and not terminal_else:
+                self.state = else_interp.state
+            elif terminal_else and not terminal_then:
+                self.state = then_interp.state
+            else:
+                self.state = _merge(then_interp.state, else_interp.state)
+            return
+        if isinstance(node, (ast.While,)):
+            self.expr(node.test)
+            self._loop(node.body)
+            self.run(node.orelse)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self.expr(node.iter)
+            for name in _target_names(node.target):
+                self.state.pop(name, None)
+            self._loop(node.body)
+            self.run(node.orelse)
+            return
+        if isinstance(node, ast.Try):
+            self.run(node.body)
+            pre_handlers = _fork(self.state)
+            for handler in node.handlers:
+                h = self._branch(_fork(pre_handlers))
+                h.run(handler.body)
+                self.state = _merge(self.state, h.state)
+            self.run(node.orelse)
+            self.run(node.finalbody)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self.expr(item.context_expr)
+            self.run(node.body)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                self.expr(node.value)
+                for name in _names_in(node.value):
+                    self.state.pop(name, None)  # escapes to the caller
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.state.pop(target.id, None)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child)
+
+    def _branch(self, state: Dict[str, Set[str]]) -> "_Interp":
+        sub = _Interp(self.report)
+        sub.state = state
+        return sub
+
+    def _loop(self, body: List[ast.stmt]) -> None:
+        # Two passes, the second seeded from the first's *back-edge*
+        # state — so an unconditional ``ev.succeed()`` re-executed on
+        # iteration two is seen as already-triggered.  Bodies that
+        # unconditionally leave the loop (break/return/raise at the
+        # top level) run at most once and get no second pass.
+        # Findings dedupe by location in the rule.
+        first = self._branch(_fork(self.state))
+        first.run(body)
+        once_only = any(isinstance(s, (ast.Break, ast.Return, ast.Raise))
+                        for s in body)
+        joined = first.state
+        if not once_only:
+            second = self._branch(_fork(first.state))
+            second.run(body)
+            joined = _merge(first.state, second.state)
+        self.state = _merge(self.state, joined)
+
+    def _assign(self, targets: List[ast.expr], value: ast.expr) -> None:
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        non_name = [t for t in targets if not isinstance(t, ast.Name)]
+        # ``self.x = ev`` / ``d[k] = ev``: the event escapes.
+        if non_name:
+            for name in _names_in(value):
+                self.state.pop(name, None)
+        for name in names:
+            if _is_event_ctor(value):
+                self.state[name] = {_P}
+            elif isinstance(value, ast.Name) and value.id in self.state:
+                # Aliasing: two names for one event defeats per-name
+                # tracking — drop both.
+                self.state.pop(value.id, None)
+                self.state.pop(name, None)
+            else:
+                self.state.pop(name, None)
+
+    # -- expression dispatch -----------------------------------------
+
+    def expr(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self.expr(node.value)
+                # ``yield ev`` — the wait completed, so the event fired.
+                if (isinstance(node.value, ast.Name)
+                        and node.value.id in self.state):
+                    self.state[node.value.id] = {_T}
+            return
+        if isinstance(node, ast.Call):
+            self._call(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child)
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        # Method call on a tracked local?
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.state):
+            name = func.value.id
+            method = func.attr
+            for arg in node.args:
+                self.expr(arg)
+                self._escape_args([arg], skip=name)
+            for kw in node.keywords:
+                self.expr(kw.value)
+                self._escape_args([kw.value], skip=name)
+            states = self.state[name]
+            if method in _COMPLETING:
+                if states == {_T}:
+                    self.report(node, "RPR411",
+                                f"{name!r} is already triggered on every "
+                                f"path reaching this .{method}() — the "
+                                "engine raises SimulationError; guard with "
+                                f"'if not {name}.triggered:'")
+                elif _A in states:
+                    self.report(node, "RPR412",
+                                f".{method}() on {name!r} which may be "
+                                "abandoned here — completing a dead event "
+                                "corrupts the scheduler's lazy-deletion "
+                                "bookkeeping")
+                elif _D in states:
+                    self.report(node, "RPR412",
+                                f".{method}() on {name!r} which may be "
+                                "defused here — the waiter already gave "
+                                "up; completing it now is a late-reply "
+                                "race")
+                self.state[name] = {_T}
+            elif method == "defuse":
+                self.state[name] = {_D}
+            elif method == "abandon":
+                self.state[name] = {_A}
+            elif method == "callbacks":
+                pass
+            else:
+                # Unknown method — stop assuming we know the lifecycle.
+                self.state.pop(name, None)
+            return
+        # ``ev.callbacks.append(cb)`` — registration.
+        if (isinstance(func, ast.Attribute) and func.attr == "append"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "callbacks"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in self.state):
+            name = func.value.value.id
+            if _A in self.state[name]:
+                self.report(node, "RPR413",
+                            f"callback registered on {name!r} which may be "
+                            "abandoned here — it will never run; register "
+                            "before abandoning (or re-check liveness)")
+            for arg in node.args:
+                self.expr(arg)
+            return
+        # Plain call: visit and treat tracked args as escaping.
+        if isinstance(func, (ast.Call, ast.Attribute, ast.Subscript)):
+            self.expr(func)
+        for arg in node.args:
+            self.expr(arg)
+        for kw in node.keywords:
+            self.expr(kw.value)
+        self._escape_args(list(node.args)
+                          + [kw.value for kw in node.keywords])
+
+    def _escape_args(self, args: List[ast.expr], skip: str = "") -> None:
+        for arg in args:
+            for name in _names_in(arg):
+                if name != skip:
+                    self.state.pop(name, None)
+
+
+def _fork(state: Dict[str, Set[str]]) -> Dict[str, Set[str]]:
+    return {k: set(v) for k, v in state.items()}
+
+
+def _merge(a: Dict[str, Set[str]], b: Dict[str, Set[str]]) -> Dict[str, Set[str]]:
+    out: Dict[str, Set[str]] = {}
+    for key in set(a) | set(b):
+        if key in a and key in b:
+            out[key] = a[key] | b[key]
+        # A name tracked on only one path is unreliable — drop it.
+    return out
+
+
+def _terminates(body: List[ast.stmt]) -> bool:
+    """Does the branch definitely leave the function / loop iteration?"""
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+def _narrow(state: Dict[str, Set[str]], test: ast.expr, truthy: bool) -> None:
+    """Refine states from ``if [not] ev.triggered:`` guards."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        _narrow(state, test.operand, not truthy)
+        return
+    if (isinstance(test, ast.Attribute) and test.attr == "triggered"
+            and isinstance(test.value, ast.Name)
+            and test.value.id in state):
+        name = test.value.id
+        if truthy:
+            # triggered is True for T and for D/A-after-trigger; be
+            # conservative and only exclude pure-pending.
+            state[name] = state[name] - {_P} or {_T}
+        else:
+            state[name] = {_P}
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return [e.id for e in target.elts if isinstance(e, ast.Name)]
+    return []
+
+
+def _names_in(expr: ast.expr) -> List[str]:
+    return [n.id for n in ast.walk(expr)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)]
+
+
+class _LifecycleRuleBase(Rule):
+    """Shared driver: interpret every function, keep one code's findings."""
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def check(self, tree: ast.Module) -> None:
+        seen: Set[Tuple[int, int, str]] = set()
+
+        def report(node: ast.AST, code: str, message: str) -> None:
+            if code != self.code:
+                return
+            key = (getattr(node, "lineno", 1),
+                   getattr(node, "col_offset", 0), code)
+            if key in seen:
+                return
+            seen.add(key)
+            self.add(node, message)
+
+        for func in ast.walk(tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                interp = _Interp(report)
+                interp.run(func.body)
+
+
+@rule
+class DoubleTriggerRule(_LifecycleRuleBase):
+    """RPR411 — completing an event that is already triggered.
+
+    ``succeed``/``fail``/``trigger`` on a triggered event raises
+    ``SimulationError`` at runtime — but only on the interleaving
+    where both completers actually fire, so the crash hides until a
+    fault sweep lines up (PR 5's late-reply bug).  Flagged only when
+    *every* abstract path reaching the call has the event triggered;
+    guard with ``if not ev.triggered:`` to narrow the state.
+    """
+
+    code = "RPR411"
+    name = "double-trigger"
+    summary = "succeed/fail/trigger on an event already triggered on every path"
+
+
+@rule
+class CompleteDeadEventRule(_LifecycleRuleBase):
+    """RPR412 — completing a possibly-defused or abandoned event.
+
+    ``defuse()`` means the waiter gave up; ``abandon()`` hands the
+    event to the scheduler's lazy-deletion sweep.  Completing either
+    afterwards is the late-reply race: the value lands on a consumer
+    that no longer exists, or corrupts the dead-entry bookkeeping.
+    """
+
+    code = "RPR412"
+    name = "complete-dead-event"
+    summary = "succeed/fail on an event that may be defused or abandoned"
+
+
+@rule
+class CallbackAfterAbandonRule(_LifecycleRuleBase):
+    """RPR413 — callback registered on a possibly-abandoned event.
+
+    An abandoned event is skipped by the scheduler, so callbacks
+    appended after ``abandon()`` silently never run — the waiter hangs
+    forever instead of crashing, the worst failure mode a simulation
+    can have.
+    """
+
+    code = "RPR413"
+    name = "callback-after-abandon"
+    summary = "callbacks.append on an event that may be abandoned"

@@ -1,0 +1,539 @@
+"""The once-per-run project model behind the flow-aware rules.
+
+``lint_paths`` parses every discovered file a single time and builds a
+:class:`ProjectModel` before any rule runs:
+
+- a **module import graph** (every ``import``/``from ... import``
+  edge, classified ``toplevel`` / ``typecheck`` / ``deferred``) — the
+  input of the RPR5xx architecture gate;
+- **class/attribute summaries**: which attributes a class assigns in
+  ``__init__``, which it *rebinds* elsewhere, and which it mutates in
+  place (``self.xs.append``, ``self.xs[k] = ...``) — the volatility
+  facts the cross-yield dataflow pass (RPR401/404) keys on;
+- a **conservative call graph**: per function, the dotted names it
+  calls, plus a project-wide method index so ``rk.preempt(...)`` can
+  be resolved (by name — receiver types are unknown) to candidate
+  method bodies (used by RPR403 to accept guarded wrappers).
+
+Known approximations, by design (documented in
+``docs/static_analysis.md``):
+
+- Method resolution is by *name only* — any class with a matching
+  method is a candidate (over-approximate), and unknown receivers are
+  assumed well-behaved (under-approximate).
+- Attribute volatility is computed per class, not per instance, and
+  subclass mutations do not propagate to base-class summaries.
+- Single-file linting (``lint_source`` without a project) builds a
+  one-module model, so per-class facts still work but cross-module
+  facts (layering, cycles) are vacuous.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+__all__ = [
+    "ImportEdge",
+    "ClassSummary",
+    "ModuleSummary",
+    "ProjectModel",
+    "module_name_for_path",
+    "interrupt_guard_status",
+    "unguarded_interrupt_sites",
+    "MUTATING_METHODS",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Container methods that mutate the receiver in place.
+MUTATING_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert", "add",
+    "discard", "remove", "pop", "popleft", "popitem", "clear", "update",
+    "setdefault", "sort", "reverse",
+})
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement edge out of a module."""
+
+    module: str
+    lineno: int
+    col: int
+    #: ``"toplevel"`` (module scope), ``"typecheck"`` (under
+    #: ``if TYPE_CHECKING:``), or ``"deferred"`` (inside a function).
+    context: str
+
+
+@dataclass
+class ClassSummary:
+    """Attribute facts for one class definition."""
+
+    name: str
+    module: str
+    #: Attributes assigned (``self.x = ...``) inside ``__init__`` /
+    #: ``__post_init__`` / class body only.
+    init_attrs: Set[str] = field(default_factory=set)
+    #: Attributes *rebound* (``self.x = ...``) outside the
+    #: constructors — reading a cached reference across a yield races
+    #: with the rebind.
+    rebound_attrs: Set[str] = field(default_factory=set)
+    #: Attributes mutated in place (``self.x.append(...)``,
+    #: ``self.x[k] = v``, ``del self.x[k]``, ``self.x += ...``)
+    #: anywhere in the class — cached *values* (length, element) go
+    #: stale across a yield.
+    mutated_attrs: Set[str] = field(default_factory=set)
+    #: method name → AST node.
+    methods: Dict[str, FunctionNode] = field(default_factory=dict)
+
+    def volatile_ref_attrs(self) -> Set[str]:
+        return self.rebound_attrs
+
+    def volatile_content_attrs(self) -> Set[str]:
+        return self.rebound_attrs | self.mutated_attrs
+
+
+@dataclass
+class ModuleSummary:
+    """Per-module facts extracted in one pass over its AST."""
+
+    name: str
+    path: str
+    imports: List[ImportEdge] = field(default_factory=list)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    #: Module-level names rebound from inside functions (``global x``
+    #: plus an assignment) — cached module state, same hazard as a
+    #: rebound attribute.
+    rebound_globals: Set[str] = field(default_factory=set)
+    #: Conservative call graph: function qualname → called dotted
+    #: names (as written; resolution is by final-name matching).
+    calls: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+class ProjectModel:
+    """All modules of one lint run, plus derived indexes."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        self._by_path: Dict[str, ModuleSummary] = {}
+        #: method name → [(class summary, method node)] across the
+        #: whole project (name-based conservative method resolution).
+        self.methods_by_name: Dict[str, List[Tuple[ClassSummary, FunctionNode]]] = {}
+        #: Populated lazily by the cycle rule.
+        self._scc_cache: Optional[Dict[str, Set[str]]] = None
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def build(cls, trees: Dict[str, ast.Module]) -> "ProjectModel":
+        """Build the model from ``path → parsed module`` (sorted order)."""
+        model = cls()
+        for path in sorted(trees):
+            model.add_module(path, trees[path])
+        return model
+
+    @classmethod
+    def from_tree(cls, path: str, tree: ast.Module) -> "ProjectModel":
+        """One-module model for standalone ``lint_source`` runs."""
+        model = cls()
+        model.add_module(path, tree)
+        return model
+
+    def add_module(self, path: str, tree: ast.Module) -> None:
+        name = module_name_for_path(path)
+        summary = _summarize_module(name, path, tree)
+        self.modules[name] = summary
+        self._by_path[os.path.normpath(path)] = summary
+        for cls_summary in summary.classes.values():
+            for mname, mnode in cls_summary.methods.items():
+                self.methods_by_name.setdefault(mname, []).append(
+                    (cls_summary, mnode))
+
+    # -- lookups ----------------------------------------------------------
+    def module_for_path(self, path: str) -> Optional[str]:
+        summary = self._by_path.get(os.path.normpath(path))
+        return summary.name if summary is not None else None
+
+    def class_in_module(self, module: Optional[str], name: str) -> Optional[ClassSummary]:
+        if module is None:
+            return None
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        return summary.classes.get(name)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file path.
+
+    Prefers the real package structure (walking up while
+    ``__init__.py`` exists).  For paths that do not exist on disk
+    (snippet fixtures), falls back to the textual convention: the
+    components after a ``src`` directory, else from a ``repro``
+    component, else the bare stem.
+    """
+    norm = os.path.normpath(path)
+    stem = os.path.splitext(os.path.basename(norm))[0]
+    dirpath = os.path.dirname(norm)
+    if os.path.exists(norm):
+        parts = [stem]
+        while dirpath and os.path.isfile(os.path.join(dirpath, "__init__.py")):
+            parts.insert(0, os.path.basename(dirpath))
+            dirpath = os.path.dirname(dirpath)
+        if parts[-1] == "__init__" and len(parts) > 1:
+            parts.pop()
+        return ".".join(parts)
+    parts = norm.replace(os.sep, "/").split("/")
+    parts[-1] = stem
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__" and len(parts) > 1:
+        parts.pop()
+    return ".".join(parts) if parts else stem
+
+
+# -- module summarization -------------------------------------------------
+
+def _summarize_module(name: str, path: str, tree: ast.Module) -> ModuleSummary:
+    summary = ModuleSummary(name=name, path=path)
+    _collect_imports(tree.body, name, "toplevel", summary.imports)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            summary.classes[node.name] = _summarize_class(name, node)
+    _collect_rebound_globals(tree, summary)
+    _collect_calls(tree, summary)
+    return summary
+
+
+def _collect_imports(
+    body: List[ast.stmt],
+    module: str,
+    context: str,
+    out: List[ImportEdge],
+) -> None:
+    for node in body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.append(ImportEdge(alias.name, node.lineno,
+                                      node.col_offset, context))
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_from_import(module, node)
+            if target:
+                out.append(ImportEdge(target, node.lineno,
+                                      node.col_offset, context))
+        elif isinstance(node, ast.If):
+            branch = context
+            if context == "toplevel" and _mentions_type_checking(node.test):
+                branch = "typecheck"
+            _collect_imports(node.body, module, branch, out)
+            _collect_imports(node.orelse, module, context, out)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _collect_imports(node.body, module, "deferred", out)
+        elif isinstance(node, ast.ClassDef):
+            _collect_imports(node.body, module, context, out)
+        elif isinstance(node, ast.Try):
+            _collect_imports(node.body, module, context, out)
+            for handler in node.handlers:
+                _collect_imports(handler.body, module, context, out)
+            _collect_imports(node.orelse, module, context, out)
+            _collect_imports(node.finalbody, module, context, out)
+        elif isinstance(node, (ast.With, ast.AsyncWith, ast.For,
+                               ast.AsyncFor, ast.While)):
+            _collect_imports(node.body, module, context, out)
+            _collect_imports(getattr(node, "orelse", []), module, context, out)
+
+
+def _mentions_type_checking(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id == "TYPE_CHECKING":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "TYPE_CHECKING":
+            return True
+    return False
+
+
+def _resolve_from_import(module: str, node: ast.ImportFrom) -> str:
+    """Absolute dotted target of a ``from ... import`` statement."""
+    if node.level == 0:
+        return node.module or ""
+    parts = module.split(".")
+    # The anchor package: strip the module's own final component
+    # (unless the module *is* a package, which we cannot tell here —
+    # assume plain module, the common case), then climb level-1 more.
+    anchor = parts[:-1]
+    climb = node.level - 1
+    if climb:
+        anchor = anchor[:-climb] if climb <= len(anchor) else []
+    if node.module:
+        anchor = anchor + node.module.split(".")
+    return ".".join(anchor)
+
+
+_CTOR_NAMES = frozenset({"__init__", "__post_init__", "__new__",
+                         "__init_subclass__", "__set_name__"})
+
+
+def _summarize_class(module: str, node: ast.ClassDef) -> ClassSummary:
+    summary = ClassSummary(name=node.name, module=module)
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        summary.methods[item.name] = item
+        self_name = _self_arg(item)
+        if self_name is None:
+            continue
+        in_ctor = item.name in _CTOR_NAMES
+        for sub in ast.walk(item):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    for attr in _attr_targets(target, self_name):
+                        (summary.init_attrs if in_ctor
+                         else summary.rebound_attrs).add(attr)
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                for attr in _attr_targets(sub.target, self_name):
+                    (summary.init_attrs if in_ctor
+                     else summary.rebound_attrs).add(attr)
+            elif isinstance(sub, ast.AugAssign):
+                attr = _plain_self_attr(sub.target, self_name)
+                if attr is not None:
+                    # ``self.x += 1`` is a rebind for immutables and a
+                    # mutation for containers; count it as both.
+                    if not in_ctor:
+                        summary.rebound_attrs.add(attr)
+                    summary.mutated_attrs.add(attr)
+                else:
+                    attr = _subscript_self_attr(sub.target, self_name)
+                    if attr is not None:
+                        summary.mutated_attrs.add(attr)
+            elif isinstance(sub, (ast.Delete,)):
+                for target in sub.targets:
+                    attr = _subscript_self_attr(target, self_name)
+                    if attr is not None:
+                        summary.mutated_attrs.add(attr)
+            elif isinstance(sub, ast.Call):
+                attr = _mutating_call_attr(sub, self_name)
+                if attr is not None:
+                    summary.mutated_attrs.add(attr)
+        # Subscript stores: ``self.x[k] = v`` appears as Assign with a
+        # Subscript target; catch those too.
+        for sub in ast.walk(item):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    attr = _subscript_self_attr(target, self_name)
+                    if attr is not None:
+                        summary.mutated_attrs.add(attr)
+    return summary
+
+
+def _self_arg(func: FunctionNode) -> Optional[str]:
+    args = func.args.posonlyargs + func.args.args
+    if not args:
+        return None
+    for deco in func.decorator_list:
+        if isinstance(deco, ast.Name) and deco.id in ("staticmethod", "classmethod"):
+            return None
+    return args[0].arg
+
+
+def _attr_targets(target: ast.expr, self_name: str) -> List[str]:
+    """Attribute names assigned on ``self`` by an assignment target."""
+    out: List[str] = []
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            out.extend(_attr_targets(elt, self_name))
+        return out
+    attr = _plain_self_attr(target, self_name)
+    if attr is not None:
+        out.append(attr)
+    return out
+
+
+def _plain_self_attr(node: ast.expr, self_name: str) -> Optional[str]:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name):
+        return node.attr
+    return None
+
+
+def _subscript_self_attr(node: ast.expr, self_name: str) -> Optional[str]:
+    if isinstance(node, ast.Subscript):
+        return _plain_self_attr(node.value, self_name)
+    return None
+
+
+def _mutating_call_attr(call: ast.Call, self_name: str) -> Optional[str]:
+    """``self.x.append(...)`` → ``"x"`` when the method mutates."""
+    func = call.func
+    if (isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS):
+        return _plain_self_attr(func.value, self_name)
+    return None
+
+
+def _collect_rebound_globals(tree: ast.Module, summary: ModuleSummary) -> None:
+    module_names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    module_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            module_names.add(node.target.id)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                if name in module_names:
+                    summary.rebound_globals.add(name)
+
+
+def _collect_calls(tree: ast.Module, summary: ModuleSummary) -> None:
+    """Fill the conservative call graph (qualname → called names)."""
+
+    def visit_function(func: FunctionNode, qualname: str) -> None:
+        called: Set[str] = set()
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit_function(node, f"{qualname}.<locals>.{node.name}")
+                continue
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Call):
+                name = _called_name(node.func)
+                if name is not None:
+                    called.add(name)
+            stack.extend(ast.iter_child_nodes(node))
+        summary.calls[qualname] = called
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visit_function(node, node.name)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit_function(item, f"{node.name}.{item.name}")
+
+
+def _called_name(func: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    if parts:
+        # Method call on a computed receiver: keep the tail.
+        return ".".join(reversed(parts))
+    return None
+
+
+# -- interrupt-guard analysis (shared by RPR403) --------------------------
+
+def interrupt_guard_status(func: FunctionNode) -> str:
+    """Classify a function's use of ``.interrupt()``.
+
+    Returns ``"no-interrupt"`` when the body never calls
+    ``.interrupt``, ``"guarded"`` when every such call sits behind the
+    one-interrupt-ever pattern, and ``"unguarded"`` otherwise.  Used
+    both by RPR403 directly and to accept calls into guarded wrapper
+    methods (``rk.preempt(...)``).
+    """
+    sites = unguarded_interrupt_sites(func)
+    if sites is None:
+        return "no-interrupt"
+    return "unguarded" if sites else "guarded"
+
+
+def unguarded_interrupt_sites(func: FunctionNode) -> Optional[List[ast.Call]]:
+    """Unguarded ``.interrupt()`` call nodes in ``func``.
+
+    None when the function contains no interrupt call at all.  A call
+    is *guarded* when (a) an enclosing ``if``/``while`` test mentions
+    ``is_alive`` or a once-flag (an attribute assigned ``True``
+    somewhere in the same function), or (b) an earlier statement in
+    the function is an ``if`` whose body exits early (return / raise /
+    continue / break) and whose test mentions such a guard.
+    """
+    calls: List[ast.Call] = []
+    parents: Dict[ast.AST, ast.AST] = {}
+    stack: List[ast.AST] = [func]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+            if (isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "interrupt"):
+                calls.append(child)
+    if not calls:
+        return None
+
+    flag_attrs = _true_assigned_attrs(func)
+    guard_words = flag_attrs | {"is_alive"}
+
+    def test_guards(test: ast.expr) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr in guard_words:
+                return True
+            if isinstance(sub, ast.Name) and sub.id in guard_words:
+                return True
+        return False
+
+    early_guard_lines: List[int] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.If) and test_guards(node.test):
+            if any(isinstance(s, (ast.Return, ast.Raise, ast.Continue,
+                                  ast.Break))
+                   for s in node.body):
+                early_guard_lines.append(node.lineno)
+
+    unguarded: List[ast.Call] = []
+    for call in calls:
+        node: ast.AST = call
+        guarded = False
+        while node is not func:
+            parent = parents.get(node)
+            if parent is None:
+                break
+            if (isinstance(parent, (ast.If, ast.While))
+                    and (node in parent.body
+                         or node in getattr(parent, "orelse", []))
+                    and test_guards(parent.test)):
+                guarded = True
+                break
+            node = parent
+        if not guarded:
+            for line in early_guard_lines:
+                if line <= call.lineno:
+                    guarded = True
+                    break
+        if not guarded:
+            unguarded.append(call)
+    return unguarded
+
+
+def _true_assigned_attrs(func: FunctionNode) -> Set[str]:
+    """Attribute names assigned the constant True within ``func``."""
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Constant)
+                and node.value.value is True):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    out.add(target.attr)
+    return out

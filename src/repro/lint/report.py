@@ -1,13 +1,18 @@
-"""Text and JSON reporters for lint findings."""
+"""Text, JSON and SARIF reporters for lint findings."""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
-from repro.lint.base import REGISTRY, Finding, all_rules
+from repro.lint.base import Finding, all_rules
 
-__all__ = ["format_text", "format_json", "format_rule_catalogue"]
+__all__ = [
+    "format_text",
+    "format_json",
+    "format_sarif",
+    "format_rule_catalogue",
+]
 
 
 def format_text(findings: List[Finding], checked_files: int = 0) -> str:
@@ -48,11 +53,78 @@ def _counts_by_code(findings: List[Finding]) -> Dict[str, int]:
     return out
 
 
+def _rule_metadata() -> List[Tuple[str, str, str]]:
+    """``(code, name, summary)`` for every rule incl. driver pseudo-rules."""
+    from repro.lint.analyzer import META_RULES
+    rows = [(r.code, r.name, r.summary) for r in all_rules()]
+    rows.extend((code, name, summary)
+                for code, (name, summary) in META_RULES.items())
+    return sorted(rows)
+
+
+def format_sarif(findings: List[Finding], checked_files: int = 0) -> str:
+    """SARIF 2.1.0 document, the format GitHub code scanning ingests.
+
+    Paths are emitted as given (repo-relative when lint is run from the
+    repo root, which is how CI invokes it) so annotations land on the
+    right lines of the PR diff.
+    """
+    rules = [
+        {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": summary},
+            "helpUri": "https://example.invalid/docs/static_analysis.md",
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, name, summary in _rule_metadata()
+    ]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": f.col,
+                    },
+                },
+            }],
+        }
+        if f.code in rule_index:
+            result["ruleIndex"] = rule_index[f.code]
+        results.append(result)
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri": ("https://example.invalid/docs/"
+                                       "static_analysis.md"),
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "properties": {"checked_files": checked_files},
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
 def format_rule_catalogue() -> str:
-    """The ``--list-rules`` table."""
-    width = max(len(r.name) for r in REGISTRY.values())
-    lines = []
-    for rule_cls in all_rules():
-        lines.append(f"{rule_cls.code}  {rule_cls.name:<{width}}  "
-                     f"{rule_cls.summary}")
-    return "\n".join(lines)
+    """The ``--list-rules`` table (registered + driver pseudo-rules)."""
+    rows = _rule_metadata()
+    width = max(len(name) for _, name, _ in rows)
+    return "\n".join(f"{code}  {name:<{width}}  {summary}"
+                     for code, name, summary in rows)

@@ -14,11 +14,14 @@ All client methods are *simulation processes*: drive them with
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.sim.engine import Environment
-from repro.sim.events import AllOf
+from repro.sim.events import AllOf, Event
 from repro.cluster.node import ComputeNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
 from repro.kernels.base import KernelCheckpoint
 from repro.pvfs.filehandle import FileHandle
 from repro.pvfs.metadata import MetadataServer, PVFSError
@@ -115,7 +118,9 @@ class PVFSClient:
         return requests
 
     # -- normal I/O -------------------------------------------------------------
-    def read(self, fh: FileHandle, offset: int = 0, size: Optional[int] = None):
+    def read(
+        self, fh: FileHandle, offset: int = 0, size: Optional[int] = None
+    ) -> Generator[Event, Any, List[IOReply]]:
         """Read ``size`` bytes at ``offset`` (simulation process).
 
         Returns the list of per-server :class:`IOReply` objects; the
@@ -131,8 +136,8 @@ class PVFSClient:
         fh: FileHandle,
         offset: int = 0,
         size: Optional[int] = None,
-        data=None,
-    ):
+        data: Optional["np.ndarray"] = None,
+    ) -> Generator[Event, Any, List[IOReply]]:
         """Write ``size`` bytes at ``offset`` (simulation process).
 
         ``data`` (numpy array) attaches real bytes — each per-server
@@ -167,7 +172,7 @@ class PVFSClient:
         size: Optional[int] = None,
         meta: Optional[dict] = None,
         resume_from: Optional[KernelCheckpoint] = None,
-    ):
+    ) -> Generator[Event, Any, List[IOReply]]:
         """Issue an active read (simulation process).
 
         Each stripe server receives an active request for its share;
@@ -264,7 +269,9 @@ class PVFSClient:
             extents=request.extents,
         )
 
-    def _scatter_gather(self, requests: List[IORequest]):
+    def _scatter_gather(
+        self, requests: List[IORequest]
+    ) -> Generator[Event, Any, List[IOReply]]:
         """Submit per-server requests, wait for every reply (process)."""
         for request in requests:
             self.submit(request)

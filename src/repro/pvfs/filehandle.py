@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 
 class SyntheticData:
@@ -96,7 +97,9 @@ class PVFSFile:
                 f"data has {self.data.nbytes} bytes but size says {self.size}"
             )
 
-    def read_bytes_as_array(self, offset: int, size: int, dtype=np.float64) -> np.ndarray:
+    def read_bytes_as_array(
+        self, offset: int, size: int, dtype: npt.DTypeLike = np.float64
+    ) -> np.ndarray:
         """Materialise the extent ``[offset, offset+size)`` as an array."""
         if offset < 0 or size < 0 or offset + size > self.size:
             raise ValueError(

@@ -9,7 +9,7 @@ is property-tested (no byte lost, none duplicated).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -68,7 +68,7 @@ class StripeLayout:
         stripe_size: int,
         n_servers: int,
         first_server: int = 0,
-        server_list=None,
+        server_list: Optional[Sequence[int]] = None,
         n_replicas: int = 1,
         replica_span: int | None = None,
     ) -> None:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.kernels.base import KernelCheckpoint
 from repro.pvfs.filehandle import FileHandle, PVFSFile
@@ -97,7 +98,7 @@ def read_extent_stream(
     extents: Tuple[Tuple[int, int], ...],
     start: int,
     length: int,
-    dtype=np.float64,
+    dtype: npt.DTypeLike = np.float64,
 ) -> np.ndarray:
     """Materialise ``[start, start+length)`` of the extent stream."""
     pieces = [
@@ -192,7 +193,9 @@ class IORequest:
         """True for active I/O."""
         return self.kind is IOKind.ACTIVE
 
-    def read_stream(self, file: PVFSFile, start: int, length: int, dtype=np.float64) -> np.ndarray:
+    def read_stream(
+        self, file: PVFSFile, start: int, length: int, dtype: npt.DTypeLike = np.float64
+    ) -> np.ndarray:
         """Read ``[start, start+length)`` of this request's data stream."""
         return read_extent_stream(file, self.extents, start, length, dtype)
 

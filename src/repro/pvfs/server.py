@@ -14,12 +14,12 @@ Contention Estimator's probe reads (n, k, D, D_A) from it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol, Tuple
+from typing import Any, Dict, Generator, Optional, Protocol, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.qos.admission import AdmissionController, AdmissionDecision
 from repro.sim.engine import Environment
-from repro.sim.events import Timer
+from repro.sim.events import Event, Timer
 from repro.sim.exceptions import Failure
 from repro.sim.process import Process
 from repro.cluster.config import ClusterConfig
@@ -393,7 +393,7 @@ class IOServer:
             )
 
     # -- normal I/O path -----------------------------------------------------------
-    def _serve_normal(self, request: IORequest):
+    def _serve_normal(self, request: IORequest) -> Generator[Event, Any, None]:
         tr = self.env.tracer
         if tr.enabled:
             tr.instant(
@@ -424,7 +424,7 @@ class IOServer:
         self.finish(request, reply)
 
     # -- write path ------------------------------------------------------------------
-    def _serve_write(self, request: IORequest):
+    def _serve_write(self, request: IORequest) -> Generator[Event, Any, None]:
         """Ingest data: the transfer crosses the same NIC, then the
         bytes land in the file's buffer (when one exists)."""
         tr = self.env.tracer

@@ -1,0 +1,7 @@
+"""BAD fixture (with beta.py): a two-module import cycle (RPR502)."""
+
+from repro.beta import helper
+
+
+def entry():
+    return helper()

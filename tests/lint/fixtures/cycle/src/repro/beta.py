@@ -1,0 +1,7 @@
+"""BAD fixture (with alpha.py): the other half of the cycle."""
+
+from repro.alpha import entry
+
+
+def helper():
+    return entry

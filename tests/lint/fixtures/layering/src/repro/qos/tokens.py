@@ -1,0 +1,3 @@
+"""Stand-in policy module for the layering fixture tree."""
+
+BUCKET = 42

@@ -1,0 +1,11 @@
+"""BAD fixture: the foundation layer importing policy (RPR501).
+
+``repro.sim`` must never see ``repro.qos`` — the engine cannot depend
+on policy built on top of it.
+"""
+
+from repro.qos.tokens import BUCKET
+
+
+def capacity():
+    return BUCKET

@@ -1,0 +1,10 @@
+"""GOOD fixture: a deferred (function-local) upward reference.
+
+Deferring the import into the using function is the sanctioned escape
+hatch; RPR501 only constrains top-level edges.
+"""
+
+
+def capacity():
+    from repro.qos.tokens import BUCKET
+    return BUCKET

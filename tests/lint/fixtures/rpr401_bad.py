@@ -1,0 +1,20 @@
+"""BAD fixture: shared state cached in a local and reused across a yield.
+
+``self.policy`` is rebound by ``refresh`` (outside ``__init__``), so
+the local snapshot taken before the wait can be stale after it — the
+shape of the double-demotion and late-decision bugs.
+"""
+
+
+class Scheduler:
+    def __init__(self, env):
+        self.env = env
+        self.policy = None
+
+    def refresh(self, policy):
+        self.policy = policy
+
+    def run(self):
+        policy = self.policy
+        yield self.env.timeout(1.0)
+        return policy.decide()

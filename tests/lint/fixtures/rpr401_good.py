@@ -1,0 +1,18 @@
+"""GOOD fixture: shared state re-read after the yield (and a stable
+attribute cached harmlessly — never rebound outside ``__init__``)."""
+
+
+class Scheduler:
+    def __init__(self, env):
+        self.env = env
+        self.policy = None
+        self.tracer = object()
+
+    def refresh(self, policy):
+        self.policy = policy
+
+    def run(self):
+        tracer = self.tracer  # stable: only assigned in __init__
+        yield self.env.timeout(1.0)
+        policy = self.policy  # re-read after resuming
+        return policy.decide(), tracer

@@ -1,0 +1,11 @@
+"""BAD fixture: pre-yield ``env.now`` driving post-yield scheduling.
+
+``t0`` froze the clock before the first wait; using it as a timeout
+argument afterwards schedules against a time that no longer exists.
+"""
+
+
+def paced_sender(env, device):
+    t0 = env.now
+    yield env.timeout(device.latency)
+    yield env.timeout(t0 + device.period)

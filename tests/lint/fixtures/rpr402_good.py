@@ -1,0 +1,11 @@
+"""GOOD fixture: scheduling arithmetic mixes in a fresh ``env.now``.
+
+The elapsed-delta form re-reads the clock after resuming, so the
+pre-yield capture is only an epoch, not a schedule.
+"""
+
+
+def paced_sender(env, device):
+    t0 = env.now
+    yield env.timeout(device.latency)
+    yield env.timeout(max(0.0, t0 + device.period - env.now))

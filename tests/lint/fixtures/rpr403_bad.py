@@ -1,0 +1,19 @@
+"""BAD fixture: the PR 6 unguarded double-interrupt pattern, verbatim.
+
+Before the fix, ``_RunningKernel.preempt`` interrupted its process
+unconditionally; a degraded-mode sweep and a client cancel arriving at
+the same timestamp both interrupted, and the second throw landed in a
+generator that had already unwound.  RPR403 must flag the interrupt
+site (this file is the regression pin for that bug class).
+"""
+
+
+class RunningKernelUnguarded:
+    def __init__(self, process):
+        self.process = process
+        self.phase = "compute"
+
+    def preempt(self, cause, failure=False):
+        # No once-flag, no is_alive check: the historical bug.
+        self.process.interrupt((cause, failure))
+        return True

@@ -1,0 +1,20 @@
+"""GOOD fixture: the one-interrupt-ever guard, as shipped by PR 6.
+
+The once-flag is set *before* interrupting and every path re-checks
+liveness, so a racing second preempter is a no-op.  RPR403 must stay
+quiet here.
+"""
+
+
+class RunningKernelGuarded:
+    def __init__(self, process):
+        self.process = process
+        self.phase = "compute"
+        self.preempted = False
+
+    def preempt(self, cause, failure=False):
+        if self.preempted or self.phase != "compute" or not self.process.is_alive:
+            return False
+        self.preempted = True
+        self.process.interrupt((cause, failure))
+        return True

@@ -1,0 +1,27 @@
+"""BAD fixture: container mutated while the loop iterates it directly.
+
+The historical ``abort``/``shed`` shape in ``core.runtime``: removing
+from ``self.pending`` inside ``for request in self.pending`` shifts
+the iterator; and the second loop yields mid-iteration over a
+container other processes append to.
+"""
+
+
+class Server:
+    def __init__(self, env):
+        self.env = env
+        self.pending = []
+
+    def enqueue(self, request):
+        self.pending.append(request)
+
+    def abort(self, rid):
+        for request in self.pending:
+            if request.rid == rid:
+                self.pending.remove(request)
+                return True
+        return False
+
+    def drain(self):
+        for request in self.pending:
+            yield self.env.timeout(request.cost)

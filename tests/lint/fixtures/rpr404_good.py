@@ -1,0 +1,21 @@
+"""GOOD fixture: find-then-act and snapshot iteration."""
+
+
+class Server:
+    def __init__(self, env):
+        self.env = env
+        self.pending = []
+
+    def enqueue(self, request):
+        self.pending.append(request)
+
+    def abort(self, rid):
+        request = next((r for r in self.pending if r.rid == rid), None)
+        if request is not None:
+            self.pending.remove(request)
+            return True
+        return False
+
+    def drain(self):
+        for request in list(self.pending):
+            yield self.env.timeout(request.cost)

@@ -1,0 +1,40 @@
+"""BAD fixture: event-lifecycle violations (RPR411/412/413).
+
+Each function is one violation: completing an already-triggered event,
+completing a defused/abandoned one, and registering a callback on an
+abandoned one.
+"""
+
+
+def double_succeed(env):
+    ev = env.event()
+    ev.succeed(1)
+    ev.succeed(2)  # RPR411: triggered on every path
+    yield ev
+
+
+def complete_after_wait(env):
+    ev = env.event()
+    yield ev
+    ev.fail(RuntimeError("late"))  # RPR411: the wait already fired it
+
+
+def fail_after_defuse(env):
+    ev = env.event()
+    ev.defuse()
+    ev.fail(RuntimeError("late reply"))  # RPR412
+    yield env.timeout(1.0)
+
+
+def succeed_after_abandon(env):
+    ev = env.event()
+    ev.abandon()
+    ev.succeed(0)  # RPR412
+    yield env.timeout(1.0)
+
+
+def callback_after_abandon(env):
+    ev = env.event()
+    ev.abandon()
+    ev.callbacks.append(print)  # RPR413: never runs
+    yield env.timeout(1.0)

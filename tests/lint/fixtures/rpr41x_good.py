@@ -1,0 +1,29 @@
+"""GOOD fixture: guarded / branch-exclusive event lifecycles.
+
+Narrowing on ``.triggered``, branch-exclusive completion, and escape
+(an event handed to another owner is no longer ours to judge) must all
+stay quiet.
+"""
+
+
+def guarded_completion(env):
+    ev = env.event()
+    ev.succeed(1)
+    if not ev.triggered:
+        ev.succeed(2)  # unreachable-but-guarded: narrowed to pending
+    yield ev
+
+
+def branch_exclusive(env, ok):
+    ev = env.event()
+    if ok:
+        ev.succeed("value")
+    else:
+        ev.fail(RuntimeError("boom"))
+    yield env.timeout(1.0)
+
+
+def escaped_event(env, registry):
+    ev = env.event()
+    registry.track(ev)  # escapes: other code may complete it
+    yield env.timeout(1.0)

@@ -36,14 +36,15 @@ class TestSuppressions:
         assert fs == []
 
     def test_suppression_is_code_specific(self):
-        # Suppressing RPR101 does not hide the RPR102 on the same line.
+        # Suppressing RPR101 does not hide the RPR102 on the same line —
+        # and the mis-targeted directive is itself flagged as stale.
         fs = lint_snippet("""
             import time
 
             def measure():
                 return time.time()  # reprolint: disable=RPR101
         """)
-        assert codes(fs) == ["RPR102"]
+        assert codes(fs) == ["RPR902", "RPR102"]
 
     def test_multiple_codes_one_directive(self):
         fs = lint_snippet("""

@@ -26,9 +26,10 @@ class TestBaseline:
         bl = tmp_path / "baseline.json"
         n = write_baseline(str(bl), findings)
         assert n == 2  # two path::code pairs
-        accepted = load_baseline(str(bl))
-        assert accepted == {"src/repro/x.py::RPR102": 2,
-                            "src/repro/y.py::RPR103": 1}
+        baseline = load_baseline(str(bl))
+        assert baseline.accepted == {"src/repro/x.py::RPR102": 2,
+                                     "src/repro/y.py::RPR103": 1}
+        assert baseline.suppressions == {}
 
     def test_apply_suppresses_accepted_counts(self):
         accepted = {"src/repro/x.py::RPR102": 1}

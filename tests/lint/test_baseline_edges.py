@@ -1,0 +1,174 @@
+"""Baseline ratchet edges and the suppression ratchet (RPR901/902)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser
+from repro.lint import (
+    LintStats,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from tests.lint.util import codes, lint_snippet
+
+
+def _run(argv):
+    out = io.StringIO()
+    args = build_parser().parse_args(argv)
+    rc = args.func(args, out=out)
+    return rc, out.getvalue()
+
+
+def _dirty_tree(tmp_path, n=1):
+    src_dir = tmp_path / "src" / "repro"
+    src_dir.mkdir(parents=True, exist_ok=True)
+    body = "import time\n\n" + "\n\n".join(
+        f"def f{i}():\n    return time.time()" for i in range(n))
+    (src_dir / "dirty.py").write_text(body + "\n")
+    return str(tmp_path)
+
+
+class TestBaselineEdges:
+    def test_write_baseline_with_zero_findings(self, tmp_path):
+        src_dir = tmp_path / "src" / "repro"
+        src_dir.mkdir(parents=True)
+        (src_dir / "clean.py").write_text("def f(env):\n    return env.now\n")
+        bl = tmp_path / "baseline.json"
+        rc, out = _run(["lint", str(tmp_path), "--baseline", str(bl),
+                        "--write-baseline"])
+        assert rc == 0
+        baseline = load_baseline(str(bl))
+        assert baseline.accepted == {} and baseline.suppressions == {}
+        # An empty baseline is usable and accepts nothing.
+        rc, _ = _run(["lint", str(tmp_path), "--baseline", str(bl)])
+        assert rc == 0
+
+    def test_count_decrease_tightens_the_ratchet(self, tmp_path):
+        root = _dirty_tree(tmp_path, n=2)
+        bl = tmp_path / "baseline.json"
+        _run(["lint", root, "--baseline", str(bl), "--write-baseline"])
+        assert sum(load_baseline(str(bl)).accepted.values()) == 2
+        # Fix one finding, regenerate: the accepted count can only drop.
+        _dirty_tree(tmp_path, n=1)
+        _run(["lint", root, "--baseline", str(bl), "--write-baseline"])
+        assert sum(load_baseline(str(bl)).accepted.values()) == 1
+        # And the tightened baseline no longer covers the old debt.
+        _dirty_tree(tmp_path, n=2)
+        rc, out = _run(["lint", root, "--baseline", str(bl)])
+        assert rc == 1 and "RPR102" in out
+
+    def test_unknown_rule_code_in_stale_baseline_errors(self, tmp_path):
+        bl = tmp_path / "baseline.json"
+        bl.write_text(json.dumps({
+            "version": 2,
+            "accepted": {"src/repro/x.py::RPR777": 3},
+            "suppressions": {},
+        }))
+        with pytest.raises(ValueError) as exc:
+            load_baseline(str(bl))
+        assert "RPR777" in str(exc.value)
+        assert "regenerate" in str(exc.value)
+        # Through the CLI it is a usage error (exit 2), not a crash.
+        root = _dirty_tree(tmp_path)
+        rc, _ = _run(["lint", root, "--baseline", str(bl)])
+        assert rc == 2
+
+    def test_unknown_code_in_suppressions_section_errors(self, tmp_path):
+        bl = tmp_path / "baseline.json"
+        bl.write_text(json.dumps({
+            "version": 2, "accepted": {}, "suppressions": {"RPR777": 1}}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bl))
+
+    def test_version1_file_still_loads(self, tmp_path):
+        bl = tmp_path / "baseline.json"
+        bl.write_text(json.dumps({
+            "version": 1, "accepted": {"src/repro/x.py::RPR102": 1}}))
+        baseline = load_baseline(str(bl))
+        assert baseline.accepted == {"src/repro/x.py::RPR102": 1}
+        assert baseline.suppressions == {}
+
+
+class TestSuppressionRatchet:
+    def _suppressed_tree(self, tmp_path, n=1):
+        src_dir = tmp_path / "src" / "repro"
+        src_dir.mkdir(parents=True, exist_ok=True)
+        body = "import time\n\n" + "\n\n".join(
+            "def f{i}():\n    return time.time()  "
+            "# reprolint: disable=RPR102  reviewed".format(i=i)
+            for i in range(n))
+        (src_dir / "hushed.py").write_text(body + "\n")
+        return str(tmp_path)
+
+    def test_stats_count_used_suppressions(self, tmp_path):
+        root = self._suppressed_tree(tmp_path, n=2)
+        stats = LintStats()
+        findings = lint_paths([root], stats=stats)
+        assert findings == []
+        assert stats.suppressions == {"RPR102": 2}
+
+    def test_baseline_records_suppression_counts(self, tmp_path):
+        root = self._suppressed_tree(tmp_path, n=2)
+        bl = tmp_path / "baseline.json"
+        _run(["lint", root, "--baseline", str(bl), "--write-baseline"])
+        assert load_baseline(str(bl)).suppressions == {"RPR102": 2}
+
+    def test_suppression_growth_fails_the_run(self, tmp_path):
+        root = self._suppressed_tree(tmp_path, n=1)
+        bl = tmp_path / "baseline.json"
+        _run(["lint", root, "--baseline", str(bl), "--write-baseline"])
+        rc, _ = _run(["lint", root, "--baseline", str(bl)])
+        assert rc == 0
+        # One more inline suppression: the ratchet trips with RPR901.
+        self._suppressed_tree(tmp_path, n=2)
+        rc, out = _run(["lint", root, "--baseline", str(bl)])
+        assert rc == 1
+        assert "RPR901" in out and "grew to 2" in out
+
+    def test_unused_suppression_reported(self):
+        fs = lint_snippet("""
+            def f():
+                return 1  # reprolint: disable=RPR102
+        """)
+        assert codes(fs) == ["RPR902"]
+        assert "stale" in fs[0].message
+
+    def test_unused_check_skipped_under_select(self):
+        fs = lint_snippet("""
+            def f():
+                return 1  # reprolint: disable=RPR102
+        """, select=["RPR103"])
+        assert fs == []
+
+
+class TestOutFlag:
+    def test_sarif_written_to_file(self, tmp_path):
+        root = _dirty_tree(tmp_path)
+        out_file = tmp_path / "lint.sarif"
+        rc, out = _run(["lint", root, "--format", "sarif",
+                        "--out", str(out_file)])
+        assert rc == 1  # findings still drive the exit code
+        assert str(out_file) in out
+        doc = json.loads(out_file.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RPR102"
+
+
+class TestFixtureExemption:
+    def test_fixtures_dirs_skipped_by_discovery(self, tmp_path):
+        from repro.lint import discover_files
+        src = tmp_path / "src" / "repro"
+        fix = tmp_path / "tests" / "lint" / "fixtures"
+        src.mkdir(parents=True)
+        fix.mkdir(parents=True)
+        (src / "ok.py").write_text("x = 1\n")
+        (fix / "bad.py").write_text("import time\nt = time.time()\n")
+        files = discover_files([str(tmp_path)])
+        assert files == [str(src / "ok.py")]
+        # Explicitly named fixture files are still lintable.
+        assert discover_files([str(fix / "bad.py")]) == [str(fix / "bad.py")]

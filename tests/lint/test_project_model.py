@@ -1,0 +1,147 @@
+"""The once-per-run project model: imports, summaries, guard analysis."""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import textwrap
+
+from repro.lint import ProjectModel, module_name_for_path
+from repro.lint.project import (
+    interrupt_guard_status,
+    unguarded_interrupt_sites,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def model_of(source: str, path: str = "src/repro/mod.py") -> ProjectModel:
+    return ProjectModel.from_tree(path, ast.parse(textwrap.dedent(source)))
+
+
+class TestModuleNames:
+    def test_real_package_file(self):
+        path = REPO_ROOT / "src" / "repro" / "sim" / "engine.py"
+        assert module_name_for_path(str(path)) == "repro.sim.engine"
+
+    def test_real_package_init(self):
+        path = REPO_ROOT / "src" / "repro" / "qos" / "__init__.py"
+        assert module_name_for_path(str(path)) == "repro.qos"
+
+    def test_synthetic_src_path(self):
+        assert module_name_for_path("src/repro/core/asc.py") == "repro.core.asc"
+
+
+class TestImportEdges:
+    def test_context_classification(self):
+        model = model_of("""
+            import os
+            from repro.sim.engine import Environment
+            from typing import TYPE_CHECKING
+            if TYPE_CHECKING:
+                from repro.qos.tokens import Bucket
+
+            def late():
+                from repro.core.runtime import Runtime
+                return Runtime
+        """)
+        edges = {e.module: e.context
+                 for e in model.modules["repro.mod"].imports}
+        assert edges["repro.sim.engine"] == "toplevel"
+        assert edges["repro.qos.tokens"] == "typecheck"
+        assert edges["repro.core.runtime"] == "deferred"
+
+    def test_relative_import_resolution(self):
+        model = ProjectModel.from_tree(
+            "src/repro/qos/soak.py",
+            ast.parse("from .tokens import Bucket\nfrom ..sim import x\n"))
+        mods = [e.module for e in model.modules["repro.qos.soak"].imports]
+        assert mods == ["repro.qos.tokens", "repro.sim"]
+
+
+class TestClassSummaries:
+    def test_volatility_split(self):
+        model = model_of("""
+            class S:
+                def __init__(self):
+                    self.stable = 1
+                    self.policy = None
+                    self.queue = []
+                def refresh(self, p):
+                    self.policy = p
+                def push(self, x):
+                    self.queue.append(x)
+                def bump(self):
+                    self.counter += 1
+        """)
+        cls = model.class_in_module("repro.mod", "S")
+        assert "stable" in cls.init_attrs
+        assert cls.volatile_ref_attrs() == {"policy", "counter"}
+        assert "queue" in cls.volatile_content_attrs()
+        assert "stable" not in cls.volatile_content_attrs()
+
+    def test_methods_indexed_project_wide(self):
+        model = model_of("""
+            class A:
+                def preempt(self):
+                    pass
+            class B:
+                def preempt(self):
+                    pass
+        """)
+        assert len(model.methods_by_name["preempt"]) == 2
+
+
+class TestInterruptGuards:
+    def _func(self, source: str):
+        tree = ast.parse(textwrap.dedent(source))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef):
+                return node
+        raise AssertionError("no function in snippet")
+
+    def test_no_interrupt(self):
+        f = self._func("def f():\n    return 1\n")
+        assert interrupt_guard_status(f) == "no-interrupt"
+        assert unguarded_interrupt_sites(f) is None
+
+    def test_guarded_by_enclosing_if(self):
+        f = self._func("""
+            def preempt(self, cause):
+                if not self.preempted and self.process.is_alive:
+                    self.preempted = True
+                    self.process.interrupt(cause)
+        """)
+        assert interrupt_guard_status(f) == "guarded"
+
+    def test_guarded_by_early_return(self):
+        f = self._func("""
+            def preempt(self, cause):
+                if self.preempted:
+                    return False
+                self.preempted = True
+                self.process.interrupt(cause)
+        """)
+        assert interrupt_guard_status(f) == "guarded"
+
+    def test_unguarded(self):
+        f = self._func("""
+            def preempt(self, cause):
+                self.process.interrupt(cause)
+        """)
+        assert interrupt_guard_status(f) == "unguarded"
+        assert len(unguarded_interrupt_sites(f)) == 1
+
+
+class TestRealTreeFacts:
+    def test_shipped_preempt_wrapper_is_guarded(self):
+        # The PR 6 fix: _RunningKernel.preempt must stay guarded, or
+        # RPR403 starts flagging every .preempt() call site.
+        source = (REPO_ROOT / "src" / "repro" / "core"
+                  / "runtime.py").read_text(encoding="utf-8")
+        model = ProjectModel.from_tree("src/repro/core/runtime.py",
+                                       ast.parse(source))
+        candidates = model.methods_by_name["preempt"]
+        assert candidates, "no preempt wrapper found in core.runtime"
+        for _cls, func in candidates:
+            assert interrupt_guard_status(func) == "guarded"

@@ -1,0 +1,48 @@
+"""The SARIF 2.1.0 reporter (GitHub code scanning ingestion format)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import Finding, format_sarif, known_codes
+
+
+def _finding(path="src/repro/x.py", line=3, col=5, code="RPR401",
+             msg="stale cache"):
+    return Finding(path=path, line=line, col=col, code=code, message=msg)
+
+
+class TestSarif:
+    def test_document_shape(self):
+        doc = json.loads(format_sarif([_finding()], checked_files=7))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert run["properties"]["checked_files"] == 7
+
+    def test_result_location_and_rule(self):
+        doc = json.loads(format_sarif([_finding()]))
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "RPR401"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "stale cache"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert loc["region"] == {"startLine": 3, "startColumn": 5}
+        # ruleIndex must point at the matching rules[] entry.
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "RPR401"
+
+    def test_rules_metadata_covers_all_known_codes(self):
+        doc = json.loads(format_sarif([]))
+        ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert ids == known_codes()
+        assert doc["runs"][0]["results"] == []
+
+    def test_windows_path_normalised_to_uri(self):
+        doc = json.loads(format_sarif(
+            [_finding(path="src\\repro\\x.py")]))
+        (result,) = doc["runs"][0]["results"]
+        uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri == "src/repro/x.py"

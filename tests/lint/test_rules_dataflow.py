@@ -1,0 +1,158 @@
+"""RPR401–404: the cross-yield dataflow pass, pinned by fixtures.
+
+The bad fixtures re-introduce shipped bug classes (PR 6's unguarded
+double-interrupt, the ``abort``/``shed`` remove-while-iterating shape)
+so the analyzer keeps catching them; the good fixtures pin the guard
+idioms as accepted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.lint import lint_source
+from tests.lint.util import codes, lint_snippet
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name: str):
+    """Lint a fixture file as if it lived inside library sources."""
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, path=f"src/repro/{name}")
+
+
+class TestStaleSharedRead:
+    def test_bad_fixture_flagged(self):
+        fs = lint_fixture("rpr401_bad.py")
+        assert codes(fs) == ["RPR401"]
+        assert "policy" in fs[0].message
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("rpr401_good.py") == []
+
+    def test_stable_attr_cache_is_fine(self):
+        # Only assigned in __init__ → not volatile → no finding.
+        fs = lint_snippet("""
+            class S:
+                def __init__(self, env):
+                    self.env = env
+                    self.rate = 3.0
+                def run(self):
+                    rate = self.rate
+                    yield self.env.timeout(1)
+                    return rate * 2
+        """)
+        assert fs == []
+
+    def test_cached_len_of_mutated_container(self):
+        fs = lint_snippet("""
+            class S:
+                def __init__(self, env):
+                    self.env = env
+                    self.queue = []
+                def push(self, x):
+                    self.queue.append(x)
+                def run(self):
+                    depth = len(self.queue)
+                    yield self.env.timeout(1)
+                    return depth
+        """)
+        assert codes(fs) == ["RPR401"]
+
+    def test_rebound_module_global(self):
+        fs = lint_snippet("""
+            LIMIT = 10
+
+            def tune(n):
+                global LIMIT
+                LIMIT = n
+
+            def proc(env):
+                limit = LIMIT
+                yield env.timeout(1)
+                return limit
+        """)
+        assert codes(fs) == ["RPR401"]
+
+    def test_not_applied_outside_src(self):
+        source = (FIXTURES / "rpr401_bad.py").read_text(encoding="utf-8")
+        assert lint_source(source, path="tests/lint/x.py") == []
+
+
+class TestStaleNow:
+    def test_bad_fixture_flagged(self):
+        fs = lint_fixture("rpr402_bad.py")
+        assert codes(fs) == ["RPR402"]
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("rpr402_good.py") == []
+
+    def test_use_before_any_yield_is_fine(self):
+        fs = lint_snippet("""
+            def proc(env):
+                t0 = env.now
+                yield env.timeout(t0 + 1)
+        """)
+        assert fs == []
+
+    def test_reassignment_after_yield_is_fine(self):
+        fs = lint_snippet("""
+            def proc(env):
+                t0 = env.now
+                yield env.timeout(1)
+                t0 = env.now
+                yield env.timeout(t0 + 1)
+        """)
+        assert fs == []
+
+
+class TestUnguardedInterrupt:
+    def test_pr6_regression_fixture_flagged(self):
+        fs = lint_fixture("rpr403_bad.py")
+        assert codes(fs) == ["RPR403"]
+        assert ".interrupt()" in fs[0].message
+
+    def test_guarded_wrapper_fixture_clean(self):
+        assert lint_fixture("rpr403_good.py") == []
+
+    def test_early_return_guard_accepted(self):
+        fs = lint_snippet("""
+            class K:
+                def preempt(self, cause):
+                    if self.preempted:
+                        return False
+                    self.preempted = True
+                    self.process.interrupt(cause)
+                    return True
+        """)
+        assert fs == []
+
+    def test_engine_primitive_exempt(self):
+        # Process.interrupt itself cannot guard on itself.
+        fs = lint_snippet("""
+            class Process:
+                def interrupt(self, cause=None):
+                    self._target.interrupt(cause)
+        """)
+        assert fs == []
+
+
+class TestMutateWhileIter:
+    def test_bad_fixture_flagged(self):
+        fs = lint_fixture("rpr404_bad.py")
+        assert codes(fs) == ["RPR404", "RPR404"]
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("rpr404_good.py") == []
+
+    def test_snapshot_iteration_is_fine(self):
+        fs = lint_snippet("""
+            class S:
+                def __init__(self):
+                    self.xs = []
+                def sweep(self):
+                    for x in list(self.xs):
+                        self.xs.remove(x)
+        """)
+        assert fs == []

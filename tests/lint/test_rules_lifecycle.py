@@ -1,0 +1,162 @@
+"""RPR411–413: the event-lifecycle abstract interpreter."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.lint import lint_source
+from tests.lint.util import codes, lint_snippet
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name: str):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, path=f"src/repro/{name}")
+
+
+class TestFixtures:
+    def test_bad_fixture_flags_every_function(self):
+        fs = lint_fixture("rpr41x_bad.py")
+        assert codes(fs) == ["RPR411", "RPR411", "RPR412", "RPR412",
+                             "RPR413"]
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("rpr41x_good.py") == []
+
+
+class TestDoubleTrigger:
+    def test_trigger_after_trigger(self):
+        fs = lint_snippet("""
+            def proc(env):
+                ev = env.event()
+                ev.trigger(None)
+                ev.trigger(None)
+                yield ev
+        """)
+        assert codes(fs) == ["RPR411"]
+
+    def test_branch_exclusive_completion_is_fine(self):
+        fs = lint_snippet("""
+            def proc(env, ok):
+                ev = env.event()
+                if ok:
+                    ev.succeed(1)
+                else:
+                    ev.fail(RuntimeError("no"))
+                yield ev
+        """)
+        assert fs == []
+
+    def test_triggered_guard_narrows(self):
+        fs = lint_snippet("""
+            def proc(env):
+                ev = env.event()
+                ev.succeed(1)
+                if not ev.triggered:
+                    ev.succeed(2)
+                yield ev
+        """)
+        assert fs == []
+
+    def test_loop_second_iteration_caught(self):
+        # The loop body runs clean once; on iteration two the event is
+        # already triggered — the two-pass interpreter sees it.
+        fs = lint_snippet("""
+            def proc(env, n):
+                ev = env.event()
+                for _ in range(n):
+                    ev.succeed(1)
+                yield ev
+        """)
+        assert codes(fs) == ["RPR411"]
+
+    def test_escape_to_call_drops_tracking(self):
+        fs = lint_snippet("""
+            def proc(env, registry):
+                ev = env.event()
+                ev.succeed(1)
+                registry.reset(ev)
+                ev.succeed(2)
+                yield ev
+        """)
+        assert fs == []
+
+    def test_escape_to_attribute_drops_tracking(self):
+        fs = lint_snippet("""
+            class S:
+                def proc(self, env):
+                    ev = env.event()
+                    ev.succeed(1)
+                    self.reply = ev
+                    ev.succeed(2)
+                    yield ev
+        """)
+        assert fs == []
+
+
+class TestCompleteDeadEvent:
+    def test_fail_after_defuse(self):
+        fs = lint_snippet("""
+            def proc(env):
+                ev = env.event()
+                ev.defuse()
+                ev.fail(RuntimeError("late"))
+                yield env.timeout(1)
+        """)
+        assert codes(fs) == ["RPR412"]
+
+    def test_maybe_abandoned_on_one_branch(self):
+        fs = lint_snippet("""
+            def proc(env, gone):
+                ev = env.event()
+                if gone:
+                    ev.abandon()
+                ev.succeed(1)
+                yield env.timeout(1)
+        """)
+        assert codes(fs) == ["RPR412"]
+
+    def test_terminal_branch_excludes_state(self):
+        # The abandoning branch returns, so the completion below only
+        # sees the pending state.
+        fs = lint_snippet("""
+            def proc(env, gone):
+                ev = env.event()
+                if gone:
+                    ev.abandon()
+                    return
+                ev.succeed(1)
+                yield env.timeout(1)
+        """)
+        assert fs == []
+
+
+class TestCallbackAfterAbandon:
+    def test_flagged(self):
+        fs = lint_snippet("""
+            def proc(env):
+                ev = env.event()
+                ev.abandon()
+                ev.callbacks.append(print)
+                yield env.timeout(1)
+        """)
+        assert codes(fs) == ["RPR413"]
+
+    def test_register_before_abandon_is_fine(self):
+        fs = lint_snippet("""
+            def proc(env):
+                ev = env.event()
+                ev.callbacks.append(print)
+                ev.abandon()
+                yield env.timeout(1)
+        """)
+        assert fs == []
+
+    def test_not_applied_outside_src(self):
+        src = ("def proc(env):\n"
+               "    ev = env.event()\n"
+               "    ev.abandon()\n"
+               "    ev.callbacks.append(print)\n"
+               "    yield env.timeout(1)\n")
+        assert lint_source(src, path="tests/sim/test_x.py") == []

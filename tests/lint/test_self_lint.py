@@ -30,7 +30,7 @@ def test_tests_and_benchmarks_have_zero_findings():
 def test_at_least_eight_domain_rules_shipped():
     assert len(REGISTRY) >= 8
     families = {code[:4] for code in REGISTRY}
-    assert families == {"RPR1", "RPR2", "RPR3"}
+    assert families == {"RPR1", "RPR2", "RPR3", "RPR4", "RPR5"}
 
 
 def test_rule_metadata_complete():
