@@ -1,0 +1,110 @@
+"""Adversarial contention scenarios — isolation gates from one file.
+
+Runs the built-in noisy-neighbor scenarios (NIC, CPU-derate and
+queue-depth saturators) through ``repro.scenario.run_scenario`` — the
+same compile path ``repro scenario run`` and ``repro soak --scenario``
+use — and gates on the library's isolation claim: with the protection
+stack armed, the gold tenant's SLO attainment holds at or above the
+baseline run's on every seed, with every conservation invariant clean.
+
+Run directly (``python benchmarks/bench_scenario_contention.py --out
+FILE``) the bench becomes the CI smoke gate: exit 1 if any scenario
+reports a violation, if protected gold attainment ever drops below
+the baseline's, or if a repeated run of the same scenario is not
+byte-identical.
+"""
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+SCENARIOS = (
+    "noisy-neighbor-nic",
+    "noisy-neighbor-cpu",
+    "noisy-neighbor-queue",
+)
+
+
+def _gold_rows(report):
+    rows = []
+    for sr in report.seeds:
+        by_mode = {run.mode: run for run in sr.runs}
+        protected = by_mode["protected"]
+        baseline = by_mode.get(report.baseline)
+        rows.append([
+            report.scenario,
+            sr.seed,
+            f"{protected.attainment.get('gold', float('nan')):.2f}",
+            "-" if baseline is None
+            else f"{baseline.attainment.get('gold', float('nan')):.2f}",
+            f"{protected.goodput / 1e6:.1f}",
+            len(report.violations()),
+        ])
+    return rows
+
+
+def bench_scenario_contention(record):
+    from repro.scenario import get_scenario, run_scenario
+
+    def sweep():
+        return [run_scenario(get_scenario(name)) for name in SCENARIOS]
+
+    reports = record.once(sweep)
+    rows = []
+    for report in reports:
+        rows.extend(_gold_rows(report))
+    record.table(
+        "Noisy-neighbor isolation (protected vs baseline gold SLO att)",
+        ["scenario", "seed", "protected att", "baseline att",
+         "protected MB/s", "violations"],
+        rows,
+    )
+    record.values(**{
+        report.scenario.replace("-", "_") + "_clean": report.clean
+        for report in reports
+    })
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CI smoke gate: isolation floor + invariants + byte determinism."""
+    from repro.scenario import get_scenario, run_scenario
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenarios", nargs="+", default=list(SCENARIOS))
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the combined JSON report to FILE")
+    args = parser.parse_args(argv)
+    failures: List[str] = []
+    texts = []
+    for name in args.scenarios:
+        sc = get_scenario(name)
+        report = run_scenario(sc)
+        text = report.to_json()
+        # Acceptance: byte-identical reports for the same scenario —
+        # render a second, fresh campaign and compare the text.
+        if text != run_scenario(sc).to_json():
+            failures.append(f"{name}: repeated run is not byte-identical")
+        texts.append(text)
+        violations = report.violations()
+        failures.extend(f"{name}: {v}" for v in violations)
+        for sr in report.seeds:
+            by_mode = {run.mode: run for run in sr.runs}
+            protected = by_mode["protected"].attainment.get("gold")
+            baseline_run = by_mode.get(report.baseline)
+            baseline = (
+                baseline_run.attainment.get("gold")
+                if baseline_run is not None else None
+            )
+            print(f"{name} seed {sr.seed}: protected gold att "
+                  f"{protected} vs {report.baseline} {baseline}  "
+                  f"{'ok' if not violations else 'FAIL'}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write("[\n" + ",\n".join(texts) + "\n]\n")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

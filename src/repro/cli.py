@@ -559,26 +559,81 @@ def cmd_headline(args, out=None) -> int:
     return 0
 
 
+def _resolve_scenario(ref: str):
+    """A scenario from a file path or a built-in library name."""
+    import os
+
+    from repro.scenario import BUILTIN, get_scenario, load_scenario
+
+    if os.path.exists(ref) or ref.endswith((".yaml", ".yml", ".json")):
+        return load_scenario(ref)
+    if ref in BUILTIN:
+        return get_scenario(ref)
+    raise ValueError(
+        f"unknown scenario {ref!r}: not a file, not a built-in "
+        f"(built-ins: {sorted(BUILTIN)})"
+    )
+
+
 def cmd_soak(args, out=None) -> int:
-    """Chaos-soak the overload-protection stack; exit 1 on violations."""
+    """Chaos-soak the overload-protection stack; exit 1 on violations.
+
+    ``--scenario`` accepts the native ``chaos`` label, a built-in
+    scenario name, or a YAML/JSON scenario file — scenario fields
+    override the soak defaults, and explicitly-given CLI flags win
+    over both.
+    """
     out = out if out is not None else sys.stdout
     # Deferred import: the soak harness pulls in repro.core and the
     # fault library, which most CLI invocations never need.
     from repro.analysis.soak import format_soak_report, soak_acceptance
     from repro.qos.soak import SoakSpec, run_soak
 
-    spec = SoakSpec(
-        scenario=args.scenario,
-        seeds=tuple(args.seeds),
-        n_requests=args.requests,
-        request_bytes=args.mb * MB,
-        protected=not args.unprotected,
-        max_virtual_time=args.max_virtual_time,
-        straggler=not args.no_straggler,
-        tenants=args.tenants,
-        sim_scheduler=getattr(args, "sim_scheduler", "calendar"),
-    )
-    report = run_soak(spec)
+    kwargs: Dict[str, object] = {}
+    schedule_for = None
+    if args.scenario != "chaos":
+        from repro.scenario import (
+            ScenarioError,
+            soak_schedule_factory,
+            soak_spec_kwargs,
+            validate_scenario,
+        )
+
+        try:
+            sc = _resolve_scenario(args.scenario)
+            validate_scenario(sc)
+        except (ScenarioError, ValueError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        kwargs = soak_spec_kwargs(sc)
+        schedule_for = soak_schedule_factory(sc)
+    # Explicit CLI flags override scenario fields; the remaining gaps
+    # fall back to the SoakSpec/argparse defaults.  A loaded scenario
+    # keeps its own name as the report label (not the file path).
+    kwargs.setdefault("scenario", args.scenario)
+    if args.seeds is not None:
+        kwargs["seeds"] = tuple(args.seeds)
+    kwargs.setdefault("seeds", (0, 1, 2))
+    if args.requests is not None:
+        kwargs["n_requests"] = args.requests
+    if args.mb is not None:
+        kwargs["request_bytes"] = args.mb * MB
+    if args.max_virtual_time is not None:
+        kwargs["max_virtual_time"] = args.max_virtual_time
+    if args.sim_scheduler is not None:
+        kwargs["sim_scheduler"] = args.sim_scheduler
+    if args.unprotected:
+        kwargs["protected"] = False
+    if args.no_straggler:
+        kwargs["straggler"] = False
+    if args.tenants:
+        kwargs["tenants"] = True
+    try:
+        spec = SoakSpec(**kwargs)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    report = run_soak(spec, schedule_for=schedule_for)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(report.to_json() + "\n")
@@ -587,6 +642,150 @@ def cmd_soak(args, out=None) -> int:
     else:
         print(format_soak_report(report), file=out)
     return 1 if soak_acceptance(report) else 0
+
+
+def _scenario_run_table(report) -> str:
+    """Human rendering of one scenario report."""
+    rows = []
+    for sr in report.seeds:
+        for run in sr.runs:
+            att = ", ".join(
+                f"{k}={v:.0%}" for k, v in sorted(run.attainment.items())
+            )
+            rows.append([
+                sr.seed, f"{run.scheme}/{run.mode}",
+                "-" if run.failed else f"{run.goodput / MB:.1f}",
+                "-" if run.failed else f"{run.makespan:.2f}",
+                run.retries, run.hedges_issued, att or "-",
+                len(run.violations),
+            ])
+    return format_table(
+        ["seed", "run", "goodput (MB/s)", "makespan (s)", "retries",
+         "hedges", "SLO attainment", "violations"],
+        rows,
+    )
+
+
+def _scenario_report(report, args, out) -> int:
+    violations = report.violations()
+    if getattr(args, "out", None):
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+    if getattr(args, "json", False):
+        print(report.to_json(), file=out)
+    else:
+        print(f"scenario: {report.scenario}  "
+              f"(baseline: {report.baseline}, "
+              f"tags: {', '.join(report.tags) or '-'})", file=out)
+        print(_scenario_run_table(report), file=out)
+        for v in violations:
+            print(f"VIOLATION: {v}", file=out)
+        if not violations:
+            print("all invariants hold", file=out)
+    return 1 if violations else 0
+
+
+def cmd_scenario(args, out=None) -> int:
+    """Declarative scenarios: list, validate, run, dump, smoke."""
+    out = out if out is not None else sys.stdout
+    from repro.scenario import (
+        BUILTIN,
+        ScenarioError,
+        dumps_scenario,
+        get_scenario,
+        list_scenarios,
+        run_scenario,
+        smoke_scenarios,
+        validate_scenario,
+    )
+
+    if args.scenario_command == "list":
+        rows = []
+        for name in list_scenarios():
+            data = BUILTIN[name]
+            rows.append([
+                name,
+                ", ".join(data.get("tags", [])) or "-",
+                data.get("description", "")[:64],
+            ])
+        print(format_table(["scenario", "tags", "description"], rows),
+              file=out)
+        return 0
+
+    if args.scenario_command == "validate":
+        failures = 0
+        for ref in args.scenarios:
+            try:
+                sc = _resolve_scenario(ref)
+                validate_scenario(sc)
+            except (ScenarioError, ValueError) as err:
+                print(f"error: {err}", file=sys.stderr)
+                failures += 1
+                continue
+            print(f"{ref}: OK ({sc.name}, "
+                  f"{sc.total_requests} requests, "
+                  f"{len(sc.run.seeds)} seeds)", file=out)
+        return 2 if failures else 0
+
+    if args.scenario_command == "dump":
+        try:
+            sc = get_scenario(args.name)
+        except KeyError as err:
+            print(f"error: {err.args[0]}", file=sys.stderr)
+            return 2
+        try:
+            text = dumps_scenario(sc, fmt=args.format)
+        except ScenarioError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {sc.name} to {args.out}", file=out)
+        else:
+            print(text, end="", file=out)
+        return 0
+
+    if args.scenario_command == "run":
+        try:
+            sc = _resolve_scenario(args.scenario)
+            validate_scenario(sc)
+        except (ScenarioError, ValueError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        seeds = tuple(args.seed) if args.seed else None
+        report = run_scenario(sc, seeds=seeds)
+        return _scenario_report(report, args, out)
+
+    if args.scenario_command == "smoke":
+        import json as _json
+
+        names = list_scenarios() if args.all else smoke_scenarios()
+        seeds = tuple(args.seed) if args.seed else None
+        failures = 0
+        combined = {}
+        for name in names:
+            sc = get_scenario(name)
+            validate_scenario(sc)
+            report = run_scenario(sc, seeds=seeds)
+            violations = report.violations()
+            combined[name] = _json.loads(report.to_json())
+            status = "OK" if not violations else "FAIL"
+            print(f"{name}: {status} "
+                  f"({len(report.seeds)} seeds)", file=out)
+            for v in violations:
+                print(f"  VIOLATION: {v}", file=out)
+            failures += bool(violations)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(_json.dumps(combined, sort_keys=True, indent=2)
+                         + "\n")
+        print(f"{len(names) - failures}/{len(names)} scenarios clean",
+              file=out)
+        return 1 if failures else 0
+
+    print("error: unknown scenario subcommand", file=sys.stderr)
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -685,11 +884,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "soak", help="chaos-soak the overload-protection stack")
-    p.add_argument("--scenario", default="chaos", choices=["chaos"])
-    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
-    p.add_argument("--requests", type=int, default=10,
-                   help="concurrent active I/Os per client group")
-    p.add_argument("--mb", type=int, default=32, help="bytes per request (MB)")
+    # Workload knobs default to None so a scenario file's fields are
+    # distinguishable from "the user typed this flag" — explicit flags
+    # override scenario fields, which override the soak defaults.
+    p.add_argument("--scenario", default="chaos",
+                   help="'chaos' (native), a built-in scenario name, or "
+                        "a YAML/JSON scenario file whose fields seed "
+                        "the soak spec")
+    p.add_argument("--seeds", type=int, nargs="+", default=None)
+    p.add_argument("--requests", type=int, default=None,
+                   help="concurrent active I/Os per client group "
+                        "(default 10)")
+    p.add_argument("--mb", type=int, default=None,
+                   help="bytes per request (MB, default 32)")
     p.add_argument("--unprotected", action="store_true",
                    help="disable the QoS stack and use the retry-storm "
                         "policy (degradation demo)")
@@ -700,10 +907,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="split the workload into the default two-tenant "
                         "mix and assert the borrow-ledger conservation "
                         "invariants on every run")
-    p.add_argument("--max-virtual-time", type=float, default=120.0,
-                   help="watchdog bound on each run's simulated seconds")
+    p.add_argument("--max-virtual-time", type=float, default=None,
+                   help="watchdog bound on each run's simulated seconds "
+                        "(default 120)")
     p.add_argument("--sim-scheduler", choices=["calendar", "heap"],
-                   default="calendar",
+                   default=None,
                    help="engine event scheduler (result-identical per "
                         "seed; the report is byte-identical either way)")
     p.add_argument("--json", action="store_true",
@@ -711,6 +919,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE",
                    help="also write the JSON report to FILE")
     p.set_defaults(func=cmd_soak)
+
+    p = sub.add_parser(
+        "scenario",
+        help="declarative scenarios: list / validate / run / dump / smoke")
+    scen_sub = p.add_subparsers(dest="scenario_command", required=True)
+    sl = scen_sub.add_parser("list", help="the built-in scenario library")
+    sl.set_defaults(func=cmd_scenario)
+    sv = scen_sub.add_parser(
+        "validate", help="strict-validate scenario files or built-ins")
+    sv.add_argument("scenarios", nargs="+", metavar="FILE_OR_NAME")
+    sv.set_defaults(func=cmd_scenario)
+    sr = scen_sub.add_parser(
+        "run", help="run one scenario through the invariant engine")
+    sr.add_argument("scenario", metavar="FILE_OR_NAME")
+    sr.add_argument("--seed", type=int, nargs="+", default=None,
+                    help="override the scenario's seed list")
+    sr.add_argument("--json", action="store_true",
+                    help="print the deterministic JSON report")
+    sr.add_argument("--out", metavar="FILE",
+                    help="also write the JSON report to FILE")
+    sr.set_defaults(func=cmd_scenario)
+    sd = scen_sub.add_parser(
+        "dump", help="render a built-in scenario as YAML/JSON")
+    sd.add_argument("name")
+    sd.add_argument("--format", choices=["json", "yaml"], default="json")
+    sd.add_argument("--out", metavar="FILE")
+    sd.set_defaults(func=cmd_scenario)
+    ss = scen_sub.add_parser(
+        "smoke", help="run the smoke-tagged subset; exit 1 on violations")
+    ss.add_argument("--all", action="store_true",
+                    help="run the whole library, not just the smoke tags")
+    ss.add_argument("--seed", type=int, nargs="+", default=None,
+                    help="override every scenario's seed list")
+    ss.add_argument("--out", metavar="FILE",
+                    help="write the combined JSON report to FILE")
+    ss.set_defaults(func=cmd_scenario)
 
     p = sub.add_parser("gantt", help="per-request timeline of one run")
     p.add_argument("--scheme", default="dosas", choices=[s.value for s in Scheme])

@@ -147,6 +147,15 @@ class WorkloadSpec:
     #: ``asdict``/``WorkloadSpec(**...)``) and normalized to
     #: :class:`TenantSpec`.
     tenants: Tuple[TenantSpec, ...] = ()
+    #: Explicit per-request arrival offsets in simulated seconds, one
+    #: per request across the whole machine (``total_requests`` long).
+    #: Empty keeps the classic ``arrival_spacing * i`` linear stagger;
+    #: non-empty lets scenario compilers shape arbitrary arrival
+    #: processes (bursty NWP phases, diurnal curves — see
+    #: ``repro.scenario``).  Mutually exclusive with
+    #: ``arrival_spacing``.  Lists are accepted (cache round-trip) and
+    #: normalized to a tuple of floats.
+    arrival_times: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.tenants:
@@ -160,6 +169,25 @@ class WorkloadSpec:
                 raise ValueError(f"duplicate tenant names in {names}")
             if sum(t.requests for t in normalized) <= 0:
                 raise ValueError("tenant mix has no demand (all requests == 0)")
+        if self.arrival_times:
+            offsets = tuple(float(t) for t in self.arrival_times)
+            object.__setattr__(self, "arrival_times", offsets)
+            if self.arrival_spacing:
+                raise ValueError(
+                    "arrival_times and arrival_spacing are mutually "
+                    "exclusive — pick one arrival discipline"
+                )
+            if len(offsets) != self.total_requests:
+                raise ValueError(
+                    f"arrival_times has {len(offsets)} offsets for "
+                    f"{self.total_requests} requests"
+                )
+            for i, t in enumerate(offsets):
+                if not t >= 0 or t != t or t == float("inf"):
+                    raise ValueError(
+                        f"arrival_times[{i}] must be finite and "
+                        f"non-negative, got {t}"
+                    )
         if self.n_requests <= 0:
             raise ValueError("n_requests must be positive")
         if self.request_bytes <= 0:
@@ -200,6 +228,12 @@ class WorkloadSpec:
     def total_bytes(self) -> int:
         """Aggregate requested data."""
         return self.total_requests * self.request_bytes
+
+    def arrival_offset(self, i: int) -> float:
+        """Request ``i``'s arrival offset under either discipline."""
+        if self.arrival_times:
+            return self.arrival_times[i]
+        return self.arrival_spacing * i
 
 
 @dataclass
@@ -518,8 +552,9 @@ def run_scheme(
 
     def _ts_request(i: int) -> Generator[Event, Any, Tuple[float, Any]]:
         asc = _make_asc(i)
-        if spec.arrival_spacing:
-            yield env.timeout(spec.arrival_spacing * i)
+        arrival = spec.arrival_offset(i)
+        if arrival:
+            yield env.timeout(arrival)
         yield from asc.read(handles[i], retry=retry)
         yield from asc.node.cpu.compute(float(spec.request_bytes), client_rate)
         result = None
@@ -531,8 +566,9 @@ def run_scheme(
 
     def _active_request(i: int) -> Generator[Event, Any, Tuple[float, Any]]:
         asc = _make_asc(i)
-        if spec.arrival_spacing:
-            yield env.timeout(spec.arrival_spacing * i)
+        arrival = spec.arrival_offset(i)
+        if arrival:
+            yield env.timeout(arrival)
         outcome = yield from asc.read_ex(
             handles[i], spec.kernel, meta=meta, retry=retry
         )
@@ -586,7 +622,7 @@ def run_scheme(
     # Per-request latency: finish relative to the request's own
     # staggered arrival — what a tail percentile should be taken over.
     latencies = sorted(
-        t - spec.arrival_spacing * i for i, t in enumerate(finish_times)
+        t - spec.arrival_offset(i) for i, t in enumerate(finish_times)
     )
 
     served_active = demoted = interrupted = 0
@@ -679,7 +715,7 @@ def run_scheme(
         for i, fin in enumerate(finish_times):
             name = _tenant_of(i)
             assert name is not None
-            lat_by_tenant[name].append(fin - spec.arrival_spacing * i)
+            lat_by_tenant[name].append(fin - spec.arrival_offset(i))
         ledger_totals: Dict[str, Dict[str, float]] = {}
         for s in servers:
             ledger = s.admission.tenants if s.admission is not None else None

@@ -31,6 +31,7 @@ from repro.faults.schedule import (
     FaultEvent,
     FaultKind,
     FaultSchedule,
+    FaultScheduleError,
     chaos,
     crash_restart,
     degraded_node,
@@ -51,6 +52,7 @@ from repro.faults.injector import (
 
 __all__ = [
     "FaultEvent",
+    "FaultScheduleError",
     "FaultInjector",
     "FaultKind",
     "FaultSchedule",

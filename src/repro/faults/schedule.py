@@ -91,6 +91,20 @@ _REVERSE: Dict[FaultKind, FaultKind] = {
     FaultKind.SLOWDOWN: FaultKind.SLOWDOWN_END,
 }
 
+#: reverse kind → the forward kind it undoes (pairing validation).
+_FORWARD: Dict[FaultKind, FaultKind] = {v: k for k, v in _REVERSE.items()}
+
+
+class FaultScheduleError(ValueError):
+    """A :class:`FaultSchedule` that cannot mean anything at runtime.
+
+    Raised at *construction*, naming the offending event, instead of
+    letting the injector hit undefined behaviour mid-run (restoring a
+    server that was never slowed, crashing an already-crashing server
+    twice in the same instant, an end event that fires before its
+    start).
+    """
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -160,6 +174,60 @@ class FaultSchedule:
     def __post_init__(self) -> None:
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
+        self._validate_events()
+
+    def _validate_events(self) -> None:
+        """Reject schedules the injector cannot execute meaningfully.
+
+        Three classes of nonsense are caught here, with a
+        :class:`FaultScheduleError` naming the offending event:
+
+        - *duplicate same-instant crash*: two ``CRASH`` events hitting
+          one server at one instant (the second would fail an
+          already-dead queue);
+        - *unpaired reverse*: an explicit restore/heal/end event whose
+          target never suffers the matching forward fault at all;
+        - *out-of-order reverse*: the matching forward fault exists but
+          only fires strictly *after* the reverse event — the schedule
+          was written backwards.
+
+        The check is deliberately an under-approximation: it does not
+        model consumption (two ends for one start) because duration
+        expansion can legitimately stack automatic and explicit
+        restores; it only rejects events that can never pair.
+        """
+        crashes: set = set()
+        for ev in self.events:
+            if ev.kind is FaultKind.CRASH:
+                key = (ev.at, ev.target)
+                if key in crashes:
+                    raise FaultScheduleError(
+                        f"{self.name!r}: duplicate crash for target "
+                        f"{ev.target} at t={ev.at} — a server cannot "
+                        "crash twice in the same instant"
+                    )
+                crashes.add(key)
+        for ev in self.events:
+            forward = _FORWARD.get(ev.kind)
+            if forward is None:
+                continue
+            starts = [
+                e.at for e in self.events
+                if e.kind is forward and e.target == ev.target
+            ]
+            if not starts:
+                raise FaultScheduleError(
+                    f"{self.name!r}: unpaired {ev.kind.value} for target "
+                    f"{ev.target} at t={ev.at} — no {forward.value} "
+                    "event ever hits that target"
+                )
+            if min(starts) > ev.at:
+                raise FaultScheduleError(
+                    f"{self.name!r}: out-of-order {ev.kind.value} for "
+                    f"target {ev.target} at t={ev.at} — the earliest "
+                    f"{forward.value} on that target fires later "
+                    f"(t={min(starts)})"
+                )
 
     def timeline(self) -> Tuple[FaultEvent, ...]:
         """Primitive actions in firing order, ``duration`` expanded.

@@ -45,11 +45,12 @@ LAYERS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     # The paper's contribution (ASC/ASS/CE/R) and the MPI-IO surface.
     ("core", ("repro.core", "repro.mpiio")),
     # Experiment machinery that *drives* the stack: fault injection,
-    # workloads, analysis, caching/parallel sweeps, and the named
-    # harness submodules of the policy packages.
+    # workloads, analysis, caching/parallel sweeps, declarative
+    # scenarios, and the named harness submodules of the policy
+    # packages.
     ("experiment", (
         "repro.faults", "repro.analysis",
-        "repro.cache", "repro.parallel",
+        "repro.cache", "repro.parallel", "repro.scenario",
         "repro.qos.soak", "repro.qos.fairness", "repro.straggler.bench",
     )),
     # Entry points and tooling; may import anything.

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.config import MB
 from repro.core.asc import RetryPolicy
@@ -82,8 +82,11 @@ class SoakSpec:
     sim_scheduler: str = "calendar"
 
     def __post_init__(self) -> None:
-        if self.scenario != "chaos":
-            raise ValueError("the soak harness only knows the 'chaos' scenario")
+        # ``scenario`` is a label: "chaos" for the native campaign, or
+        # the name of a declarative scenario (repro.scenario) whose
+        # fields were lowered onto this spec via ``soak_spec_kwargs``.
+        if not self.scenario:
+            raise ValueError("the soak campaign needs a scenario label")
         if not self.seeds:
             raise ValueError("need at least one seed")
         if self.n_replicas < 1 or self.n_replicas > self.n_storage:
@@ -380,7 +383,10 @@ def _run_one(
     )
 
 
-def run_soak(spec: SoakSpec) -> SoakReport:
+def run_soak(
+    spec: SoakSpec,
+    schedule_for: Optional[Callable[[int], FaultSchedule]] = None,
+) -> SoakReport:
     """Run the campaign: per seed, DOSAS and plain AS under one schedule.
 
     ``plain_as`` is always the unprotected baseline — plain AS with the
@@ -389,10 +395,17 @@ def run_soak(spec: SoakSpec) -> SoakReport:
     retry-storm policy, so the two report flavours pin both acceptance
     outcomes: protected DOSAS beats the plain baseline with clean
     accounting; unprotected DOSAS melts down against the same faults.
+
+    ``schedule_for`` replaces the native per-seed chaos builder — the
+    hook declarative scenarios use to soak under their own fault
+    schedules (``repro.scenario.soak_schedule_factory``).
     """
     report = SoakReport(scenario=spec.scenario, protected=spec.protected)
     for seed in spec.seeds:
-        schedule = _schedule_for(spec, seed)
+        schedule = (
+            schedule_for(seed) if schedule_for is not None
+            else _schedule_for(spec, seed)
+        )
         if spec.protected:
             qos: Optional[QoSConfig] = default_qos(spec)
             retry = protected_retry(schedule.retry)

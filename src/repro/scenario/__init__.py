@@ -1,0 +1,85 @@
+"""repro.scenario — declarative scenarios: one file drives every harness.
+
+A scenario is a strict, typed description of an experiment (cluster
+shape, workload + tenant mix, arrival process, fault schedule, QoS /
+straggler / run knobs) loadable from YAML or JSON.  The compiler
+lowers it onto the engine's native objects, the runner executes it
+with the scenario's baseline pairing, and the invariant engine asserts
+the stack's conservation laws on every run.
+
+Layering: this package sits at the experiment tier — it may import
+``repro.core``, ``repro.faults``, ``repro.qos``; nothing below the
+experiment tier may import it back.
+"""
+
+from repro.scenario.compile import (
+    arrival_offsets,
+    compile_faults,
+    compile_qos,
+    compile_retry,
+    compile_workload,
+    soak_schedule_factory,
+    soak_spec_kwargs,
+    validate_scenario,
+)
+from repro.scenario.invariants import (
+    INVARIANT_FAMILIES,
+    Violation,
+    check_run,
+    check_slo_floor,
+)
+from repro.scenario.library import (
+    BUILTIN,
+    get_scenario,
+    list_scenarios,
+    smoke_scenarios,
+)
+from repro.scenario.loader import (
+    dump_scenario,
+    dumps_scenario,
+    load_scenario,
+    loads_scenario,
+)
+from repro.scenario.runner import (
+    ScenarioReport,
+    ScenarioRun,
+    ScenarioSeedResult,
+    run_scenario,
+)
+from repro.scenario.schema import (
+    Scenario,
+    ScenarioError,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioError",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "load_scenario",
+    "loads_scenario",
+    "dump_scenario",
+    "dumps_scenario",
+    "arrival_offsets",
+    "compile_workload",
+    "compile_qos",
+    "compile_retry",
+    "compile_faults",
+    "validate_scenario",
+    "soak_spec_kwargs",
+    "soak_schedule_factory",
+    "Violation",
+    "INVARIANT_FAMILIES",
+    "check_run",
+    "check_slo_floor",
+    "BUILTIN",
+    "get_scenario",
+    "list_scenarios",
+    "smoke_scenarios",
+    "ScenarioRun",
+    "ScenarioSeedResult",
+    "ScenarioReport",
+    "run_scenario",
+]

@@ -1,0 +1,104 @@
+"""Loading and dumping scenario files (YAML or JSON).
+
+JSON support is unconditional; YAML rides on PyYAML when it is
+installed and raises a clear :class:`ScenarioError` when it is not —
+the schema itself never depends on the YAML library, and every
+scenario can be expressed in either syntax.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.scenario.schema import Scenario, ScenarioError, scenario_from_dict, scenario_to_dict
+
+__all__ = [
+    "load_scenario",
+    "loads_scenario",
+    "dump_scenario",
+    "dumps_scenario",
+]
+
+
+def _yaml_module(path: str) -> Any:
+    try:
+        import yaml
+    except ImportError:
+        raise ScenarioError(
+            path,
+            "YAML scenario files need the optional PyYAML dependency "
+            "(pip install pyyaml) — or rewrite the scenario as JSON",
+        ) from None
+    return yaml
+
+
+def loads_scenario(text: str, fmt: str = "yaml", source: str = "scenario") -> Scenario:
+    """Parse scenario text in the given format (``yaml`` or ``json``)."""
+    if fmt == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise ScenarioError(source, f"invalid JSON: {err}") from None
+    elif fmt == "yaml":
+        yaml = _yaml_module(source)
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as err:
+            raise ScenarioError(source, f"invalid YAML: {err}") from None
+    else:
+        raise ScenarioError(source, f"unknown scenario format {fmt!r}")
+    return scenario_from_dict(data, source=source)
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Load one scenario file; the extension picks the syntax.
+
+    ``.json`` parses as JSON; ``.yaml``/``.yml`` as YAML; anything
+    else is tried as YAML first (a strict superset of JSON when PyYAML
+    is present) and as JSON otherwise.
+    """
+    p = Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+    except OSError as err:
+        raise ScenarioError(str(path), f"cannot read scenario file: {err}") from None
+    suffix = p.suffix.lower()
+    if suffix == ".json":
+        fmt = "json"
+    elif suffix in (".yaml", ".yml"):
+        fmt = "yaml"
+    else:
+        try:
+            import yaml  # noqa: F401
+            fmt = "yaml"
+        except ImportError:
+            fmt = "json"
+    return loads_scenario(text, fmt=fmt, source=p.name)
+
+
+def dumps_scenario(scenario: Scenario, fmt: str = "json") -> str:
+    """The canonical text rendering (complete, defaults included).
+
+    JSON output is byte-deterministic (fixed field order, 2-space
+    indent); YAML output requires PyYAML and keeps the same field
+    order.
+    """
+    data = scenario_to_dict(scenario)
+    if fmt == "json":
+        return json.dumps(data, indent=2) + "\n"
+    if fmt == "yaml":
+        yaml = _yaml_module(scenario.name)
+        return yaml.safe_dump(data, sort_keys=False, default_flow_style=False)
+    raise ScenarioError(scenario.name, f"unknown scenario format {fmt!r}")
+
+
+def dump_scenario(
+    scenario: Scenario, path: Union[str, Path], fmt: Optional[str] = None
+) -> None:
+    """Write the canonical rendering to ``path`` (format from extension)."""
+    p = Path(path)
+    if fmt is None:
+        fmt = "yaml" if p.suffix.lower() in (".yaml", ".yml") else "json"
+    p.write_text(dumps_scenario(scenario, fmt=fmt), encoding="utf-8")

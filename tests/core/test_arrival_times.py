@@ -1,0 +1,81 @@
+"""Explicit per-request arrival offsets (WorkloadSpec.arrival_times)."""
+
+import pytest
+
+from repro.cluster.config import MB
+from repro.core.schemes import Scheme, WorkloadSpec, run_scheme
+
+
+class TestValidation:
+    def test_mutually_exclusive_with_spacing(self):
+        with pytest.raises(ValueError) as err:
+            WorkloadSpec(n_requests=2, arrival_spacing=0.5,
+                         arrival_times=(0.0, 1.0))
+        assert "mutually exclusive" in str(err.value)
+
+    def test_length_must_match_total_requests(self):
+        with pytest.raises(ValueError) as err:
+            WorkloadSpec(n_requests=3, arrival_times=(0.0, 1.0))
+        assert "3 requests" in str(err.value)
+
+    def test_length_counts_all_storage_nodes(self):
+        # total_requests = n_requests * n_storage.
+        WorkloadSpec(n_requests=2, n_storage=2,
+                     arrival_times=(0.0, 0.1, 0.2, 0.3))
+
+    def test_negative_and_non_finite_offsets_rejected(self):
+        for bad in (-0.1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                WorkloadSpec(n_requests=2, arrival_times=(0.0, bad))
+
+    def test_lists_are_normalised_to_tuples(self):
+        spec = WorkloadSpec(n_requests=2, arrival_times=[0.0, 1])
+        assert spec.arrival_times == (0.0, 1.0)
+        assert isinstance(spec.arrival_times[1], float)
+
+
+class TestArrivalOffset:
+    def test_explicit_times_win(self):
+        spec = WorkloadSpec(n_requests=3, arrival_times=(0.0, 0.5, 2.0))
+        assert [spec.arrival_offset(i) for i in range(3)] == [0.0, 0.5, 2.0]
+
+    def test_spacing_fallback(self):
+        spec = WorkloadSpec(n_requests=3, arrival_spacing=0.25)
+        assert spec.arrival_offset(2) == 0.5
+
+    def test_batch_default_is_zero(self):
+        spec = WorkloadSpec(n_requests=2)
+        assert spec.arrival_offset(1) == 0.0
+
+
+class TestRunEquivalence:
+    def test_linear_times_reproduce_spacing_exactly(self):
+        # arrival_times = spacing * i must be indistinguishable from
+        # the native arrival_spacing discipline, latencies included.
+        kw = dict(kernel="sum", n_requests=4, request_bytes=16 * MB)
+        spaced = run_scheme(Scheme.DOSAS, WorkloadSpec(
+            arrival_spacing=0.25, **kw))
+        timed = run_scheme(Scheme.DOSAS, WorkloadSpec(
+            arrival_times=tuple(0.25 * i for i in range(4)), **kw))
+        assert timed.per_request_times == spaced.per_request_times
+        assert timed.per_request_latencies == spaced.per_request_latencies
+        assert timed.makespan == spaced.makespan
+
+    def test_staggered_arrivals_delay_completion(self):
+        kw = dict(kernel="sum", n_requests=4, request_bytes=16 * MB)
+        batch = run_scheme(Scheme.DOSAS, WorkloadSpec(**kw))
+        staggered = run_scheme(Scheme.DOSAS, WorkloadSpec(
+            arrival_times=(0.0, 2.0, 4.0, 6.0), **kw))
+        assert staggered.makespan > batch.makespan
+        # Latency is measured from each request's own arrival.
+        assert max(staggered.per_request_times) >= 6.0
+
+    def test_latencies_subtract_the_right_offset(self):
+        # One late request: its latency must be measured from t=5,
+        # not t=0 (the spec's finish-minus-arrival accounting).
+        kw = dict(kernel="sum", n_requests=2, request_bytes=16 * MB)
+        result = run_scheme(Scheme.DOSAS, WorkloadSpec(
+            arrival_times=(0.0, 5.0), **kw))
+        late_finish = max(result.per_request_times)
+        assert late_finish >= 5.0
+        assert max(result.per_request_latencies) < late_finish

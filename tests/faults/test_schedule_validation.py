@@ -1,0 +1,114 @@
+"""Construction-time FaultSchedule validation (FaultScheduleError)."""
+
+import pytest
+
+from repro.faults import (
+    SCENARIOS,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    FaultScheduleError,
+    scenario,
+)
+
+
+class TestDuplicateCrash:
+    def test_same_instant_same_target_rejected(self):
+        with pytest.raises(FaultScheduleError) as err:
+            FaultSchedule(name="dup", events=(
+                FaultEvent(at=1.0, kind=FaultKind.CRASH, target=0),
+                FaultEvent(at=1.0, kind=FaultKind.CRASH, target=0),
+            ))
+        assert "duplicate crash" in str(err.value)
+        assert "t=1.0" in str(err.value)
+
+    def test_same_instant_different_targets_allowed(self):
+        FaultSchedule(name="ok", events=(
+            FaultEvent(at=1.0, kind=FaultKind.CRASH, target=0),
+            FaultEvent(at=1.0, kind=FaultKind.CRASH, target=1),
+        ))
+
+    def test_same_target_different_instants_allowed(self):
+        FaultSchedule(name="ok", events=(
+            FaultEvent(at=1.0, kind=FaultKind.CRASH, target=0),
+            FaultEvent(at=2.0, kind=FaultKind.CRASH, target=0),
+        ))
+
+
+class TestUnpairedReverse:
+    def test_slowdown_end_without_slowdown_rejected(self):
+        with pytest.raises(FaultScheduleError) as err:
+            FaultSchedule(name="lone", events=(
+                FaultEvent(at=2.0, kind=FaultKind.SLOWDOWN_END, target=0),
+            ))
+        assert "unpaired slowdown-end" in str(err.value)
+
+    def test_reverse_on_wrong_target_rejected(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule(name="wrong-target", events=(
+                FaultEvent(at=1.0, kind=FaultKind.SLOWDOWN, target=0,
+                           duration=None),
+                FaultEvent(at=2.0, kind=FaultKind.SLOWDOWN_END, target=1),
+            ))
+
+    def test_every_reverse_kind_is_checked(self):
+        reverse_kinds = (
+            FaultKind.RESTART, FaultKind.CPU_RESTORE,
+            FaultKind.LINK_RESTORE, FaultKind.HEAL,
+            FaultKind.SLOWDOWN_END,
+        )
+        for kind in reverse_kinds:
+            with pytest.raises(FaultScheduleError):
+                FaultSchedule(name="lone", events=(
+                    FaultEvent(at=1.0, kind=kind, target=0),
+                ))
+
+    def test_paired_reverse_accepted(self):
+        FaultSchedule(name="paired", events=(
+            FaultEvent(at=1.0, kind=FaultKind.SLOWDOWN, target=0),
+            FaultEvent(at=3.0, kind=FaultKind.SLOWDOWN_END, target=0),
+        ))
+
+
+class TestOutOfOrderReverse:
+    def test_reverse_before_its_forward_rejected(self):
+        with pytest.raises(FaultScheduleError) as err:
+            FaultSchedule(name="backwards", events=(
+                FaultEvent(at=5.0, kind=FaultKind.SLOWDOWN, target=0),
+                FaultEvent(at=2.0, kind=FaultKind.SLOWDOWN_END, target=0),
+            ))
+        assert "out-of-order" in str(err.value)
+
+    def test_reverse_at_the_same_instant_allowed(self):
+        # Zero-length windows are degenerate but executable (the
+        # injector applies events at one instant in list order).
+        FaultSchedule(name="instant", events=(
+            FaultEvent(at=2.0, kind=FaultKind.CRASH, target=0),
+            FaultEvent(at=2.0, kind=FaultKind.RESTART, target=0),
+        ))
+
+    def test_unsorted_event_lists_remain_legal(self):
+        # Events may be listed in any order — only *semantic*
+        # reversal (reverse strictly before every forward) is nonsense.
+        FaultSchedule(name="unsorted", events=(
+            FaultEvent(at=3.0, kind=FaultKind.RESTART, target=0),
+            FaultEvent(at=1.0, kind=FaultKind.CRASH, target=0),
+        ))
+
+
+class TestLibraryStaysValid:
+    def test_every_library_scenario_constructs(self):
+        # The named factories must all pass their own validation
+        # (chaos/stragglers take seeds; give them one).
+        for name in sorted(SCENARIOS):
+            scenario(name)
+
+    def test_duration_expansion_is_unaffected(self):
+        sched = scenario("slowdown")
+        kinds = {e.kind for e in sched.timeline()}
+        # timeline() expands durations into paired end events.
+        assert FaultKind.SLOWDOWN_END in kinds
+
+    def test_error_is_a_value_error(self):
+        # Callers that guard with ValueError keep working.
+        assert issubclass(FaultScheduleError, ValueError)

@@ -1,0 +1,106 @@
+"""Loader semantics: format dispatch, determinism, gated YAML."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    ScenarioError,
+    dump_scenario,
+    dumps_scenario,
+    get_scenario,
+    load_scenario,
+    loads_scenario,
+)
+
+try:
+    import yaml  # noqa: F401
+    HAVE_YAML = True
+except ImportError:
+    HAVE_YAML = False
+
+needs_yaml = pytest.mark.skipif(not HAVE_YAML, reason="PyYAML not installed")
+
+
+class TestJson:
+    def test_json_round_trip_via_text(self):
+        sc = get_scenario("noisy-neighbor-nic")
+        text = dumps_scenario(sc, fmt="json")
+        assert loads_scenario(text, fmt="json") == sc
+
+    def test_json_dump_is_byte_deterministic(self):
+        sc = get_scenario("kitchen-sink-chaos")
+        assert dumps_scenario(sc, fmt="json") == dumps_scenario(sc, fmt="json")
+
+    def test_json_file_round_trip(self, tmp_path):
+        sc = get_scenario("steady-state")
+        path = tmp_path / "steady.json"
+        dump_scenario(sc, path)
+        assert load_scenario(path) == sc
+
+    def test_invalid_json_names_the_source(self):
+        with pytest.raises(ScenarioError) as err:
+            loads_scenario("{nope", fmt="json", source="broken.json")
+        assert "broken.json" in str(err.value)
+        assert "invalid JSON" in err.value.reason
+
+    def test_minimal_json_document(self, tmp_path):
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps({"name": "mini"}), encoding="utf-8")
+        assert load_scenario(path).name == "mini"
+
+
+class TestDispatch:
+    def test_missing_file_is_a_scenario_error(self, tmp_path):
+        with pytest.raises(ScenarioError) as err:
+            load_scenario(tmp_path / "absent.json")
+        assert "cannot read" in err.value.reason
+
+    def test_unknown_format_is_rejected(self):
+        sc = get_scenario("steady-state")
+        with pytest.raises(ScenarioError):
+            dumps_scenario(sc, fmt="toml")
+        with pytest.raises(ScenarioError):
+            loads_scenario("{}", fmt="toml")
+
+
+class TestYaml:
+    @needs_yaml
+    def test_yaml_round_trip(self, tmp_path):
+        sc = get_scenario("noisy-neighbor-cpu")
+        path = tmp_path / "cpu.yaml"
+        dump_scenario(sc, path)
+        assert load_scenario(path) == sc
+
+    @needs_yaml
+    def test_yaml_text_round_trip(self):
+        sc = get_scenario("diurnal-arrivals")
+        text = dumps_scenario(sc, fmt="yaml")
+        assert loads_scenario(text, fmt="yaml") == sc
+
+    @needs_yaml
+    def test_invalid_yaml_names_the_source(self):
+        with pytest.raises(ScenarioError) as err:
+            loads_scenario("a: [unclosed", fmt="yaml", source="bad.yaml")
+        assert "invalid YAML" in err.value.reason
+
+    def test_yaml_gate_message_when_missing(self, monkeypatch, tmp_path):
+        # Simulate a container without PyYAML: the loader must fail
+        # with a clear pointer, not an ImportError.
+        import builtins
+
+        real_import = builtins.__import__
+
+        def no_yaml(name, *args, **kwargs):
+            if name == "yaml":
+                raise ImportError("No module named 'yaml'")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_yaml)
+        with pytest.raises(ScenarioError) as err:
+            loads_scenario("name: x", fmt="yaml", source="x.yaml")
+        assert "PyYAML" in err.value.reason
+        # ...and an extensionless file quietly falls back to JSON.
+        path = tmp_path / "noext"
+        path.write_text(json.dumps({"name": "fallback"}), encoding="utf-8")
+        assert load_scenario(path).name == "fallback"
